@@ -1,0 +1,125 @@
+//! Bagged random-forest regression — the CAFQA surrogate model.
+//!
+//! The paper (§5) picks a random forest "as it is flexible enough to model
+//! the discrete space and scales well", following HyperMapper.
+
+use rand::Rng;
+
+use crate::tree::{RegressionTree, TreeOptions};
+
+/// Random-forest options.
+#[derive(Debug, Clone)]
+pub struct ForestOptions {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Bootstrap sample size (`0` = same as training-set size).
+    pub bootstrap: usize,
+    /// Per-split feature subsample (`0` = `√d + 1`).
+    pub feature_subsample: usize,
+    /// Tree growth options.
+    pub tree: TreeOptions,
+}
+
+impl Default for ForestOptions {
+    fn default() -> Self {
+        ForestOptions {
+            n_trees: 24,
+            bootstrap: 0,
+            feature_subsample: 0,
+            tree: TreeOptions::default(),
+        }
+    }
+}
+
+/// A bagged ensemble of [`RegressionTree`]s.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fits the forest on all `(xs, ys)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or lengths mismatch.
+    pub fn fit(
+        xs: &[Vec<usize>],
+        ys: &[f64],
+        cardinalities: &[usize],
+        opts: &ForestOptions,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(!xs.is_empty(), "cannot fit a forest on no samples");
+        assert_eq!(xs.len(), ys.len());
+        let n = xs.len();
+        let boot = if opts.bootstrap == 0 { n } else { opts.bootstrap.min(n) };
+        let d = cardinalities.len();
+        let feature_subsample = if opts.feature_subsample == 0 {
+            ((d as f64).sqrt() as usize + 1).min(d)
+        } else {
+            opts.feature_subsample
+        };
+        let tree_opts = TreeOptions { feature_subsample, ..opts.tree.clone() };
+        let trees = (0..opts.n_trees)
+            .map(|_| {
+                let idx: Vec<usize> = (0..boot).map(|_| rng.gen_range(0..n)).collect();
+                RegressionTree::fit(xs, ys, &idx, cardinalities, &tree_opts, rng)
+            })
+            .collect();
+        RandomForest { trees }
+    }
+
+    /// Mean prediction over the ensemble.
+    pub fn predict(&self, config: &[usize]) -> f64 {
+        self.trees.iter().map(|t| t.predict(config)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Mean and standard deviation over the ensemble (a cheap uncertainty
+    /// proxy, useful for exploration diagnostics).
+    pub fn predict_with_std(&self, config: &[usize]) -> (f64, f64) {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(config)).collect();
+        let m = preds.iter().sum::<f64>() / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - m).powi(2)).sum::<f64>() / preds.len() as f64;
+        (m, var.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forest_beats_mean_baseline() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..600 {
+            let x: Vec<usize> = (0..6).map(|_| rng.gen_range(0..4usize)).collect();
+            let y = (x[0] as f64 - 1.5).powi(2) + 0.5 * x[3] as f64 - 0.2 * x[5] as f64;
+            xs.push(x);
+            ys.push(y);
+        }
+        let forest = RandomForest::fit(&xs, &ys, &[4; 6], &ForestOptions::default(), &mut rng);
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        let mut sse_forest = 0.0;
+        let mut sse_mean = 0.0;
+        for (x, y) in xs.iter().zip(&ys) {
+            sse_forest += (forest.predict(x) - y).powi(2);
+            sse_mean += (mean_y - y).powi(2);
+        }
+        assert!(sse_forest < 0.3 * sse_mean, "forest {sse_forest} vs mean {sse_mean}");
+    }
+
+    #[test]
+    fn prediction_std_is_finite_and_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<Vec<usize>> = (0..50).map(|i| vec![i % 4, (i / 4) % 4]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] as f64).collect();
+        let forest = RandomForest::fit(&xs, &ys, &[4, 4], &ForestOptions::default(), &mut rng);
+        let (m, s) = forest.predict_with_std(&[2, 1]);
+        assert!(m.is_finite() && s >= 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Discrete Bayesian optimization with a random-forest surrogate.
+//!
+//! This is the search engine of CAFQA's classical loop (paper §5): the
+//! Clifford parameter space is discrete (`4^#params`), so the surrogate
+//! is a bagged [`RandomForest`] over integer configurations and the
+//! acquisition is greedy (ε-greedy) over a candidate pool of incumbent
+//! mutations and uniform samples, after a random warm-up phase — the
+//! HyperMapper recipe the paper follows.
+//!
+//! # Examples
+//!
+//! ```
+//! use cafqa_bayesopt::{minimize, BoOptions, SearchSpace};
+//!
+//! let space = SearchSpace::uniform(4, 4);
+//! let opts = BoOptions { warmup: 20, iterations: 40, ..Default::default() };
+//! let result = minimize(&space, |c| c.iter().sum::<usize>() as f64, &[], &opts);
+//! assert_eq!(result.best_value, 0.0); // all-zeros config
+//! ```
+#![warn(missing_docs)]
+
+mod forest;
+mod search;
+mod tree;
+
+pub use forest::{ForestOptions, RandomForest};
+pub use search::{minimize, BoOptions, BoResult, Evaluation, SearchSpace};
+pub use tree::{RegressionTree, TreeOptions};

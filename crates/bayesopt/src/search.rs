@@ -1,0 +1,376 @@
+//! The Bayesian-optimization minimization loop (paper §5 / Fig. 7).
+//!
+//! Warm-up: uniform random sampling of the discrete space (the paper uses
+//! 1000 warm-up iterations for H2O). Search: fit the random-forest
+//! surrogate on everything evaluated so far, score a candidate pool
+//! (uniform samples + coordinate mutations of the incumbents), and
+//! greedily evaluate the best predicted candidate (ε-greedy for
+//! exploration).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::forest::{ForestOptions, RandomForest};
+
+/// The discrete search space: parameter `i` takes values
+/// `0..cardinalities[i]` (CAFQA: 4 Clifford angles per parameter).
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Per-parameter value counts.
+    pub cardinalities: Vec<usize>,
+}
+
+impl SearchSpace {
+    /// A uniform space of `dims` parameters with `card` values each.
+    pub fn uniform(dims: usize, card: usize) -> Self {
+        SearchSpace { cardinalities: vec![card; dims] }
+    }
+
+    /// Number of parameters.
+    pub fn dims(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// log₂ of the space size (the paper's `O(4^#params)`).
+    pub fn log2_size(&self) -> f64 {
+        self.cardinalities.iter().map(|&c| (c as f64).log2()).sum()
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> Vec<usize> {
+        self.cardinalities.iter().map(|&c| rng.gen_range(0..c)).collect()
+    }
+
+    fn mutate(&self, base: &[usize], rng: &mut impl Rng, max_changes: usize) -> Vec<usize> {
+        let mut out = base.to_vec();
+        let changes = rng.gen_range(1..=max_changes.max(1));
+        for _ in 0..changes {
+            let i = rng.gen_range(0..out.len());
+            out[i] = rng.gen_range(0..self.cardinalities[i]);
+        }
+        out
+    }
+}
+
+/// Options for [`minimize`].
+#[derive(Debug, Clone)]
+pub struct BoOptions {
+    /// Random warm-up evaluations before the surrogate turns on.
+    pub warmup: usize,
+    /// Surrogate-guided iterations after warm-up.
+    pub iterations: usize,
+    /// Candidate-pool size per iteration.
+    pub candidates: usize,
+    /// Number of incumbent configurations to mutate into the pool.
+    pub top_k: usize,
+    /// ε-greedy exploration probability.
+    pub epsilon: f64,
+    /// Refit the surrogate every `refit_every` iterations (1 = always).
+    pub refit_every: usize,
+    /// Random-forest options.
+    pub forest: ForestOptions,
+    /// RNG seed (runs are fully deterministic given the seed).
+    pub seed: u64,
+    /// Stop early when the best value has not improved by more than
+    /// `patience_tol` for `patience` consecutive iterations (0 disables).
+    pub patience: usize,
+    /// Improvement tolerance for the patience counter.
+    pub patience_tol: f64,
+}
+
+impl Default for BoOptions {
+    fn default() -> Self {
+        BoOptions {
+            warmup: 200,
+            iterations: 300,
+            candidates: 96,
+            top_k: 5,
+            epsilon: 0.05,
+            refit_every: 1,
+            forest: ForestOptions::default(),
+            seed: 0xCAF9A,
+            patience: 0,
+            patience_tol: 1e-10,
+        }
+    }
+}
+
+/// One evaluated point.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The configuration.
+    pub config: Vec<usize>,
+    /// Its objective value.
+    pub value: f64,
+    /// Best value seen up to and including this evaluation.
+    pub best_so_far: f64,
+}
+
+/// The outcome of a [`minimize`] run.
+#[derive(Debug, Clone)]
+pub struct BoResult {
+    /// The best configuration found.
+    pub best_config: Vec<usize>,
+    /// Its objective value.
+    pub best_value: f64,
+    /// Every evaluation in order (warm-up included) — this is the trace
+    /// plotted in the paper's Fig. 7.
+    pub history: Vec<Evaluation>,
+    /// Index (1-based) of the evaluation that first achieved the final
+    /// best value — the paper's Fig. 15 metric.
+    pub iterations_to_best: usize,
+}
+
+/// Minimizes a black-box objective over a discrete space.
+///
+/// `seeds` are evaluated first (CAFQA seeds the Hartree-Fock
+/// configuration, guaranteeing the result is never worse than HF).
+///
+/// # Examples
+///
+/// ```
+/// use cafqa_bayesopt::{minimize, BoOptions, SearchSpace};
+///
+/// // Minimize the Hamming distance to a hidden target.
+/// let target = [3usize, 1, 0, 2, 3, 0];
+/// let space = SearchSpace::uniform(6, 4);
+/// let opts = BoOptions { warmup: 40, iterations: 120, ..Default::default() };
+/// let result = minimize(
+///     &space,
+///     |c| c.iter().zip(&target).filter(|(a, b)| a != b).count() as f64,
+///     &[],
+///     &opts,
+/// );
+/// assert_eq!(result.best_value, 0.0);
+/// ```
+pub fn minimize(
+    space: &SearchSpace,
+    mut objective: impl FnMut(&[usize]) -> f64,
+    seeds: &[Vec<usize>],
+    opts: &BoOptions,
+) -> BoResult {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut xs: Vec<Vec<usize>> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    let mut history: Vec<Evaluation> = Vec::new();
+    let mut seen: HashSet<Vec<usize>> = HashSet::new();
+    let mut best = f64::INFINITY;
+    let mut best_config: Vec<usize> = Vec::new();
+    let mut iterations_to_best = 0usize;
+    let mut stale = 0usize;
+
+    let evaluate = |config: Vec<usize>,
+                        xs: &mut Vec<Vec<usize>>,
+                        ys: &mut Vec<f64>,
+                        history: &mut Vec<Evaluation>,
+                        seen: &mut HashSet<Vec<usize>>,
+                        best: &mut f64,
+                        best_config: &mut Vec<usize>,
+                        iterations_to_best: &mut usize,
+                        objective: &mut dyn FnMut(&[usize]) -> f64| {
+        let value = objective(&config);
+        if value < *best - 1e-15 {
+            *best = value;
+            *best_config = config.clone();
+            *iterations_to_best = history.len() + 1;
+        }
+        seen.insert(config.clone());
+        history.push(Evaluation { config: config.clone(), value, best_so_far: *best });
+        xs.push(config);
+        ys.push(value);
+        value
+    };
+
+    // Seeds (e.g. the HF configuration) and warm-up random sampling.
+    for seed in seeds {
+        assert_eq!(seed.len(), space.dims(), "seed dimensionality mismatch");
+        evaluate(
+            seed.clone(),
+            &mut xs,
+            &mut ys,
+            &mut history,
+            &mut seen,
+            &mut best,
+            &mut best_config,
+            &mut iterations_to_best,
+            &mut objective,
+        );
+    }
+    for _ in 0..opts.warmup {
+        let c = space.sample(&mut rng);
+        evaluate(
+            c,
+            &mut xs,
+            &mut ys,
+            &mut history,
+            &mut seen,
+            &mut best,
+            &mut best_config,
+            &mut iterations_to_best,
+            &mut objective,
+        );
+    }
+
+    let mut forest: Option<RandomForest> = None;
+    for it in 0..opts.iterations {
+        if forest.is_none() || it % opts.refit_every.max(1) == 0 {
+            forest = Some(RandomForest::fit(
+                &xs,
+                &ys,
+                &space.cardinalities,
+                &opts.forest,
+                &mut rng,
+            ));
+        }
+        let model = forest.as_ref().expect("fitted above");
+        // Candidate pool: incumbent mutations + uniform samples.
+        let mut pool: Vec<Vec<usize>> = Vec::with_capacity(opts.candidates);
+        let mut order: Vec<usize> = (0..ys.len()).collect();
+        order.sort_by(|&a, &b| ys[a].partial_cmp(&ys[b]).unwrap());
+        let n_mut = (opts.candidates / 2).max(1);
+        for k in 0..n_mut {
+            let base = &xs[order[k % opts.top_k.min(order.len())]];
+            pool.push(space.mutate(base, &mut rng, 3));
+        }
+        while pool.len() < opts.candidates {
+            pool.push(space.sample(&mut rng));
+        }
+        // Greedy acquisition with ε-greedy exploration.
+        let pick = if rng.gen::<f64>() < opts.epsilon {
+            pool[rng.gen_range(0..pool.len())].clone()
+        } else {
+            pool.iter()
+                .filter(|c| !seen.contains(*c))
+                .min_by(|a, b| model.predict(a).partial_cmp(&model.predict(b)).unwrap())
+                .cloned()
+                .unwrap_or_else(|| space.sample(&mut rng))
+        };
+        let prev_best = best;
+        evaluate(
+            pick,
+            &mut xs,
+            &mut ys,
+            &mut history,
+            &mut seen,
+            &mut best,
+            &mut best_config,
+            &mut iterations_to_best,
+            &mut objective,
+        );
+        if opts.patience > 0 {
+            if prev_best - best > opts.patience_tol {
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= opts.patience {
+                    break;
+                }
+            }
+        }
+    }
+
+    BoResult { best_config, best_value: best, history, iterations_to_best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic(target: &[usize]) -> impl Fn(&[usize]) -> f64 + '_ {
+        move |c: &[usize]| {
+            c.iter()
+                .zip(target)
+                .map(|(&a, &t)| (a as f64 - t as f64).powi(2))
+                .sum()
+        }
+    }
+
+    #[test]
+    fn finds_global_minimum_of_quadratic() {
+        let target = vec![2usize, 0, 3, 1, 2, 3, 0, 1];
+        let space = SearchSpace::uniform(8, 4);
+        let opts = BoOptions { warmup: 60, iterations: 250, ..Default::default() };
+        let f = quadratic(&target);
+        let result = minimize(&space, |c| f(c), &[], &opts);
+        assert_eq!(result.best_value, 0.0, "best config {:?}", result.best_config);
+        assert_eq!(result.best_config, target);
+    }
+
+    #[test]
+    fn beats_pure_random_search() {
+        // Compare best-of-N for BO vs pure random on a rugged function.
+        let space = SearchSpace::uniform(10, 4);
+        let f = |c: &[usize]| {
+            let s: f64 = c
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ((v as f64) - ((i % 4) as f64)).abs())
+                .sum();
+            s + if c[0] == c[9] { 0.0 } else { 2.0 }
+        };
+        let opts = BoOptions { warmup: 50, iterations: 200, seed: 3, ..Default::default() };
+        let bo = minimize(&space, f, &[], &opts);
+        let random_opts = BoOptions { warmup: 250, iterations: 0, seed: 3, ..Default::default() };
+        let random = minimize(&space, f, &[], &random_opts);
+        assert!(bo.best_value <= random.best_value, "{} vs {}", bo.best_value, random.best_value);
+    }
+
+    #[test]
+    fn seed_guarantees_upper_bound() {
+        // A seed at the optimum can never be lost.
+        let target = vec![1usize, 1, 1, 1];
+        let space = SearchSpace::uniform(4, 4);
+        let f = quadratic(&target);
+        let opts = BoOptions { warmup: 5, iterations: 10, ..Default::default() };
+        let result = minimize(&space, |c| f(c), &[target.clone()], &opts);
+        assert_eq!(result.best_value, 0.0);
+        assert_eq!(result.iterations_to_best, 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = SearchSpace::uniform(6, 4);
+        let f = |c: &[usize]| c.iter().map(|&v| (v as f64 - 1.7).powi(2)).sum::<f64>();
+        let opts = BoOptions { warmup: 30, iterations: 50, seed: 42, ..Default::default() };
+        let a = minimize(&space, f, &[], &opts);
+        let b = minimize(&space, f, &[], &opts);
+        assert_eq!(a.best_config, b.best_config);
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.value, y.value);
+        }
+    }
+
+    #[test]
+    fn history_best_so_far_is_monotone() {
+        let space = SearchSpace::uniform(5, 4);
+        let f = |c: &[usize]| c.iter().map(|&v| v as f64).sum::<f64>();
+        let opts = BoOptions { warmup: 40, iterations: 40, ..Default::default() };
+        let result = minimize(&space, f, &[], &opts);
+        for w in result.history.windows(2) {
+            assert!(w[1].best_so_far <= w[0].best_so_far + 1e-15);
+        }
+    }
+
+    #[test]
+    fn patience_stops_early() {
+        let space = SearchSpace::uniform(3, 4);
+        let f = |_: &[usize]| 1.0; // flat: nothing to improve
+        let opts = BoOptions {
+            warmup: 10,
+            iterations: 500,
+            patience: 20,
+            ..Default::default()
+        };
+        let result = minimize(&space, f, &[], &opts);
+        assert!(result.history.len() < 100, "stopped after {}", result.history.len());
+    }
+
+    #[test]
+    fn log2_size_matches_paper_complexity() {
+        // H2O: 48 parameters with 4 angles each → 4^48 configurations.
+        let space = SearchSpace::uniform(48, 4);
+        assert_eq!(space.log2_size(), 96.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Regression trees over discrete integer configurations.
+
+use rand::Rng;
+
+/// A binary regression tree node.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        /// Go left when `config[feature] <= threshold`.
+        threshold: usize,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// Tree growth options.
+#[derive(Debug, Clone)]
+pub struct TreeOptions {
+    /// Minimum samples in a leaf.
+    pub min_leaf: usize,
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Number of candidate features per split (`0` = all).
+    pub feature_subsample: usize,
+}
+
+impl Default for TreeOptions {
+    fn default() -> Self {
+        TreeOptions { min_leaf: 3, max_depth: 18, feature_subsample: 0 }
+    }
+}
+
+/// A variance-reduction regression tree on integer feature vectors.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    root: Node,
+}
+
+fn mean(ys: &[f64], idx: &[usize]) -> f64 {
+    idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len() as f64
+}
+
+fn sse(ys: &[f64], idx: &[usize]) -> f64 {
+    let m = mean(ys, idx);
+    idx.iter().map(|&i| (ys[i] - m).powi(2)).sum()
+}
+
+impl RegressionTree {
+    /// Fits a tree on `(xs[i], ys[i])` pairs restricted to `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn fit(
+        xs: &[Vec<usize>],
+        ys: &[f64],
+        indices: &[usize],
+        cardinalities: &[usize],
+        opts: &TreeOptions,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on no samples");
+        let root = Self::grow(xs, ys, indices, cardinalities, opts, rng, 0);
+        RegressionTree { root }
+    }
+
+    fn grow(
+        xs: &[Vec<usize>],
+        ys: &[f64],
+        idx: &[usize],
+        cards: &[usize],
+        opts: &TreeOptions,
+        rng: &mut impl Rng,
+        depth: usize,
+    ) -> Node {
+        if idx.len() < 2 * opts.min_leaf || depth >= opts.max_depth {
+            return Node::Leaf { value: mean(ys, idx) };
+        }
+        let parent_sse = sse(ys, idx);
+        if parent_sse < 1e-18 {
+            return Node::Leaf { value: mean(ys, idx) };
+        }
+        let d = cards.len();
+        let k = if opts.feature_subsample == 0 {
+            d
+        } else {
+            opts.feature_subsample.min(d)
+        };
+        // Sample k distinct features.
+        let mut features: Vec<usize> = (0..d).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..d);
+            features.swap(i, j);
+        }
+        let mut best: Option<(usize, usize, f64)> = None;
+        for &f in &features[..k] {
+            let card = cards[f];
+            if card < 2 {
+                continue;
+            }
+            // Bucket statistics per feature value.
+            let mut count = vec![0usize; card];
+            let mut sum = vec![0.0; card];
+            let mut sumsq = vec![0.0; card];
+            for &i in idx {
+                let v = xs[i][f];
+                count[v] += 1;
+                sum[v] += ys[i];
+                sumsq[v] += ys[i] * ys[i];
+            }
+            // Prefix scan over thresholds.
+            let total_n = idx.len() as f64;
+            let total_sum: f64 = sum.iter().sum();
+            let total_sumsq: f64 = sumsq.iter().sum();
+            let mut ln = 0.0;
+            let mut ls = 0.0;
+            let mut lss = 0.0;
+            for t in 0..card - 1 {
+                ln += count[t] as f64;
+                ls += sum[t];
+                lss += sumsq[t];
+                let rn = total_n - ln;
+                if (ln as usize) < opts.min_leaf || (rn as usize) < opts.min_leaf {
+                    continue;
+                }
+                let left_sse = lss - ls * ls / ln;
+                let right_sse = (total_sumsq - lss) - (total_sum - ls).powi(2) / rn;
+                let gain = parent_sse - left_sse - right_sse;
+                if best.map_or(true, |(_, _, g)| gain > g) && gain > 1e-15 {
+                    best = Some((f, t, gain));
+                }
+            }
+        }
+        match best {
+            None => Node::Leaf { value: mean(ys, idx) },
+            Some((feature, threshold, _)) => {
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+                let left = Self::grow(xs, ys, &li, cards, opts, rng, depth + 1);
+                let right = Self::grow(xs, ys, &ri, cards, opts, rng, depth + 1);
+                Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
+            }
+        }
+    }
+
+    /// Predicted value for a configuration.
+    pub fn predict(&self, config: &[usize]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if config[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_data(f: impl Fn(&[usize]) -> f64) -> (Vec<Vec<usize>>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    let x = vec![a, b, c];
+                    ys.push(f(&x));
+                    xs.push(x);
+                }
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_separable_function() {
+        let (xs, ys) = grid_data(|x| x[0] as f64 * 2.0 - x[2] as f64);
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = RegressionTree::fit(
+            &xs,
+            &ys,
+            &idx,
+            &[4, 4, 4],
+            &TreeOptions { min_leaf: 1, ..Default::default() },
+            &mut rng,
+        );
+        let mut worst = 0.0f64;
+        for (x, y) in xs.iter().zip(&ys) {
+            worst = worst.max((tree.predict(x) - y).abs());
+        }
+        assert!(worst < 1e-9, "worst residual {worst}");
+    }
+
+    #[test]
+    fn constant_data_gives_constant_leaf() {
+        let (xs, ys) = grid_data(|_| 7.5);
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree =
+            RegressionTree::fit(&xs, &ys, &idx, &[4, 4, 4], &TreeOptions::default(), &mut rng);
+        assert_eq!(tree.predict(&[0, 0, 0]), 7.5);
+        assert_eq!(tree.predict(&[3, 3, 3]), 7.5);
+    }
+
+    #[test]
+    fn respects_min_leaf() {
+        let (xs, ys) = grid_data(|x| x[0] as f64);
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Huge min_leaf forces a single leaf = global mean.
+        let tree = RegressionTree::fit(
+            &xs,
+            &ys,
+            &idx,
+            &[4, 4, 4],
+            &TreeOptions { min_leaf: 100, ..Default::default() },
+            &mut rng,
+        );
+        let global_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        assert_eq!(tree.predict(&[0, 0, 0]), global_mean);
+    }
+}

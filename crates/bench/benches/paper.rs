@@ -1,0 +1,227 @@
+//! One benchmark per paper table/figure: each measures the computational
+//! kernel that dominates the corresponding experiment binary
+//! (`cafqa-experiments/src/bin/*`). Run the binaries themselves to
+//! regenerate the actual tables/series.
+
+use std::time::Duration;
+
+use cafqa_bayesopt::{minimize, BoOptions, SearchSpace};
+use cafqa_chem::{ChemPipeline, MoleculeKind, ScfKind};
+use cafqa_circuit::{Ansatz, EfficientSu2};
+use cafqa_clifford::{CliffordTState, Tableau};
+use cafqa_core::metrics::{summarize_relative, DissociationPoint};
+use cafqa_core::microbench::{xx_hamiltonian, XxMicrobenchAnsatz};
+use cafqa_core::{CafqaOptions, CliffordObjective, MolecularCafqa};
+use cafqa_linalg::Complex64;
+use cafqa_pauli::{PauliOp, PauliString};
+use cafqa_sim::NoiseModel;
+use cafqa_vqe::{run_vqe, IdealBackend, SpsaOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn lih_problem() -> cafqa_chem::MolecularProblem {
+    let pipe = ChemPipeline::build(MoleculeKind::LiH, 2.4, &ScfKind::Rhf).unwrap();
+    let (na, nb) = pipe.default_sector();
+    pipe.problem(na, nb, false).unwrap()
+}
+
+/// A synthetic molecular-shaped Pauli operator for wide registers.
+fn synthetic_hamiltonian(n: usize, terms: usize) -> PauliOp {
+    let mut op = PauliOp::zero(n);
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for k in 0..terms {
+        let x = next() & ((1 << n) - 1) & next(); // sparse-ish X mask
+        let z = next() & ((1 << n) - 1);
+        op.add_term(
+            Complex64::from(0.01 + (k % 7) as f64 * 0.003),
+            PauliString::from_masks(n, x, z),
+        );
+    }
+    op
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_h2_pipeline_end_to_end", |b| {
+        b.iter(|| {
+            let pipe = ChemPipeline::build(MoleculeKind::H2, 0.74, &ScfKind::Rhf).unwrap();
+            black_box(pipe.problem(1, 1, true).unwrap())
+        })
+    });
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    let model = NoiseModel::casablanca_class();
+    let ansatz = XxMicrobenchAnsatz;
+    let h = xx_hamiltonian();
+    c.bench_function("fig05_noisy_microbench_point", |b| {
+        b.iter(|| black_box(model.expectation(&ansatz.bind(&[1.3]), &h)))
+    });
+}
+
+fn bench_fig06(c: &mut Criterion) {
+    let problem = lih_problem();
+    let ansatz = EfficientSu2::new(problem.n_qubits, 1);
+    let objective = CliffordObjective::new(&ansatz, &problem.hamiltonian);
+    let config = ansatz.basis_state_config(problem.hf_bits);
+    c.bench_function("fig06_lih_per_term_expectations", |b| {
+        b.iter(|| black_box(objective.term_expectations(&config)))
+    });
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    // One BO iteration on an H2O-sized (48-parameter) space.
+    let space = SearchSpace::uniform(48, 4);
+    c.bench_function("fig07_bo_iteration_48dim", |b| {
+        b.iter(|| {
+            let opts = BoOptions { warmup: 30, iterations: 5, ..Default::default() };
+            black_box(minimize(
+                &space,
+                |cfg| cfg.iter().map(|&k| (k as f64 - 1.3).powi(2)).sum(),
+                &[],
+                &opts,
+            ))
+        })
+    });
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    c.bench_function("fig08_h2_cafqa_point", |b| {
+        let pipe = ChemPipeline::build(MoleculeKind::H2, 2.2, &ScfKind::Rhf).unwrap();
+        let problem = pipe.problem(1, 1, false).unwrap();
+        b.iter(|| {
+            let runner = MolecularCafqa::new(problem.clone());
+            let opts = CafqaOptions { warmup: 20, iterations: 20, ..Default::default() };
+            black_box(runner.run(&opts))
+        })
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    let problem = lih_problem();
+    let ansatz = EfficientSu2::new(problem.n_qubits, 1);
+    let objective = CliffordObjective::new(&ansatz, &problem.hamiltonian);
+    c.bench_function("fig09_lih_clifford_objective_eval", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 1) % 4;
+            black_box(objective.evaluate(&vec![k; 16]))
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10_h2o_qubit_hamiltonian_build", |b| {
+        let pipe = ChemPipeline::build(MoleculeKind::H2O, 1.0, &ScfKind::Rhf).unwrap();
+        b.iter(|| {
+            black_box(cafqa_chem::qubit_hamiltonian(
+                &pipe.spin_integrals,
+                cafqa_chem::Mapping::Parity,
+            ))
+        })
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11_h6_fci_ground_state", |b| {
+        let pipe = ChemPipeline::build(MoleculeKind::H6, 1.8, &ScfKind::Rhf).unwrap();
+        b.iter(|| black_box(cafqa_chem::fci_ground_state(&pipe.spin_integrals, 3, 3).unwrap()))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    // The Cr2-surrogate kernel: tableau expectation of a wide many-term
+    // operator at 34 qubits (the per-candidate cost of the Fig. 12 search).
+    let n = 34;
+    let h = synthetic_hamiltonian(n, 5_000);
+    let ansatz = EfficientSu2::new(n, 1);
+    let circuit = ansatz.bind_clifford(&vec![1; ansatz.num_parameters()]);
+    let tableau = Tableau::from_circuit(&circuit).unwrap();
+    c.bench_function("fig12_tableau_expectation_34q_5k_terms", |b| {
+        b.iter(|| black_box(tableau.expectation(&h)))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let points: Vec<DissociationPoint> = (0..1000)
+        .map(|k| DissociationPoint {
+            bond: k as f64 * 0.01,
+            cafqa: -1.2 + 0.0001 * k as f64,
+            hf: -1.0,
+            exact: Some(-1.21),
+            scf_converged: true,
+        })
+        .collect();
+    c.bench_function("fig13_relative_accuracy_aggregation", |b| {
+        b.iter(|| black_box(summarize_relative(&points)))
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let problem = lih_problem();
+    let ansatz = EfficientSu2::new(problem.n_qubits, 1);
+    let h = problem.hamiltonian.clone();
+    c.bench_function("fig14_spsa_vqe_10_iterations", |b| {
+        b.iter(|| {
+            let opts = SpsaOptions { iterations: 10, ..Default::default() };
+            black_box(run_vqe(&ansatz, &h, &vec![0.1; 16], &IdealBackend, &opts))
+        })
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let g = cafqa_core::maxcut::Graph::random(10, 0.4, 3);
+    let h = cafqa_core::maxcut::maxcut_hamiltonian(&g);
+    let ansatz = EfficientSu2::new(10, 1);
+    c.bench_function("fig15_maxcut_cafqa_search_small_budget", |b| {
+        b.iter(|| {
+            let opts = CafqaOptions {
+                warmup: 20,
+                iterations: 20,
+                number_penalty: 0.0,
+                ..Default::default()
+            };
+            black_box(cafqa_core::run_cafqa(&ansatz, &h, vec![], &[], &opts))
+        })
+    });
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    let problem = lih_problem();
+    let ansatz = EfficientSu2::new(problem.n_qubits, 1);
+    let h = problem.hamiltonian.clone();
+    // A configuration with 4 T-like rotations (16 branches).
+    let mut config = vec![0usize; 16];
+    config[0] = 1;
+    config[5] = 3;
+    config[9] = 5;
+    config[13] = 7;
+    c.bench_function("fig16_clifford_t_expectation_4t", |b| {
+        b.iter(|| {
+            let circuit = ansatz.bind_eighth(&config);
+            let state = CliffordTState::from_circuit(&circuit).unwrap();
+            black_box(state.expectation(&h))
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = paper;
+    config = config();
+    targets = bench_table1, bench_fig05, bench_fig06, bench_fig07, bench_fig08,
+              bench_fig09, bench_fig10, bench_fig11, bench_fig12, bench_fig13,
+              bench_fig14, bench_fig15, bench_fig16
+}
+criterion_main!(paper);

@@ -1,0 +1,346 @@
+//! MO-basis integrals restricted to an active space.
+//!
+//! Implements the paper's Table 1 "Mol Orbitals Total / Used" column:
+//! frozen doubly-occupied core orbitals fold into a scalar core energy and
+//! a one-body correction, deleted virtuals simply leave the index set.
+
+use cafqa_linalg::Matrix;
+
+use crate::integrals::{AoIntegrals, EriTensor};
+use crate::scf::ScfResult;
+
+/// Spin label for integral lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spin {
+    /// α (spin-up).
+    Alpha,
+    /// β (spin-down).
+    Beta,
+}
+
+/// Active-space electronic integrals in the (possibly spin-dependent) MO
+/// basis, ready for second quantization.
+#[derive(Debug, Clone)]
+pub struct SpinIntegrals {
+    /// Number of active spatial orbitals.
+    pub n: usize,
+    /// α one-body integrals `h_pq` (active × active), including the
+    /// frozen-core correction.
+    pub h_alpha: Matrix,
+    /// β one-body integrals.
+    pub h_beta: Matrix,
+    /// `(pq|rs)` with both pairs α.
+    pub eri_aa: EriTensor,
+    /// `(pq|rs)` with the first pair α, second pair β.
+    pub eri_ab: EriTensor,
+    /// `(pq|rs)` with both pairs β.
+    pub eri_bb: EriTensor,
+    /// Nuclear repulsion plus frozen-core energy.
+    pub core_energy: f64,
+    /// Active α electrons.
+    pub n_alpha: usize,
+    /// Active β electrons.
+    pub n_beta: usize,
+}
+
+impl SpinIntegrals {
+    /// The one-body integral for a given spin.
+    pub fn h(&self, spin: Spin, p: usize, q: usize) -> f64 {
+        match spin {
+            Spin::Alpha => self.h_alpha[(p, q)],
+            Spin::Beta => self.h_beta[(p, q)],
+        }
+    }
+
+    /// The two-body integral `(pq|rs)` with the first pair of indices in
+    /// spin `s1` and the second in spin `s2` (chemist notation).
+    pub fn eri(&self, s1: Spin, s2: Spin, p: usize, q: usize, r: usize, s: usize) -> f64 {
+        match (s1, s2) {
+            (Spin::Alpha, Spin::Alpha) => self.eri_aa.get(p, q, r, s),
+            (Spin::Alpha, Spin::Beta) => self.eri_ab.get(p, q, r, s),
+            (Spin::Beta, Spin::Alpha) => self.eri_ab.get(r, s, p, q),
+            (Spin::Beta, Spin::Beta) => self.eri_bb.get(p, q, r, s),
+        }
+    }
+}
+
+/// Transforms the AO ERI tensor into the MO basis, with the first index
+/// pair over `c1`'s columns in `sel1` and the second over `c2`'s columns
+/// in `sel2`.
+fn transform_eri(ao: &EriTensor, c1: &Matrix, sel1: &[usize], c2: &Matrix, sel2: &[usize]) -> EriTensor {
+    let n = ao.len();
+    let m1 = sel1.len();
+    let m2 = sel2.len();
+    // Stage 1-2: first pair.
+    let mut t1 = vec![0.0; m1 * n * n * n];
+    for (pi, &p) in sel1.iter().enumerate() {
+        for nu in 0..n {
+            for lam in 0..n {
+                for sig in 0..n {
+                    let mut acc = 0.0;
+                    for mu in 0..n {
+                        acc += c1[(mu, p)] * ao.get(mu, nu, lam, sig);
+                    }
+                    t1[((pi * n + nu) * n + lam) * n + sig] = acc;
+                }
+            }
+        }
+    }
+    let mut t2 = vec![0.0; m1 * m1 * n * n];
+    for pi in 0..m1 {
+        for (qi, &q) in sel1.iter().enumerate() {
+            for lam in 0..n {
+                for sig in 0..n {
+                    let mut acc = 0.0;
+                    for nu in 0..n {
+                        acc += c1[(nu, q)] * t1[((pi * n + nu) * n + lam) * n + sig];
+                    }
+                    t2[((pi * m1 + qi) * n + lam) * n + sig] = acc;
+                }
+            }
+        }
+    }
+    let mut t3 = vec![0.0; m1 * m1 * m2 * n];
+    for pi in 0..m1 {
+        for qi in 0..m1 {
+            for (ri, &r) in sel2.iter().enumerate() {
+                for sig in 0..n {
+                    let mut acc = 0.0;
+                    for lam in 0..n {
+                        acc += c2[(lam, r)] * t2[((pi * m1 + qi) * n + lam) * n + sig];
+                    }
+                    t3[((pi * m1 + qi) * m2 + ri) * n + sig] = acc;
+                }
+            }
+        }
+    }
+    let big = m1.max(m2);
+    EriTensor::from_fn(big, |p, q, r, s| {
+        if p >= m1 || q >= m1 || r >= m2 || s >= m2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for sig in 0..n {
+            total += c2[(sig, sel2[s])] * t3[((p * m1 + q) * m2 + r) * n + sig];
+        }
+        total
+    })
+}
+
+/// Specification of the active space, as MO index lists.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveSpace {
+    /// Doubly-occupied MOs folded into the core (RHF orbitals only).
+    pub frozen: Vec<usize>,
+    /// Active MO indices, ascending.
+    pub active: Vec<usize>,
+}
+
+impl ActiveSpace {
+    /// The trivial active space: all `n` orbitals active, none frozen.
+    pub fn full(n: usize) -> Self {
+        ActiveSpace { frozen: vec![], active: (0..n).collect() }
+    }
+}
+
+/// Builds active-space spin integrals from an SCF solution.
+///
+/// For RHF results the α and β blocks coincide; for UHF results the three
+/// ERI blocks are transformed with the respective orbital sets. Frozen
+/// orbitals are only supported for RHF (all molecules in the paper that
+/// freeze orbitals are closed-shell singlets).
+///
+/// # Panics
+///
+/// Panics if `frozen` is non-empty for a UHF result, or if the active
+/// electron count goes negative.
+pub fn active_space_integrals(
+    ints: &AoIntegrals,
+    scf: &ScfResult,
+    space: &ActiveSpace,
+) -> SpinIntegrals {
+    let is_uhf = scf.coefficients_beta.is_some();
+    assert!(
+        !is_uhf || space.frozen.is_empty(),
+        "frozen core is only supported on RHF references"
+    );
+    let ca = &scf.coefficients;
+    let cb = scf.coefficients_beta.as_ref().unwrap_or(ca);
+    let n_ao = ca.rows();
+    let nact = space.active.len();
+
+    // Full one-body MO transform per spin.
+    let h_mo = |c: &Matrix| -> Matrix {
+        let tmp = &c.transpose() * &ints.core_hamiltonian;
+        &tmp * c
+    };
+    let ha_full = h_mo(ca);
+    let hb_full = h_mo(cb);
+
+    // ERI over the union of frozen and active indices (RHF case needs
+    // frozen blocks for the core correction; UHF has no frozen).
+    let mut sel: Vec<usize> = space.frozen.clone();
+    sel.extend(&space.active);
+    let pos_of_active: Vec<usize> =
+        (0..nact).map(|k| space.frozen.len() + k).collect();
+
+    let eri_aa_sel = transform_eri(&ints.eri, ca, &sel, ca, &sel);
+    let (eri_ab_sel, eri_bb_sel) = if is_uhf {
+        (
+            transform_eri(&ints.eri, ca, &sel, cb, &sel),
+            transform_eri(&ints.eri, cb, &sel, cb, &sel),
+        )
+    } else {
+        (eri_aa_sel.clone(), eri_aa_sel.clone())
+    };
+
+    // Frozen-core energy and one-body correction (RHF-only path).
+    let nf = space.frozen.len();
+    let mut core_energy = ints.nuclear_repulsion;
+    for (fi, &f) in space.frozen.iter().enumerate() {
+        core_energy += 2.0 * ha_full[(f, f)];
+        for fj in 0..nf {
+            core_energy +=
+                2.0 * eri_aa_sel.get(fi, fi, fj, fj) - eri_aa_sel.get(fi, fj, fj, fi);
+        }
+    }
+    let h_active = |h_full: &Matrix| -> Matrix {
+        Matrix::from_fn(nact, nact, |p, q| {
+            let (ap, aq) = (space.active[p], space.active[q]);
+            let mut v = h_full[(ap, aq)];
+            for fi in 0..nf {
+                v += 2.0 * eri_aa_sel.get(pos_of_active[p], pos_of_active[q], fi, fi)
+                    - eri_aa_sel.get(pos_of_active[p], fi, fi, pos_of_active[q]);
+            }
+            v
+        })
+    };
+    let h_alpha = h_active(&ha_full);
+    let h_beta = if is_uhf { h_active(&hb_full) } else { h_alpha.clone() };
+
+    let restrict = |t: &EriTensor| {
+        EriTensor::from_fn(nact, |p, q, r, s| {
+            t.get(pos_of_active[p], pos_of_active[q], pos_of_active[r], pos_of_active[s])
+        })
+    };
+    let n_alpha = scf.n_alpha.checked_sub(nf).expect("frozen exceed alpha electrons");
+    let n_beta = scf.n_beta.checked_sub(nf).expect("frozen exceed beta electrons");
+    let _ = n_ao;
+    SpinIntegrals {
+        n: nact,
+        h_alpha,
+        h_beta,
+        eri_aa: restrict(&eri_aa_sel),
+        eri_ab: restrict(&eri_ab_sel),
+        eri_bb: restrict(&eri_bb_sel),
+        core_energy,
+        n_alpha,
+        n_beta,
+    }
+}
+
+/// Hartree-Fock energy recomputed from active-space integrals (a strong
+/// internal consistency check: must reproduce the SCF total energy).
+pub fn hf_energy_from_integrals(si: &SpinIntegrals) -> f64 {
+    let mut e = si.core_energy;
+    for p in 0..si.n_alpha {
+        e += si.h_alpha[(p, p)];
+    }
+    for p in 0..si.n_beta {
+        e += si.h_beta[(p, p)];
+    }
+    for p in 0..si.n_alpha {
+        for q in 0..si.n_alpha {
+            e += 0.5 * (si.eri_aa.get(p, p, q, q) - si.eri_aa.get(p, q, q, p));
+        }
+    }
+    for p in 0..si.n_beta {
+        for q in 0..si.n_beta {
+            e += 0.5 * (si.eri_bb.get(p, p, q, q) - si.eri_bb.get(p, q, q, p));
+        }
+    }
+    for p in 0..si.n_alpha {
+        for q in 0..si.n_beta {
+            e += si.eri_ab.get(p, p, q, q);
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::BasisSet;
+    use crate::geometry::{Element, Molecule};
+    use crate::integrals::compute_ao_integrals;
+    use crate::scf::{rhf, uhf, ScfOptions};
+
+    fn h2_setup() -> (AoIntegrals, ScfResult) {
+        let m = Molecule::diatomic(Element::H, Element::H, 0.735);
+        let b = BasisSet::sto3g(&m);
+        let ints = compute_ao_integrals(&m, &b);
+        let scf = rhf(&ints, 2, &ScfOptions::default()).unwrap();
+        (ints, scf)
+    }
+
+    #[test]
+    fn hf_energy_reconstructed_from_mo_integrals() {
+        let (ints, scf) = h2_setup();
+        let si = active_space_integrals(&ints, &scf, &ActiveSpace::full(2));
+        let e = hf_energy_from_integrals(&si);
+        assert!((e - scf.energy).abs() < 1e-9, "{e} vs {}", scf.energy);
+    }
+
+    #[test]
+    fn uhf_integrals_reconstruct_energy() {
+        let m = Molecule::diatomic(Element::H, Element::H, 2.5);
+        let b = BasisSet::sto3g(&m);
+        let ints = compute_ao_integrals(&m, &b);
+        let opts = ScfOptions { guess_mix: 0.4, ..ScfOptions::default() };
+        let scf = uhf(&ints, 1, 1, &opts).unwrap();
+        let si = active_space_integrals(&ints, &scf, &ActiveSpace::full(2));
+        let e = hf_energy_from_integrals(&si);
+        assert!((e - scf.energy).abs() < 1e-8, "{e} vs {}", scf.energy);
+    }
+
+    #[test]
+    fn frozen_core_preserves_hf_energy() {
+        // LiH: freezing the Li 1s core must leave the HF total energy
+        // unchanged when recomputed from the active integrals.
+        let m = Molecule::diatomic(Element::Li, Element::H, 1.6);
+        let b = BasisSet::sto3g(&m);
+        let ints = compute_ao_integrals(&m, &b);
+        let scf = rhf(&ints, 4, &ScfOptions::default()).unwrap();
+        let space = ActiveSpace { frozen: vec![0], active: (1..6).collect() };
+        let si = active_space_integrals(&ints, &scf, &space);
+        assert_eq!(si.n_alpha, 1);
+        let e = hf_energy_from_integrals(&si);
+        assert!((e - scf.energy).abs() < 1e-8, "{e} vs {}", scf.energy);
+    }
+
+    #[test]
+    fn mo_eri_has_physical_symmetry() {
+        let (ints, scf) = h2_setup();
+        let si = active_space_integrals(&ints, &scf, &ActiveSpace::full(2));
+        for p in 0..2 {
+            for q in 0..2 {
+                for r in 0..2 {
+                    for s in 0..2 {
+                        let v = si.eri_aa.get(p, q, r, s);
+                        assert!((v - si.eri_aa.get(q, p, r, s)).abs() < 1e-10);
+                        assert!((v - si.eri_aa.get(r, s, p, q)).abs() < 1e-10);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spin_lookup_transposes_mixed_block() {
+        let (ints, scf) = h2_setup();
+        let si = active_space_integrals(&ints, &scf, &ActiveSpace::full(2));
+        let a = si.eri(Spin::Beta, Spin::Alpha, 0, 1, 1, 0);
+        let b = si.eri(Spin::Alpha, Spin::Beta, 1, 0, 0, 1);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,258 @@
+//! STO-3G basis data and contracted Gaussian basis functions.
+//!
+//! Exponents and contraction coefficients are transcribed from the
+//! standard STO-3G tables (Hehre, Stewart & Pople 1969; as distributed by
+//! the Basis Set Exchange). Second-period elements share one set of
+//! exponents between the 2s and 2p shells (the "SP" shells below), and Na
+//! additionally carries an SP shell for 3s/3p — this is what gives the
+//! paper's orbital counts in Table 1 (e.g. NaH: 10 spatial orbitals).
+
+use crate::geometry::{Element, Molecule};
+
+/// A primitive-contraction shell: shared exponents with per-angular-part
+/// coefficients.
+#[derive(Debug, Clone)]
+enum Shell {
+    /// An s shell.
+    S { exps: [f64; 3], coefs: [f64; 3] },
+    /// A combined s+p shell with shared exponents.
+    Sp { exps: [f64; 3], s_coefs: [f64; 3], p_coefs: [f64; 3] },
+}
+
+fn shells(element: Element) -> Vec<Shell> {
+    const S_1S: [f64; 3] = [0.154_328_967_3, 0.535_328_142_3, 0.444_634_542_2];
+    const S_2S: [f64; 3] = [-0.099_967_229_19, 0.399_512_826_1, 0.700_115_468_9];
+    const P_2P: [f64; 3] = [0.155_916_275_0, 0.607_683_718_6, 0.391_957_393_1];
+    const S_3S: [f64; 3] = [-0.219_620_369_0, 0.225_595_433_6, 0.900_398_426_0];
+    const P_3P: [f64; 3] = [0.010_587_604_29, 0.595_167_005_3, 0.462_001_012_0];
+    match element {
+        Element::H => vec![Shell::S {
+            exps: [3.425_250_91, 0.623_913_73, 0.168_855_40],
+            coefs: S_1S,
+        }],
+        Element::Li => vec![
+            Shell::S { exps: [16.119_575_0, 2.936_200_7, 0.794_650_5], coefs: S_1S },
+            Shell::Sp {
+                exps: [0.636_289_7, 0.147_860_1, 0.048_088_7],
+                s_coefs: S_2S,
+                p_coefs: P_2P,
+            },
+        ],
+        Element::Be => vec![
+            Shell::S { exps: [30.167_871_0, 5.495_115_3, 1.487_192_7], coefs: S_1S },
+            Shell::Sp {
+                exps: [1.314_833_1, 0.305_538_9, 0.099_370_7],
+                s_coefs: S_2S,
+                p_coefs: P_2P,
+            },
+        ],
+        Element::N => vec![
+            Shell::S { exps: [99.106_169_0, 18.052_312_0, 4.885_660_2], coefs: S_1S },
+            Shell::Sp {
+                exps: [3.780_455_9, 0.878_496_6, 0.285_714_4],
+                s_coefs: S_2S,
+                p_coefs: P_2P,
+            },
+        ],
+        Element::O => vec![
+            Shell::S { exps: [130.709_320_0, 23.808_861_0, 6.443_608_3], coefs: S_1S },
+            Shell::Sp {
+                exps: [5.033_151_3, 1.169_596_1, 0.380_389_0],
+                s_coefs: S_2S,
+                p_coefs: P_2P,
+            },
+        ],
+        Element::Na => vec![
+            Shell::S { exps: [250.772_430_0, 45.678_511_0, 12.362_388_0], coefs: S_1S },
+            Shell::Sp {
+                exps: [12.040_193_0, 2.797_881_9, 0.909_958_0],
+                s_coefs: S_2S,
+                p_coefs: P_2P,
+            },
+            Shell::Sp {
+                exps: [1.478_740_6, 0.412_564_9, 0.161_475_1],
+                s_coefs: S_3S,
+                p_coefs: P_3P,
+            },
+        ],
+    }
+}
+
+/// A normalized contracted Cartesian Gaussian basis function
+/// `Σ_k c_k N_k (x−Ax)^l (y−Ay)^m (z−Az)^n e^{−α_k r²}`.
+#[derive(Debug, Clone)]
+pub struct BasisFunction {
+    /// Cartesian angular powers `(l, m, n)`.
+    pub powers: [u32; 3],
+    /// Center in bohr.
+    pub center: [f64; 3],
+    /// Primitive exponents.
+    pub exps: Vec<f64>,
+    /// Contraction coefficients, with primitive and contraction
+    /// normalization folded in.
+    pub coefs: Vec<f64>,
+}
+
+fn double_factorial(n: i64) -> f64 {
+    if n <= 0 {
+        return 1.0;
+    }
+    let mut acc = 1.0;
+    let mut k = n;
+    while k > 1 {
+        acc *= k as f64;
+        k -= 2;
+    }
+    acc
+}
+
+impl BasisFunction {
+    /// Builds a normalized contracted Gaussian.
+    pub fn new(powers: [u32; 3], center: [f64; 3], exps: &[f64], raw_coefs: &[f64]) -> Self {
+        assert_eq!(exps.len(), raw_coefs.len());
+        let (l, m, n) = (powers[0] as i64, powers[1] as i64, powers[2] as i64);
+        let total = (l + m + n) as f64;
+        // Primitive normalization for a Cartesian Gaussian.
+        let coefs: Vec<f64> = exps
+            .iter()
+            .zip(raw_coefs)
+            .map(|(&a, &c)| {
+                let norm = (2.0 * a / std::f64::consts::PI).powf(0.75)
+                    * (4.0 * a).powf(total / 2.0)
+                    / (double_factorial(2 * l - 1)
+                        * double_factorial(2 * m - 1)
+                        * double_factorial(2 * n - 1))
+                    .sqrt();
+                c * norm
+            })
+            .collect();
+        let mut bf = BasisFunction { powers, center, exps: exps.to_vec(), coefs };
+        // Contraction normalization: ⟨bf|bf⟩ = 1 exactly.
+        let s = crate::integrals::overlap(&bf, &bf);
+        let scale = 1.0 / s.sqrt();
+        for c in bf.coefs.iter_mut() {
+            *c *= scale;
+        }
+        bf
+    }
+
+    /// Total angular momentum `l + m + n`.
+    pub fn angular_momentum(&self) -> u32 {
+        self.powers.iter().sum()
+    }
+}
+
+/// Labels for basis functions (used in orbital-character detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AoKind {
+    /// An s-type function.
+    S,
+    /// A p-type function along the given axis (0 = x, 1 = y, 2 = z).
+    P(usize),
+}
+
+/// The STO-3G basis set for a whole molecule.
+#[derive(Debug, Clone)]
+pub struct BasisSet {
+    /// The basis functions, in atom order (s before p within a shell).
+    pub functions: Vec<BasisFunction>,
+    /// Per-function labels.
+    pub kinds: Vec<AoKind>,
+    /// Index of the atom each function sits on.
+    pub atom_of: Vec<usize>,
+}
+
+impl BasisSet {
+    /// Builds the STO-3G basis for a molecule.
+    pub fn sto3g(molecule: &Molecule) -> Self {
+        let mut functions = Vec::new();
+        let mut kinds = Vec::new();
+        let mut atom_of = Vec::new();
+        for (ai, atom) in molecule.atoms.iter().enumerate() {
+            for shell in shells(atom.element) {
+                match shell {
+                    Shell::S { exps, coefs } => {
+                        functions.push(BasisFunction::new([0, 0, 0], atom.position, &exps, &coefs));
+                        kinds.push(AoKind::S);
+                        atom_of.push(ai);
+                    }
+                    Shell::Sp { exps, s_coefs, p_coefs } => {
+                        functions.push(BasisFunction::new(
+                            [0, 0, 0],
+                            atom.position,
+                            &exps,
+                            &s_coefs,
+                        ));
+                        kinds.push(AoKind::S);
+                        atom_of.push(ai);
+                        for axis in 0..3 {
+                            let mut powers = [0u32; 3];
+                            powers[axis] = 1;
+                            functions.push(BasisFunction::new(
+                                powers,
+                                atom.position,
+                                &exps,
+                                &p_coefs,
+                            ));
+                            kinds.push(AoKind::P(axis));
+                            atom_of.push(ai);
+                        }
+                    }
+                }
+            }
+        }
+        BasisSet { functions, kinds, atom_of }
+    }
+
+    /// Number of basis functions (= spatial orbitals).
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// True when the basis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Element;
+
+    #[test]
+    fn basis_sizes_match_paper_table1() {
+        let count = |m: &Molecule| BasisSet::sto3g(m).len();
+        assert_eq!(count(&Molecule::diatomic(Element::H, Element::H, 0.74)), 2);
+        assert_eq!(count(&Molecule::diatomic(Element::Li, Element::H, 1.6)), 6);
+        assert_eq!(count(&Molecule::diatomic(Element::N, Element::N, 1.09)), 10);
+        // NaH: Na has 1s + 2sp + 3sp = 9 functions, plus H = 10 total.
+        assert_eq!(count(&Molecule::diatomic(Element::Na, Element::H, 1.9)), 10);
+        let h2o = Molecule::from_angstrom(&[
+            (Element::O, [0.0, 0.0, 0.0]),
+            (Element::H, [0.0, 0.76, 0.59]),
+            (Element::H, [0.0, -0.76, 0.59]),
+        ]);
+        assert_eq!(count(&h2o), 7);
+    }
+
+    #[test]
+    fn functions_are_normalized() {
+        let m = Molecule::diatomic(Element::O, Element::H, 1.0);
+        let basis = BasisSet::sto3g(&m);
+        for f in &basis.functions {
+            let s = crate::integrals::overlap(f, f);
+            assert!((s - 1.0).abs() < 1e-10, "self-overlap {s}");
+        }
+    }
+
+    #[test]
+    fn double_factorial_values() {
+        assert_eq!(double_factorial(-1), 1.0);
+        assert_eq!(double_factorial(0), 1.0);
+        assert_eq!(double_factorial(1), 1.0);
+        assert_eq!(double_factorial(3), 3.0);
+        assert_eq!(double_factorial(5), 15.0);
+        assert_eq!(double_factorial(7), 105.0);
+    }
+}

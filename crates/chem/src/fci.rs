@@ -1,0 +1,396 @@
+//! Full configuration interaction — the paper's "Exact" reference.
+//!
+//! Builds the Hamiltonian in the Slater-determinant basis of the active
+//! space via the Slater–Condon rules and finds the ground state with
+//! Lanczos. Feasible up to ~10 active orbitals (the H2-S1 surrogate's
+//! 63 504 determinants); the Cr2-class 34-qubit system is deliberately out
+//! of reach, exactly as in the paper.
+
+use std::collections::HashMap;
+
+use cafqa_linalg::lanczos::{self, LanczosOptions, SymmetricOp};
+use cafqa_linalg::LinalgError;
+
+use crate::active_space::{Spin, SpinIntegrals};
+
+/// Guard on the determinant-space dimension.
+pub const MAX_DETERMINANTS: usize = 100_000;
+
+/// FCI failure modes.
+#[derive(Debug, Clone)]
+pub enum FciError {
+    /// The determinant space exceeds [`MAX_DETERMINANTS`].
+    TooLarge {
+        /// The offending dimension.
+        dimension: usize,
+    },
+    /// Eigensolver failure.
+    Linalg(LinalgError),
+}
+
+impl std::fmt::Display for FciError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FciError::TooLarge { dimension } => {
+                write!(f, "determinant space of {dimension} exceeds {MAX_DETERMINANTS}")
+            }
+            FciError::Linalg(e) => write!(f, "fci eigensolver failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FciError {}
+
+/// Enumerates all `n_orb`-bit masks with exactly `n_elec` bits set,
+/// ascending.
+fn strings(n_orb: usize, n_elec: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    let total = 1u32 << n_orb;
+    for mask in 0..total {
+        if mask.count_ones() as usize == n_elec {
+            out.push(mask);
+        }
+    }
+    out
+}
+
+/// Sign of moving an electron `from → to` in `det` (both orbitals exist in
+/// the right occupation), as `(new_det, parity)`.
+fn excite(det: u32, from: usize, to: usize) -> (u32, f64) {
+    debug_assert!(det & (1 << from) != 0 && det & (1 << to) == 0);
+    let removed = det & !(1 << from);
+    let (lo, hi) = if from < to { (from + 1, to) } else { (to + 1, from) };
+    let between = if hi > lo {
+        (removed >> lo) & ((1 << (hi - lo)) - 1)
+    } else {
+        0
+    };
+    let sign = if between.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+    (removed | (1 << to), sign)
+}
+
+fn occupied(det: u32, n_orb: usize) -> Vec<usize> {
+    (0..n_orb).filter(|&p| det & (1 << p) != 0).collect()
+}
+
+fn virtuals(det: u32, n_orb: usize) -> Vec<usize> {
+    (0..n_orb).filter(|&p| det & (1 << p) == 0).collect()
+}
+
+/// A sparse FCI Hamiltonian (electronic part only; add
+/// [`SpinIntegrals::core_energy`] for totals).
+struct FciMatrix {
+    dim: usize,
+    /// CSR-style storage: for each row, `(col, value)` with `col >= row`.
+    rows: Vec<Vec<(u32, f64)>>,
+}
+
+impl SymmetricOp for FciMatrix {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for (r, entries) in self.rows.iter().enumerate() {
+            for &(c, v) in entries {
+                let c = c as usize;
+                y[r] += v * x[c];
+                if c != r {
+                    y[c] += v * x[r];
+                }
+            }
+        }
+    }
+}
+
+/// One-body effective element for a single excitation `p → q` of spin
+/// `sigma` within determinant pair (same other-spin string).
+fn single_element(
+    si: &SpinIntegrals,
+    sigma: Spin,
+    p: usize,
+    q: usize,
+    occ_same: &[usize],
+    occ_other: &[usize],
+) -> f64 {
+    let other = match sigma {
+        Spin::Alpha => Spin::Beta,
+        Spin::Beta => Spin::Alpha,
+    };
+    let mut v = si.h(sigma, p, q);
+    for &r in occ_same {
+        v += si.eri(sigma, sigma, p, q, r, r) - si.eri(sigma, sigma, p, r, r, q);
+    }
+    for &r in occ_other {
+        v += si.eri(sigma, other, p, q, r, r);
+    }
+    v
+}
+
+fn diagonal_element(si: &SpinIntegrals, occ_a: &[usize], occ_b: &[usize]) -> f64 {
+    let mut e = 0.0;
+    for &p in occ_a {
+        e += si.h(Spin::Alpha, p, p);
+    }
+    for &p in occ_b {
+        e += si.h(Spin::Beta, p, p);
+    }
+    for &p in occ_a {
+        for &q in occ_a {
+            e += 0.5 * (si.eri(Spin::Alpha, Spin::Alpha, p, p, q, q)
+                - si.eri(Spin::Alpha, Spin::Alpha, p, q, q, p));
+        }
+    }
+    for &p in occ_b {
+        for &q in occ_b {
+            e += 0.5 * (si.eri(Spin::Beta, Spin::Beta, p, p, q, q)
+                - si.eri(Spin::Beta, Spin::Beta, p, q, q, p));
+        }
+    }
+    for &p in occ_a {
+        for &q in occ_b {
+            e += si.eri(Spin::Alpha, Spin::Beta, p, p, q, q);
+        }
+    }
+    e
+}
+
+fn build_matrix(si: &SpinIntegrals, n_alpha: usize, n_beta: usize) -> Result<FciMatrix, FciError> {
+    let n = si.n;
+    let alphas = strings(n, n_alpha);
+    let betas = strings(n, n_beta);
+    let na = alphas.len();
+    let nb = betas.len();
+    let dim = na * nb;
+    if dim > MAX_DETERMINANTS {
+        return Err(FciError::TooLarge { dimension: dim });
+    }
+    let a_index: HashMap<u32, usize> = alphas.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let b_index: HashMap<u32, usize> = betas.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let idx = |ia: usize, ib: usize| ia * nb + ib;
+    let mut rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); dim];
+    let occ_a: Vec<Vec<usize>> = alphas.iter().map(|&d| occupied(d, n)).collect();
+    let occ_b: Vec<Vec<usize>> = betas.iter().map(|&d| occupied(d, n)).collect();
+    let virt_a: Vec<Vec<usize>> = alphas.iter().map(|&d| virtuals(d, n)).collect();
+    let virt_b: Vec<Vec<usize>> = betas.iter().map(|&d| virtuals(d, n)).collect();
+
+    // Precompute spin-resolved single excitations: (from_string_index,
+    // to_string_index, p, q, sign).
+    let singles = |strs: &[u32],
+                   index: &HashMap<u32, usize>,
+                   occs: &[Vec<usize>],
+                   virts: &[Vec<usize>]| {
+        let mut out: Vec<Vec<(usize, usize, usize, f64)>> = vec![Vec::new(); strs.len()];
+        for (i, &d) in strs.iter().enumerate() {
+            for &p in &occs[i] {
+                for &q in &virts[i] {
+                    let (d2, sign) = excite(d, p, q);
+                    out[i].push((index[&d2], p, q, sign));
+                }
+            }
+        }
+        out
+    };
+    let singles_a = singles(&alphas, &a_index, &occ_a, &virt_a);
+    let singles_b = singles(&betas, &b_index, &occ_b, &virt_b);
+
+    for ia in 0..na {
+        for ib in 0..nb {
+            let row = idx(ia, ib);
+            // Diagonal.
+            rows[row].push((row as u32, diagonal_element(si, &occ_a[ia], &occ_b[ib])));
+            // α singles (and α doubles through paired singles below).
+            for &(ja, p, q, sign) in &singles_a[ia] {
+                let col = idx(ja, ib);
+                if col > row {
+                    let v = sign * single_element(si, Spin::Alpha, p, q, &occ_a[ia], &occ_b[ib]);
+                    if v.abs() > 1e-14 {
+                        rows[row].push((col as u32, v));
+                    }
+                }
+            }
+            // β singles.
+            for &(jb, p, q, sign) in &singles_b[ib] {
+                let col = idx(ia, jb);
+                if col > row {
+                    let v = sign * single_element(si, Spin::Beta, p, q, &occ_b[ib], &occ_a[ia]);
+                    if v.abs() > 1e-14 {
+                        rows[row].push((col as u32, v));
+                    }
+                }
+            }
+            // Same-spin doubles (α): i<j occupied, a<b virtual.
+            let oa = &occ_a[ia];
+            let va = &virt_a[ia];
+            for (ii, &i) in oa.iter().enumerate() {
+                for &j in &oa[(ii + 1)..] {
+                    for (ai, &a) in va.iter().enumerate() {
+                        for &b in &va[(ai + 1)..] {
+                            let (d1, s1) = excite(alphas[ia], i, a);
+                            let (d2, s2) = excite(d1, j, b);
+                            let col = idx(a_index[&d2], ib);
+                            if col > row {
+                                let v = s1
+                                    * s2
+                                    * (si.eri(Spin::Alpha, Spin::Alpha, i, a, j, b)
+                                        - si.eri(Spin::Alpha, Spin::Alpha, i, b, j, a));
+                                if v.abs() > 1e-14 {
+                                    rows[row].push((col as u32, v));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Same-spin doubles (β).
+            let ob = &occ_b[ib];
+            let vb = &virt_b[ib];
+            for (ii, &i) in ob.iter().enumerate() {
+                for &j in &ob[(ii + 1)..] {
+                    for (ai, &a) in vb.iter().enumerate() {
+                        for &b in &vb[(ai + 1)..] {
+                            let (d1, s1) = excite(betas[ib], i, a);
+                            let (d2, s2) = excite(d1, j, b);
+                            let col = idx(ia, b_index[&d2]);
+                            if col > row {
+                                let v = s1
+                                    * s2
+                                    * (si.eri(Spin::Beta, Spin::Beta, i, a, j, b)
+                                        - si.eri(Spin::Beta, Spin::Beta, i, b, j, a));
+                                if v.abs() > 1e-14 {
+                                    rows[row].push((col as u32, v));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Opposite-spin doubles: one α single × one β single.
+            for &(ja, p, q, sa) in &singles_a[ia] {
+                for &(jb, r, s, sb) in &singles_b[ib] {
+                    let col = idx(ja, jb);
+                    if col > row {
+                        let v = sa * sb * si.eri(Spin::Alpha, Spin::Beta, p, q, r, s);
+                        if v.abs() > 1e-14 {
+                            rows[row].push((col as u32, v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(FciMatrix { dim, rows })
+}
+
+/// An FCI solution.
+#[derive(Debug, Clone)]
+pub struct FciResult {
+    /// Total ground-state energy including core and nuclear terms.
+    pub energy: f64,
+    /// Determinant-space dimension.
+    pub dimension: usize,
+    /// Residual norm of the converged eigenpair.
+    pub residual: f64,
+}
+
+/// Computes the exact ground-state energy of the active space in the
+/// `(n_alpha, n_beta)` sector.
+///
+/// # Errors
+///
+/// Fails if the determinant space exceeds [`MAX_DETERMINANTS`] or the
+/// eigensolver does not converge.
+pub fn fci_ground_state(
+    si: &SpinIntegrals,
+    n_alpha: usize,
+    n_beta: usize,
+) -> Result<FciResult, FciError> {
+    let matrix = build_matrix(si, n_alpha, n_beta)?;
+    let dim = matrix.dim;
+    if dim == 1 {
+        let mut y = vec![0.0];
+        matrix.apply(&[1.0], &mut y);
+        return Ok(FciResult { energy: y[0] + si.core_energy, dimension: 1, residual: 0.0 });
+    }
+    let opts = LanczosOptions { max_subspace: 60, max_restarts: 60, tolerance: 1e-8, ..Default::default() };
+    let pair = lanczos::lowest_eigenpair(&matrix, &opts).map_err(FciError::Linalg)?;
+    Ok(FciResult {
+        energy: pair.value + si.core_energy,
+        dimension: dim,
+        residual: pair.residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::active_space::{active_space_integrals, ActiveSpace};
+    use crate::basis::BasisSet;
+    use crate::geometry::{Element, Molecule, BOHR_PER_ANGSTROM};
+    use crate::integrals::compute_ao_integrals;
+    use crate::scf::{rhf, ScfOptions};
+
+    fn h2_integrals(r_bohr: f64) -> SpinIntegrals {
+        let m = Molecule::diatomic(Element::H, Element::H, r_bohr / BOHR_PER_ANGSTROM);
+        let b = BasisSet::sto3g(&m);
+        let ints = compute_ao_integrals(&m, &b);
+        let scf = rhf(&ints, 2, &ScfOptions::default()).unwrap();
+        active_space_integrals(&ints, &scf, &ActiveSpace::full(2))
+    }
+
+    #[test]
+    fn excite_signs() {
+        // det 0b0011, move orbital 0 → 2: one electron (orbital 1) between.
+        let (d, s) = excite(0b0011, 0, 2);
+        assert_eq!(d, 0b0110);
+        assert_eq!(s, -1.0);
+        // move orbital 1 → 2: none between.
+        let (d, s) = excite(0b0011, 1, 2);
+        assert_eq!(d, 0b0101);
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn string_counts() {
+        assert_eq!(strings(6, 3).len(), 20);
+        assert_eq!(strings(7, 5).len(), 21);
+    }
+
+    #[test]
+    fn h2_fci_matches_literature() {
+        // FCI/STO-3G at R = 1.4 a₀ ≈ −1.1373 Ha (Szabo–Ostlund full CI).
+        let si = h2_integrals(1.4);
+        let fci = fci_ground_state(&si, 1, 1).unwrap();
+        assert_eq!(fci.dimension, 4);
+        assert!((fci.energy + 1.1373).abs() < 2e-3, "E = {}", fci.energy);
+    }
+
+    #[test]
+    fn fci_below_hf_by_correlation_energy() {
+        let si = h2_integrals(2.8); // stretched: large correlation
+        let e_hf = crate::active_space::hf_energy_from_integrals(&si);
+        let fci = fci_ground_state(&si, 1, 1).unwrap();
+        assert!(fci.energy < e_hf - 0.05, "HF {e_hf} vs FCI {}", fci.energy);
+    }
+
+    #[test]
+    fn one_electron_sector() {
+        // H2+ in the neutral molecule's orbital basis: exact 1-electron
+        // diagonalization, dimension C(2,1)·C(2,0) = 2.
+        let si = h2_integrals(1.4);
+        let fci = fci_ground_state(&si, 1, 0).unwrap();
+        assert_eq!(fci.dimension, 2);
+        // Cation lies above the neutral molecule.
+        let neutral = fci_ground_state(&si, 1, 1).unwrap();
+        assert!(fci.energy > neutral.energy);
+    }
+
+    #[test]
+    fn too_large_guarded() {
+        let si = h2_integrals(1.4);
+        // Fake a huge space by calling with absurd electron counts is not
+        // possible (n=2), so check the guard arithmetic directly.
+        let dim = strings(17, 8).len();
+        assert!(dim * dim > MAX_DETERMINANTS);
+        let _ = si;
+    }
+}

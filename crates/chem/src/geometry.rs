@@ -1,0 +1,175 @@
+//! Molecular geometries in atomic units.
+
+use serde::{Deserialize, Serialize};
+
+/// Bohr per Ångström (CODATA).
+pub const BOHR_PER_ANGSTROM: f64 = 1.889_726_124_626_2;
+
+/// Chemical elements supported by the built-in STO-3G basis data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Element {
+    /// Hydrogen (Z = 1).
+    H,
+    /// Lithium (Z = 3).
+    Li,
+    /// Beryllium (Z = 4).
+    Be,
+    /// Nitrogen (Z = 7).
+    N,
+    /// Oxygen (Z = 8).
+    O,
+    /// Sodium (Z = 11).
+    Na,
+}
+
+impl Element {
+    /// Nuclear charge.
+    pub fn atomic_number(self) -> u32 {
+        match self {
+            Element::H => 1,
+            Element::Li => 3,
+            Element::Be => 4,
+            Element::N => 7,
+            Element::O => 8,
+            Element::Na => 11,
+        }
+    }
+
+    /// Element symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::Li => "Li",
+            Element::Be => "Be",
+            Element::N => "N",
+            Element::O => "O",
+            Element::Na => "Na",
+        }
+    }
+}
+
+/// An atom at a position given in bohr.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Atom {
+    /// The element.
+    pub element: Element,
+    /// Position in bohr.
+    pub position: [f64; 3],
+}
+
+/// A molecular geometry plus total charge.
+///
+/// # Examples
+///
+/// ```
+/// use cafqa_chem::{Element, Molecule};
+///
+/// let h2 = Molecule::diatomic(Element::H, Element::H, 0.74);
+/// assert_eq!(h2.num_electrons(), 2);
+/// assert!(h2.nuclear_repulsion() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Molecule {
+    /// The atoms.
+    pub atoms: Vec<Atom>,
+    /// Net charge (+1 for a monocation).
+    pub charge: i32,
+}
+
+impl Molecule {
+    /// Builds a molecule from `(element, [x, y, z])` with positions in
+    /// **Ångström**, neutral charge.
+    pub fn from_angstrom(atoms: &[(Element, [f64; 3])]) -> Self {
+        Molecule {
+            atoms: atoms
+                .iter()
+                .map(|&(element, pos)| Atom {
+                    element,
+                    position: [
+                        pos[0] * BOHR_PER_ANGSTROM,
+                        pos[1] * BOHR_PER_ANGSTROM,
+                        pos[2] * BOHR_PER_ANGSTROM,
+                    ],
+                })
+                .collect(),
+            charge: 0,
+        }
+    }
+
+    /// A diatomic along the z-axis with bond length in Ångström.
+    pub fn diatomic(a: Element, b: Element, bond_angstrom: f64) -> Self {
+        Molecule::from_angstrom(&[(a, [0.0, 0.0, 0.0]), (b, [0.0, 0.0, bond_angstrom])])
+    }
+
+    /// Returns a copy with the given net charge.
+    pub fn with_charge(mut self, charge: i32) -> Self {
+        self.charge = charge;
+        self
+    }
+
+    /// Total electron count after accounting for the charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the charge strips more electrons than the molecule has.
+    pub fn num_electrons(&self) -> usize {
+        let z: i64 = self.atoms.iter().map(|a| a.element.atomic_number() as i64).sum();
+        let n = z - self.charge as i64;
+        assert!(n >= 0, "charge exceeds total nuclear charge");
+        n as usize
+    }
+
+    /// Nuclear-nuclear repulsion energy in Hartree.
+    pub fn nuclear_repulsion(&self) -> f64 {
+        let mut e = 0.0;
+        for i in 0..self.atoms.len() {
+            for j in (i + 1)..self.atoms.len() {
+                let zi = self.atoms[i].element.atomic_number() as f64;
+                let zj = self.atoms[j].element.atomic_number() as f64;
+                e += zi * zj / dist(self.atoms[i].position, self.atoms[j].position);
+            }
+        }
+        e
+    }
+}
+
+/// Euclidean distance between two points.
+pub fn dist(a: [f64; 3], b: [f64; 3]) -> f64 {
+    let d = [a[0] - b[0], a[1] - b[1], a[2] - b[2]];
+    (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h2_nuclear_repulsion_at_szabo_geometry() {
+        // Szabo–Ostlund reference: R = 1.4 bohr ⇒ E_nn = 1/1.4 ≈ 0.7143.
+        let r_angstrom = 1.4 / BOHR_PER_ANGSTROM;
+        let h2 = Molecule::diatomic(Element::H, Element::H, r_angstrom);
+        assert!((h2.nuclear_repulsion() - 1.0 / 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cation_electron_count() {
+        let h2p = Molecule::diatomic(Element::H, Element::H, 0.74).with_charge(1);
+        assert_eq!(h2p.num_electrons(), 1);
+    }
+
+    #[test]
+    fn water_electron_count() {
+        let h2o = Molecule::from_angstrom(&[
+            (Element::O, [0.0, 0.0, 0.0]),
+            (Element::H, [0.0, 0.76, 0.59]),
+            (Element::H, [0.0, -0.76, 0.59]),
+        ]);
+        assert_eq!(h2o.num_electrons(), 10);
+    }
+
+    #[test]
+    fn atomic_numbers() {
+        assert_eq!(Element::Na.atomic_number(), 11);
+        assert_eq!(Element::N.symbol(), "N");
+    }
+}

@@ -1,0 +1,576 @@
+//! Molecular integrals over contracted Gaussians (McMurchie–Davidson).
+//!
+//! Implements the one-electron (overlap, kinetic, nuclear attraction) and
+//! two-electron repulsion integrals through Hermite Gaussian expansions,
+//! valid for arbitrary angular momentum (the built-in basis uses s and p).
+
+use cafqa_linalg::Matrix;
+
+use crate::basis::{BasisFunction, BasisSet};
+use crate::geometry::Molecule;
+
+/// Boys function values `F_0(t) … F_{m_max}(t)`.
+///
+/// Uses the convergent downward recursion from a truncated series for
+/// small `t` and the asymptotic value plus upward recursion for large `t`.
+pub fn boys(m_max: usize, t: f64) -> Vec<f64> {
+    let mut f = vec![0.0; m_max + 1];
+    if t < 1e-13 {
+        for (m, fm) in f.iter_mut().enumerate() {
+            *fm = 1.0 / (2.0 * m as f64 + 1.0);
+        }
+        return f;
+    }
+    if t < 35.0 {
+        // Series for the highest order, then downward recursion (stable).
+        let m = m_max as f64;
+        let mut term = 1.0 / (2.0 * m + 1.0);
+        let mut acc = term;
+        let mut i = 1.0;
+        loop {
+            term *= 2.0 * t / (2.0 * m + 2.0 * i + 1.0);
+            acc += term;
+            if term < 1e-17 * acc {
+                break;
+            }
+            i += 1.0;
+        }
+        let emt = (-t).exp();
+        f[m_max] = emt * acc;
+        for k in (1..=m_max).rev() {
+            f[k - 1] = (2.0 * t * f[k] + emt) / (2.0 * k as f64 - 1.0);
+        }
+    } else {
+        // Asymptotic F_0 plus upward recursion (stable for large t).
+        let emt = (-t).exp();
+        f[0] = 0.5 * (std::f64::consts::PI / t).sqrt();
+        for k in 0..m_max {
+            f[k + 1] = ((2.0 * k as f64 + 1.0) * f[k] - emt) / (2.0 * t);
+        }
+    }
+    f
+}
+
+/// Hermite expansion coefficient `E_t^{ij}` along one axis.
+///
+/// `qx = Ax − Bx`, `a`/`b` the primitive exponents.
+fn hermite_e(i: i32, j: i32, t: i32, qx: f64, a: f64, b: f64) -> f64 {
+    let p = a + b;
+    let q = a * b / p;
+    if t < 0 || t > i + j {
+        0.0
+    } else if i == 0 && j == 0 && t == 0 {
+        (-q * qx * qx).exp()
+    } else if j == 0 {
+        // Decrement i: bring down (P − A) = −(b/p)·qx = −q·qx/a.
+        hermite_e(i - 1, j, t - 1, qx, a, b) / (2.0 * p)
+            - (q * qx / a) * hermite_e(i - 1, j, t, qx, a, b)
+            + (t + 1) as f64 * hermite_e(i - 1, j, t + 1, qx, a, b)
+    } else {
+        // Decrement j: (P − B) = +(a/p)·qx = q·qx/b.
+        hermite_e(i, j - 1, t - 1, qx, a, b) / (2.0 * p)
+            + (q * qx / b) * hermite_e(i, j - 1, t, qx, a, b)
+            + (t + 1) as f64 * hermite_e(i, j - 1, t + 1, qx, a, b)
+    }
+}
+
+/// Hermite Coulomb auxiliary integral `R^n_{tuv}` with precomputed Boys
+/// table `f[n] = (F_n(p·|PC|²))`.
+fn hermite_r(t: i32, u: i32, v: i32, n: usize, p: f64, pc: [f64; 3], f: &[f64]) -> f64 {
+    if t == 0 && u == 0 && v == 0 {
+        (-2.0 * p).powi(n as i32) * f[n]
+    } else if t > 0 {
+        let mut val = pc[0] * hermite_r(t - 1, u, v, n + 1, p, pc, f);
+        if t > 1 {
+            val += (t - 1) as f64 * hermite_r(t - 2, u, v, n + 1, p, pc, f);
+        }
+        val
+    } else if u > 0 {
+        let mut val = pc[1] * hermite_r(t, u - 1, v, n + 1, p, pc, f);
+        if u > 1 {
+            val += (u - 1) as f64 * hermite_r(t, u - 2, v, n + 1, p, pc, f);
+        }
+        val
+    } else {
+        let mut val = pc[2] * hermite_r(t, u, v - 1, n + 1, p, pc, f);
+        if v > 1 {
+            val += (v - 1) as f64 * hermite_r(t, u, v - 2, n + 1, p, pc, f);
+        }
+        val
+    }
+}
+
+fn gaussian_product_center(a: f64, ca: [f64; 3], b: f64, cb: [f64; 3]) -> [f64; 3] {
+    let p = a + b;
+    [
+        (a * ca[0] + b * cb[0]) / p,
+        (a * ca[1] + b * cb[1]) / p,
+        (a * ca[2] + b * cb[2]) / p,
+    ]
+}
+
+fn primitive_overlap(a: f64, la: [u32; 3], ca: [f64; 3], b: f64, lb: [u32; 3], cb: [f64; 3]) -> f64 {
+    let p = a + b;
+    let mut s = (std::f64::consts::PI / p).powf(1.5);
+    for axis in 0..3 {
+        s *= hermite_e(
+            la[axis] as i32,
+            lb[axis] as i32,
+            0,
+            ca[axis] - cb[axis],
+            a,
+            b,
+        );
+    }
+    s
+}
+
+fn primitive_kinetic(a: f64, la: [u32; 3], ca: [f64; 3], b: f64, lb: [u32; 3], cb: [f64; 3]) -> f64 {
+    let l = lb[0] as f64;
+    let m = lb[1] as f64;
+    let n = lb[2] as f64;
+    let shift = |axis: usize, delta: i32| -> [u32; 3] {
+        let mut out = lb;
+        let v = out[axis] as i32 + delta;
+        if v < 0 {
+            // Encoded as an impossible power; caller guards with the factor.
+            out[axis] = 0;
+        } else {
+            out[axis] = v as u32;
+        }
+        out
+    };
+    let s0 = primitive_overlap(a, la, ca, b, lb, cb);
+    let mut term = b * (2.0 * (l + m + n) + 3.0) * s0;
+    term += -2.0
+        * b
+        * b
+        * (primitive_overlap(a, la, ca, b, shift(0, 2), cb)
+            + primitive_overlap(a, la, ca, b, shift(1, 2), cb)
+            + primitive_overlap(a, la, ca, b, shift(2, 2), cb));
+    if l >= 2.0 {
+        term += -0.5 * l * (l - 1.0) * primitive_overlap(a, la, ca, b, shift(0, -2), cb);
+    }
+    if m >= 2.0 {
+        term += -0.5 * m * (m - 1.0) * primitive_overlap(a, la, ca, b, shift(1, -2), cb);
+    }
+    if n >= 2.0 {
+        term += -0.5 * n * (n - 1.0) * primitive_overlap(a, la, ca, b, shift(2, -2), cb);
+    }
+    term
+}
+
+fn primitive_nuclear(
+    a: f64,
+    la: [u32; 3],
+    ca: [f64; 3],
+    b: f64,
+    lb: [u32; 3],
+    cb: [f64; 3],
+    nucleus: [f64; 3],
+) -> f64 {
+    let p = a + b;
+    let pcenter = gaussian_product_center(a, ca, b, cb);
+    let pc = [
+        pcenter[0] - nucleus[0],
+        pcenter[1] - nucleus[1],
+        pcenter[2] - nucleus[2],
+    ];
+    let r2 = pc[0] * pc[0] + pc[1] * pc[1] + pc[2] * pc[2];
+    let lmax = (la[0] + lb[0] + la[1] + lb[1] + la[2] + lb[2]) as usize;
+    let f = boys(lmax, p * r2);
+    let mut val = 0.0;
+    for t in 0..=(la[0] + lb[0]) as i32 {
+        for u in 0..=(la[1] + lb[1]) as i32 {
+            for v in 0..=(la[2] + lb[2]) as i32 {
+                let e = hermite_e(la[0] as i32, lb[0] as i32, t, ca[0] - cb[0], a, b)
+                    * hermite_e(la[1] as i32, lb[1] as i32, u, ca[1] - cb[1], a, b)
+                    * hermite_e(la[2] as i32, lb[2] as i32, v, ca[2] - cb[2], a, b);
+                if e == 0.0 {
+                    continue;
+                }
+                val += e * hermite_r(t, u, v, 0, p, pc, &f);
+            }
+        }
+    }
+    2.0 * std::f64::consts::PI / p * val
+}
+
+#[allow(clippy::too_many_arguments)]
+fn primitive_eri(
+    a: f64,
+    la: [u32; 3],
+    ca: [f64; 3],
+    b: f64,
+    lb: [u32; 3],
+    cb: [f64; 3],
+    c: f64,
+    lc: [u32; 3],
+    cc: [f64; 3],
+    d: f64,
+    ld: [u32; 3],
+    cd: [f64; 3],
+) -> f64 {
+    let p = a + b;
+    let q = c + d;
+    let alpha = p * q / (p + q);
+    let pp = gaussian_product_center(a, ca, b, cb);
+    let qq = gaussian_product_center(c, cc, d, cd);
+    let pq = [pp[0] - qq[0], pp[1] - qq[1], pp[2] - qq[2]];
+    let r2 = pq[0] * pq[0] + pq[1] * pq[1] + pq[2] * pq[2];
+    let lmax = (la.iter().sum::<u32>()
+        + lb.iter().sum::<u32>()
+        + lc.iter().sum::<u32>()
+        + ld.iter().sum::<u32>()) as usize;
+    let f = boys(lmax, alpha * r2);
+    let mut val = 0.0;
+    for t in 0..=(la[0] + lb[0]) as i32 {
+        for u in 0..=(la[1] + lb[1]) as i32 {
+            for v in 0..=(la[2] + lb[2]) as i32 {
+                let e1 = hermite_e(la[0] as i32, lb[0] as i32, t, ca[0] - cb[0], a, b)
+                    * hermite_e(la[1] as i32, lb[1] as i32, u, ca[1] - cb[1], a, b)
+                    * hermite_e(la[2] as i32, lb[2] as i32, v, ca[2] - cb[2], a, b);
+                if e1 == 0.0 {
+                    continue;
+                }
+                for tau in 0..=(lc[0] + ld[0]) as i32 {
+                    for nu in 0..=(lc[1] + ld[1]) as i32 {
+                        for phi in 0..=(lc[2] + ld[2]) as i32 {
+                            let e2 =
+                                hermite_e(lc[0] as i32, ld[0] as i32, tau, cc[0] - cd[0], c, d)
+                                    * hermite_e(lc[1] as i32, ld[1] as i32, nu, cc[1] - cd[1], c, d)
+                                    * hermite_e(
+                                        lc[2] as i32,
+                                        ld[2] as i32,
+                                        phi,
+                                        cc[2] - cd[2],
+                                        c,
+                                        d,
+                                    );
+                            if e2 == 0.0 {
+                                continue;
+                            }
+                            let sign = if (tau + nu + phi) % 2 == 0 { 1.0 } else { -1.0 };
+                            val += e1
+                                * e2
+                                * sign
+                                * hermite_r(t + tau, u + nu, v + phi, 0, alpha, pq, &f);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    2.0 * std::f64::consts::PI.powf(2.5) / (p * q * (p + q).sqrt()) * val
+}
+
+/// Contracted overlap integral `⟨a|b⟩`.
+pub fn overlap(a: &BasisFunction, b: &BasisFunction) -> f64 {
+    let mut s = 0.0;
+    for (&ea, &ca) in a.exps.iter().zip(&a.coefs) {
+        for (&eb, &cb) in b.exps.iter().zip(&b.coefs) {
+            s += ca * cb * primitive_overlap(ea, a.powers, a.center, eb, b.powers, b.center);
+        }
+    }
+    s
+}
+
+/// Contracted kinetic-energy integral `⟨a|−∇²/2|b⟩`.
+pub fn kinetic(a: &BasisFunction, b: &BasisFunction) -> f64 {
+    let mut s = 0.0;
+    for (&ea, &ca) in a.exps.iter().zip(&a.coefs) {
+        for (&eb, &cb) in b.exps.iter().zip(&b.coefs) {
+            s += ca * cb * primitive_kinetic(ea, a.powers, a.center, eb, b.powers, b.center);
+        }
+    }
+    s
+}
+
+/// Contracted nuclear-attraction integral `⟨a|1/|r−C||b⟩` (positive;
+/// multiply by `−Z` for the attraction term).
+pub fn nuclear(a: &BasisFunction, b: &BasisFunction, nucleus: [f64; 3]) -> f64 {
+    let mut s = 0.0;
+    for (&ea, &ca) in a.exps.iter().zip(&a.coefs) {
+        for (&eb, &cb) in b.exps.iter().zip(&b.coefs) {
+            s += ca
+                * cb
+                * primitive_nuclear(ea, a.powers, a.center, eb, b.powers, b.center, nucleus);
+        }
+    }
+    s
+}
+
+/// Contracted two-electron repulsion integral `(ab|cd)` in chemist
+/// notation.
+pub fn eri(a: &BasisFunction, b: &BasisFunction, c: &BasisFunction, d: &BasisFunction) -> f64 {
+    let mut s = 0.0;
+    for (&ea, &ca) in a.exps.iter().zip(&a.coefs) {
+        for (&eb, &cb) in b.exps.iter().zip(&b.coefs) {
+            for (&ec, &cc) in c.exps.iter().zip(&c.coefs) {
+                for (&ed, &cd) in d.exps.iter().zip(&d.coefs) {
+                    s += ca
+                        * cb
+                        * cc
+                        * cd
+                        * primitive_eri(
+                            ea, a.powers, a.center, eb, b.powers, b.center, ec, c.powers,
+                            c.center, ed, d.powers, d.center,
+                        );
+                }
+            }
+        }
+    }
+    s
+}
+
+/// The dense two-electron integral tensor `(pq|rs)`.
+#[derive(Debug, Clone)]
+pub struct EriTensor {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl EriTensor {
+    /// Number of basis functions.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The integral `(pq|rs)`.
+    #[inline]
+    pub fn get(&self, p: usize, q: usize, r: usize, s: usize) -> f64 {
+        self.data[((p * self.n + q) * self.n + r) * self.n + s]
+    }
+
+    fn set(&mut self, p: usize, q: usize, r: usize, s: usize, v: f64) {
+        self.data[((p * self.n + q) * self.n + r) * self.n + s] = v;
+    }
+
+    /// Builds a tensor directly from values (used by MO transforms).
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize, usize, usize) -> f64) -> Self {
+        let mut t = EriTensor { n, data: vec![0.0; n * n * n * n] };
+        for p in 0..n {
+            for q in 0..n {
+                for r in 0..n {
+                    for s in 0..n {
+                        let v = f(p, q, r, s);
+                        t.set(p, q, r, s, v);
+                    }
+                }
+            }
+        }
+        t
+    }
+}
+
+/// One- and two-electron AO integrals for a molecule.
+#[derive(Debug, Clone)]
+pub struct AoIntegrals {
+    /// Overlap matrix `S`.
+    pub overlap: Matrix,
+    /// Core Hamiltonian `H = T + V`.
+    pub core_hamiltonian: Matrix,
+    /// Two-electron tensor `(pq|rs)`.
+    pub eri: EriTensor,
+    /// Nuclear repulsion energy.
+    pub nuclear_repulsion: f64,
+}
+
+/// Computes every AO integral for `molecule` in the given basis,
+/// exploiting the 8-fold permutational symmetry of the ERIs.
+pub fn compute_ao_integrals(molecule: &Molecule, basis: &BasisSet) -> AoIntegrals {
+    let n = basis.len();
+    let fs = &basis.functions;
+    let overlap_m = Matrix::from_fn(n, n, |i, j| {
+        if i <= j {
+            overlap(&fs[i], &fs[j])
+        } else {
+            overlap(&fs[j], &fs[i])
+        }
+    });
+    let kinetic_m = Matrix::from_fn(n, n, |i, j| {
+        if i <= j {
+            kinetic(&fs[i], &fs[j])
+        } else {
+            kinetic(&fs[j], &fs[i])
+        }
+    });
+    let mut core = kinetic_m;
+    for atom in &molecule.atoms {
+        let z = atom.element.atomic_number() as f64;
+        for i in 0..n {
+            for j in i..n {
+                let v = -z * nuclear(&fs[i], &fs[j], atom.position);
+                core[(i, j)] += v;
+                if i != j {
+                    core[(j, i)] += v;
+                }
+            }
+        }
+    }
+    let mut tensor = EriTensor { n, data: vec![0.0; n * n * n * n] };
+    for p in 0..n {
+        for q in 0..=p {
+            for r in 0..=p {
+                let s_max = if r == p { q } else { r };
+                for s in 0..=s_max {
+                    let v = eri(&fs[p], &fs[q], &fs[r], &fs[s]);
+                    // All 8 permutations share this value.
+                    for (a, b, c, d) in [
+                        (p, q, r, s),
+                        (q, p, r, s),
+                        (p, q, s, r),
+                        (q, p, s, r),
+                        (r, s, p, q),
+                        (s, r, p, q),
+                        (r, s, q, p),
+                        (s, r, q, p),
+                    ] {
+                        tensor.set(a, b, c, d, v);
+                    }
+                }
+            }
+        }
+    }
+    AoIntegrals {
+        overlap: overlap_m,
+        core_hamiltonian: core,
+        eri: tensor,
+        nuclear_repulsion: molecule.nuclear_repulsion(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Element, BOHR_PER_ANGSTROM};
+
+    fn h2_szabo() -> (Molecule, BasisSet) {
+        // Szabo–Ostlund reference geometry: R = 1.4 bohr.
+        let m = Molecule::diatomic(Element::H, Element::H, 1.4 / BOHR_PER_ANGSTROM);
+        let b = BasisSet::sto3g(&m);
+        (m, b)
+    }
+
+    #[test]
+    fn boys_zero_argument() {
+        let f = boys(4, 0.0);
+        for (m, fm) in f.iter().enumerate() {
+            assert!((fm - 1.0 / (2.0 * m as f64 + 1.0)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn boys_matches_quadrature() {
+        // F_m(t) = ∫_0^1 u^{2m} exp(-t u²) du by Simpson's rule.
+        for &t in &[0.1, 1.0, 5.0, 20.0, 40.0, 80.0] {
+            let f = boys(3, t);
+            for m in 0..=3 {
+                let steps = 20_000;
+                let h = 1.0 / steps as f64;
+                let mut acc = 0.0;
+                for k in 0..steps {
+                    let x0 = k as f64 * h;
+                    let x1 = x0 + h / 2.0;
+                    let x2 = x0 + h;
+                    let g = |u: f64| u.powi(2 * m as i32) * (-t * u * u).exp();
+                    acc += h / 6.0 * (g(x0) + 4.0 * g(x1) + g(x2));
+                }
+                assert!(
+                    (f[m] - acc).abs() < 1e-9,
+                    "t={t} m={m}: {} vs {acc}",
+                    f[m]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn h2_overlap_matches_szabo_ostlund() {
+        let (_, b) = h2_szabo();
+        let s12 = overlap(&b.functions[0], &b.functions[1]);
+        assert!((s12 - 0.6593).abs() < 5e-4, "S12 = {s12}");
+    }
+
+    #[test]
+    fn h2_kinetic_matches_szabo_ostlund() {
+        let (_, b) = h2_szabo();
+        let t11 = kinetic(&b.functions[0], &b.functions[0]);
+        let t12 = kinetic(&b.functions[0], &b.functions[1]);
+        assert!((t11 - 0.7600).abs() < 5e-4, "T11 = {t11}");
+        assert!((t12 - 0.2365).abs() < 5e-4, "T12 = {t12}");
+    }
+
+    #[test]
+    fn h2_nuclear_matches_szabo_ostlund() {
+        let (m, b) = h2_szabo();
+        let v11a = -nuclear(&b.functions[0], &b.functions[0], m.atoms[0].position);
+        let v12a = -nuclear(&b.functions[0], &b.functions[1], m.atoms[0].position);
+        let v22a = -nuclear(&b.functions[1], &b.functions[1], m.atoms[0].position);
+        assert!((v11a + 1.2266).abs() < 5e-4, "V11A = {v11a}");
+        assert!((v12a + 0.5974).abs() < 5e-4, "V12A = {v12a}");
+        assert!((v22a + 0.6538).abs() < 5e-4, "V22A = {v22a}");
+    }
+
+    #[test]
+    fn h2_eri_matches_szabo_ostlund() {
+        let (_, b) = h2_szabo();
+        let f = &b.functions;
+        let v1111 = eri(&f[0], &f[0], &f[0], &f[0]);
+        let v2211 = eri(&f[1], &f[1], &f[0], &f[0]);
+        let v2111 = eri(&f[1], &f[0], &f[0], &f[0]);
+        let v2121 = eri(&f[1], &f[0], &f[1], &f[0]);
+        assert!((v1111 - 0.7746).abs() < 5e-4, "(11|11) = {v1111}");
+        assert!((v2211 - 0.5697).abs() < 5e-4, "(22|11) = {v2211}");
+        assert!((v2111 - 0.4441).abs() < 5e-4, "(21|11) = {v2111}");
+        assert!((v2121 - 0.2970).abs() < 5e-4, "(21|21) = {v2121}");
+    }
+
+    #[test]
+    fn eri_tensor_has_eightfold_symmetry() {
+        let m = Molecule::diatomic(Element::Li, Element::H, 1.6);
+        let b = BasisSet::sto3g(&m);
+        let ints = compute_ao_integrals(&m, &b);
+        let n = b.len();
+        // Spot-check symmetry on a few random-ish indices.
+        for &(p, q, r, s) in &[(0, 1, 2, 3), (1, 4, 0, 5), (2, 2, 3, 1)] {
+            let v = ints.eri.get(p, q, r, s);
+            assert!((v - ints.eri.get(q, p, r, s)).abs() < 1e-12);
+            assert!((v - ints.eri.get(p, q, s, r)).abs() < 1e-12);
+            assert!((v - ints.eri.get(r, s, p, q)).abs() < 1e-12);
+        }
+        let _ = n;
+    }
+
+    #[test]
+    fn p_orbital_overlap_is_diagonal_on_same_center() {
+        let m = Molecule::diatomic(Element::O, Element::H, 1.0);
+        let b = BasisSet::sto3g(&m);
+        // O's px/py/pz are functions 2, 3, 4; mutually orthogonal.
+        for i in 2..5 {
+            for j in 2..5 {
+                let s = overlap(&b.functions[i], &b.functions[j]);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((s - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn core_hamiltonian_is_symmetric() {
+        let m = Molecule::from_angstrom(&[
+            (Element::O, [0.0, 0.0, 0.0]),
+            (Element::H, [0.0, 0.76, 0.59]),
+            (Element::H, [0.0, -0.76, 0.59]),
+        ]);
+        let b = BasisSet::sto3g(&m);
+        let ints = compute_ao_integrals(&m, &b);
+        assert!(ints.core_hamiltonian.asymmetry() < 1e-10);
+        assert!(ints.overlap.asymmetry() < 1e-12);
+    }
+}

@@ -1,0 +1,443 @@
+//! Second quantization and fermion-to-qubit encodings.
+//!
+//! Spin orbitals use **blocked ordering**: indices `0..n` are the α
+//! orbitals, `n..2n` the β orbitals. The paper's Hamiltonians use the
+//! parity mapping with two-qubit Z2 reduction (§6), which is what makes
+//! the qubit counts of Table 1 come out to `2·orbitals − 2`; Jordan-Wigner
+//! is provided as the cross-validation encoding.
+
+use cafqa_linalg::Complex64;
+use cafqa_pauli::{Pauli, PauliOp, PauliString};
+
+use crate::active_space::{Spin, SpinIntegrals};
+
+/// Fermion-to-qubit encoding choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mapping {
+    /// Jordan–Wigner: occupation stored directly, Z-strings for parity.
+    JordanWigner,
+    /// Parity: running occupation parity stored, X-strings for updates.
+    /// Supports the two-qubit symmetry reduction.
+    Parity,
+}
+
+/// The annihilation operator `a_j` on `m` spin orbitals as a Pauli sum.
+pub fn lowering_op(mapping: Mapping, m: usize, j: usize) -> PauliOp {
+    assert!(j < m, "spin orbital index out of range");
+    let half = Complex64::new(0.5, 0.0);
+    let half_i = Complex64::new(0.0, 0.5);
+    let mut op = PauliOp::zero(m);
+    match mapping {
+        Mapping::JordanWigner => {
+            // a_j = (Π_{k<j} Z_k) (X_j + iY_j)/2, with |1⟩ = occupied.
+            let mut zx = PauliString::identity(m);
+            let mut zy = PauliString::identity(m);
+            for k in 0..j {
+                zx = zx.with_pauli(k, Pauli::Z);
+                zy = zy.with_pauli(k, Pauli::Z);
+            }
+            zx = zx.with_pauli(j, Pauli::X);
+            zy = zy.with_pauli(j, Pauli::Y);
+            op.add_term(half, zx);
+            op.add_term(half_i, zy);
+        }
+        Mapping::Parity => {
+            // a_j = ½ (Z_{j−1} X_j + i Y_j) ⊗ X_{j+1..m−1}
+            // (Seeley–Richard–Love 2012, with qubit j storing the parity
+            // of occupations 0..=j).
+            let mut x_term = PauliString::identity(m);
+            let mut y_term = PauliString::identity(m);
+            if j > 0 {
+                x_term = x_term.with_pauli(j - 1, Pauli::Z);
+            }
+            x_term = x_term.with_pauli(j, Pauli::X);
+            y_term = y_term.with_pauli(j, Pauli::Y);
+            for k in (j + 1)..m {
+                x_term = x_term.with_pauli(k, Pauli::X);
+                y_term = y_term.with_pauli(k, Pauli::X);
+            }
+            op.add_term(half, x_term);
+            op.add_term(half_i, y_term);
+        }
+    }
+    op
+}
+
+/// The creation operator `a†_j` (Hermitian conjugate of [`lowering_op`]).
+pub fn raising_op(mapping: Mapping, m: usize, j: usize) -> PauliOp {
+    lowering_op(mapping, m, j).dagger()
+}
+
+/// Blocked spin-orbital index: α spatial `p` → `p`, β spatial `p` → `n+p`.
+#[inline]
+pub fn spin_orbital(n_spatial: usize, p: usize, spin: Spin) -> usize {
+    match spin {
+        Spin::Alpha => p,
+        Spin::Beta => n_spatial + p,
+    }
+}
+
+/// Builds the full (untapered) qubit Hamiltonian on `2n` qubits from
+/// active-space integrals:
+///
+/// `H = E_core + Σ h^σ_pq a†_pσ a_qσ
+///      + ½ Σ (pq|rs)^{στ} a†_pσ a†_rτ a_sτ a_qσ`.
+pub fn qubit_hamiltonian(si: &SpinIntegrals, mapping: Mapping) -> PauliOp {
+    let n = si.n;
+    let m = 2 * n;
+    let spins = [Spin::Alpha, Spin::Beta];
+    // Cache ladder operators.
+    let lower: Vec<PauliOp> = (0..m).map(|j| lowering_op(mapping, m, j)).collect();
+    let raise: Vec<PauliOp> = (0..m).map(|j| raising_op(mapping, m, j)).collect();
+    let mut h = PauliOp::zero(m);
+    h.add_term(Complex64::from(si.core_energy), PauliString::identity(m));
+    // One-body terms.
+    for &sigma in &spins {
+        for p in 0..n {
+            for q in 0..n {
+                let v = si.h(sigma, p, q);
+                if v.abs() < 1e-12 {
+                    continue;
+                }
+                let term = raise[spin_orbital(n, p, sigma)]
+                    .mul_op(&lower[spin_orbital(n, q, sigma)])
+                    .scaled(Complex64::from(v));
+                for (ps, c) in term.iter() {
+                    h.add_term(*c, *ps);
+                }
+            }
+        }
+    }
+    // Two-body terms: accumulate in a scratch op per (p, q) pair to keep
+    // the running simplification cheap.
+    for &sigma in &spins {
+        for &tau in &spins {
+            for p in 0..n {
+                for q in 0..n {
+                    let ap = &raise[spin_orbital(n, p, sigma)];
+                    let aq = &lower[spin_orbital(n, q, sigma)];
+                    let mut chunk = PauliOp::zero(m);
+                    let mut any = false;
+                    for r in 0..n {
+                        for s in 0..n {
+                            let v = si.eri(sigma, tau, p, q, r, s);
+                            if v.abs() < 1e-12 {
+                                continue;
+                            }
+                            let (ri, sidx) =
+                                (spin_orbital(n, r, tau), spin_orbital(n, s, tau));
+                            if ri == spin_orbital(n, p, sigma)
+                                || sidx == spin_orbital(n, q, sigma)
+                            {
+                                // a†_p a†_p = 0 and a_q a_q = 0: skip terms
+                                // the algebra would cancel anyway.
+                                continue;
+                            }
+                            // ½ a†_pσ a†_rτ a_sτ a_qσ.
+                            let inner = raise[ri].mul_op(&lower[sidx]);
+                            chunk = &chunk
+                                + &inner.scaled(Complex64::from(0.5 * v));
+                            any = true;
+                        }
+                    }
+                    if any {
+                        let term = ap.mul_op(&chunk.pruned(1e-14)).mul_op(aq);
+                        for (ps, c) in term.iter() {
+                            h.add_term(*c, *ps);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    h.pruned(1e-10)
+}
+
+/// The total-number operator `N = Σ_j a†_j a_j` on `2n` qubits.
+pub fn number_operator(n_spatial: usize, mapping: Mapping) -> PauliOp {
+    let m = 2 * n_spatial;
+    let mut op = PauliOp::zero(m);
+    for j in 0..m {
+        let term = raising_op(mapping, m, j).mul_op(&lowering_op(mapping, m, j));
+        op = (&op + &term).pruned(1e-14);
+    }
+    op
+}
+
+/// The Sz operator `½ (N_α − N_β)` on `2n` qubits.
+pub fn sz_operator(n_spatial: usize, mapping: Mapping) -> PauliOp {
+    let m = 2 * n_spatial;
+    let mut op = PauliOp::zero(m);
+    for p in 0..n_spatial {
+        for (spin, w) in [(Spin::Alpha, 0.5), (Spin::Beta, -0.5)] {
+            let j = spin_orbital(n_spatial, p, spin);
+            let term = raising_op(mapping, m, j)
+                .mul_op(&lowering_op(mapping, m, j))
+                .scaled(Complex64::from(w));
+            op = (&op + &term).pruned(1e-14);
+        }
+    }
+    op
+}
+
+/// The total-spin operator `S² = S₋S₊ + Sz(Sz + 1)` on `2n` qubits, with
+/// `S₊ = Σ_p a†_{pα} a_{pβ}`. Eigenvalues are `s(s+1)`: 0 for singlets,
+/// 2 for triplets — the paper's spin-preservation constraint (§3 step 5)
+/// penalizes deviations from the target sector's value.
+pub fn s_squared_operator(n_spatial: usize, mapping: Mapping) -> PauliOp {
+    let m = 2 * n_spatial;
+    let mut s_plus = PauliOp::zero(m);
+    for p in 0..n_spatial {
+        let up = spin_orbital(n_spatial, p, Spin::Alpha);
+        let dn = spin_orbital(n_spatial, p, Spin::Beta);
+        let term = raising_op(mapping, m, up).mul_op(&lowering_op(mapping, m, dn));
+        s_plus = (&s_plus + &term).pruned(1e-14);
+    }
+    let s_minus = s_plus.clone().dagger();
+    let sz = sz_operator(n_spatial, mapping);
+    let sz_sq = sz.mul_op(&sz);
+    let mut s2 = s_minus.mul_op(&s_plus);
+    s2 = &s2 + &sz_sq;
+    s2 = &s2 + &sz;
+    s2.pruned(1e-12)
+}
+
+/// Removes the two symmetry qubits of the parity mapping (blocked
+/// ordering): qubit `n−1` stores the α-electron parity and qubit `2n−1`
+/// the total parity. For a fixed `(n_alpha, n_beta)` sector their Z
+/// eigenvalues are constants, so every (symmetry-conserving) operator term
+/// restricts to the remaining `2n−2` qubits.
+///
+/// # Panics
+///
+/// Panics if any term carries X/Y on a symmetry qubit (i.e. the operator
+/// does not conserve the two parities).
+pub fn taper_two_qubits(op: &PauliOp, n_alpha: usize, n_beta: usize) -> PauliOp {
+    let m = op.num_qubits();
+    assert!(m >= 2 && m % 2 == 0, "expected an even spin-orbital register");
+    let alpha_qubit = m / 2 - 1;
+    let total_qubit = m - 1;
+    let z_alpha = if n_alpha % 2 == 0 { 1.0 } else { -1.0 };
+    let z_total = if (n_alpha + n_beta) % 2 == 0 { 1.0 } else { -1.0 };
+    let dropped_total = op.map_terms(m - 1, |p| {
+        let (had_z, q) = p.remove_qubit(total_qubit);
+        (
+            Complex64::from(if had_z { z_total } else { 1.0 }),
+            q,
+        )
+    });
+    dropped_total
+        .map_terms(m - 2, |p| {
+            let (had_z, q) = p.remove_qubit(alpha_qubit);
+            (
+                Complex64::from(if had_z { z_alpha } else { 1.0 }),
+                q,
+            )
+        })
+        .pruned(1e-12)
+}
+
+/// The Hartree-Fock determinant's bitstring in the chosen encoding.
+///
+/// Occupations fill the lowest `n_alpha` α and `n_beta` β spatial
+/// orbitals. With `tapered = true` (parity only) the two symmetry qubits
+/// are removed, matching [`taper_two_qubits`].
+pub fn hf_bitstring(
+    mapping: Mapping,
+    n_spatial: usize,
+    n_alpha: usize,
+    n_beta: usize,
+    tapered: bool,
+) -> u64 {
+    let m = 2 * n_spatial;
+    let mut occ = vec![false; m];
+    for p in 0..n_alpha {
+        occ[p] = true;
+    }
+    for p in 0..n_beta {
+        occ[n_spatial + p] = true;
+    }
+    let bits: Vec<bool> = match mapping {
+        Mapping::JordanWigner => occ,
+        Mapping::Parity => {
+            let mut parity = false;
+            occ.iter()
+                .map(|&o| {
+                    parity ^= o;
+                    parity
+                })
+                .collect()
+        }
+    };
+    assert!(
+        !(tapered && mapping == Mapping::JordanWigner),
+        "tapering is defined for the parity mapping"
+    );
+    let mut out = 0u64;
+    let mut idx = 0;
+    for (j, &b) in bits.iter().enumerate() {
+        if tapered && (j == n_spatial - 1 || j == m - 1) {
+            continue;
+        }
+        if b {
+            out |= 1 << idx;
+        }
+        idx += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafqa_linalg::Complex64;
+
+    fn dense(op: &PauliOp) -> Vec<Complex64> {
+        op.to_dense()
+    }
+
+    fn dense_mul(n: usize, a: &[Complex64], b: &[Complex64]) -> Vec<Complex64> {
+        let dim = 1usize << n;
+        let mut out = vec![Complex64::ZERO; dim * dim];
+        for i in 0..dim {
+            for k in 0..dim {
+                if a[i * dim + k].norm_sqr() == 0.0 {
+                    continue;
+                }
+                for j in 0..dim {
+                    out[i * dim + j] += a[i * dim + k] * b[k * dim + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks the canonical anticommutation relations for both encodings.
+    #[test]
+    fn car_algebra_holds() {
+        for mapping in [Mapping::JordanWigner, Mapping::Parity] {
+            let m = 3;
+            let dim = 1usize << m;
+            for i in 0..m {
+                for j in 0..m {
+                    let ai = dense(&lowering_op(mapping, m, i));
+                    let aj = dense(&lowering_op(mapping, m, j));
+                    let adj = dense(&raising_op(mapping, m, j));
+                    // {a_i, a_j} = 0
+                    let anti1: Vec<Complex64> = dense_mul(m, &ai, &aj)
+                        .iter()
+                        .zip(&dense_mul(m, &aj, &ai))
+                        .map(|(x, y)| *x + *y)
+                        .collect();
+                    for v in &anti1 {
+                        assert!(v.norm() < 1e-12, "{mapping:?} {{a{i},a{j}}} ≠ 0");
+                    }
+                    // {a_i, a†_j} = δ_ij
+                    let anti2: Vec<Complex64> = dense_mul(m, &ai, &adj)
+                        .iter()
+                        .zip(&dense_mul(m, &adj, &ai))
+                        .map(|(x, y)| *x + *y)
+                        .collect();
+                    for (idx, v) in anti2.iter().enumerate() {
+                        let expect = if i == j && idx % (dim + 1) == 0 { 1.0 } else { 0.0 };
+                        assert!(
+                            (v.re - expect).abs() < 1e-12 && v.im.abs() < 1e-12,
+                            "{mapping:?} {{a{i},a†{j}}} wrong at {idx}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn number_operator_spectrum() {
+        for mapping in [Mapping::JordanWigner, Mapping::Parity] {
+            let nop = number_operator(1, mapping); // 2 spin orbitals
+            let mat = dense(&nop);
+            // Eigenvalues of N on 2 orbitals: {0, 1, 1, 2} (diagonal in the
+            // encoded basis for both mappings).
+            let mut diag: Vec<f64> = (0..4).map(|i| mat[i * 4 + i].re).collect();
+            diag.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (d, expect) in diag.iter().zip([0.0, 1.0, 1.0, 2.0]) {
+                assert!((d - expect).abs() < 1e-12, "{mapping:?}: {diag:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn jw_number_operator_counts_bits() {
+        let nop = number_operator(2, Mapping::JordanWigner); // 4 spin orbitals
+        for bits in 0..16u64 {
+            let expect = bits.count_ones() as f64;
+            assert!((nop.expectation_basis(bits) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parity_number_operator_counts_transitions() {
+        let nop = number_operator(2, Mapping::Parity);
+        // In the parity basis, n_j = p_j ⊕ p_{j−1}; check a few states.
+        // occ = 1100 (orbitals 0,1 occupied) → parity bits 1, 0, 0, 0.
+        assert!((nop.expectation_basis(0b0001) - 2.0).abs() < 1e-12);
+        // occ = 0000 → parity 0000.
+        assert!((nop.expectation_basis(0b0000) - 0.0).abs() < 1e-12);
+        // occ = 1000 → parity 1111.
+        assert!((nop.expectation_basis(0b1111) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hf_bitstrings() {
+        // 2 spatial orbitals, 1α + 1β: occupations 1010 (orbital 0 of each
+        // spin block).
+        assert_eq!(hf_bitstring(Mapping::JordanWigner, 2, 1, 1, false), 0b0101);
+        // Parity prefix XOR of (1,0,1,0) = (1,1,0,0).
+        assert_eq!(hf_bitstring(Mapping::Parity, 2, 1, 1, false), 0b0011);
+        // Tapered drops qubits 1 and 3 → bits (1, 0) → 0b01.
+        assert_eq!(hf_bitstring(Mapping::Parity, 2, 1, 1, true), 0b01);
+    }
+
+    #[test]
+    fn s_squared_spectrum_one_orbital() {
+        // One spatial orbital (2 spin orbitals): states are the vacuum
+        // (s=0), two doublets (s=1/2 → 0.75) and the paired singlet (s=0).
+        for mapping in [Mapping::JordanWigner, Mapping::Parity] {
+            let s2 = s_squared_operator(1, mapping);
+            let terms = s2.real_basis_terms(1e-10).expect("S² is real");
+            let dim = 4;
+            let mut mat = cafqa_linalg::Matrix::zeros(dim, dim);
+            for &(f, xm, zm) in &terms {
+                for b in 0..dim {
+                    let sign = if (zm & b as u64).count_ones() % 2 == 0 { f } else { -f };
+                    mat[(b ^ xm as usize, b)] += sign;
+                }
+            }
+            let mut eig = mat.eigh().unwrap().values;
+            eig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let expect = [0.0, 0.0, 0.75, 0.75];
+            for (e, x) in eig.iter().zip(expect) {
+                assert!((e - x).abs() < 1e-9, "{mapping:?}: {eig:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn s_squared_on_two_orbital_sectors() {
+        // Two spatial orbitals: the αα state (both spins up) is a triplet
+        // component with S² = 2; the closed-shell state is a singlet.
+        let s2 = s_squared_operator(2, Mapping::JordanWigner);
+        let triplet_bits = hf_bitstring(Mapping::JordanWigner, 2, 2, 0, false);
+        assert!((s2.expectation_basis(triplet_bits) - 2.0).abs() < 1e-10);
+        let singlet_bits = hf_bitstring(Mapping::JordanWigner, 2, 1, 1, false);
+        assert!(s2.expectation_basis(singlet_bits).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sz_operator_on_hf_states() {
+        let sz = sz_operator(2, Mapping::JordanWigner);
+        let bits_singlet = hf_bitstring(Mapping::JordanWigner, 2, 1, 1, false);
+        assert!((sz.expectation_basis(bits_singlet)).abs() < 1e-12);
+        let bits_triplet = hf_bitstring(Mapping::JordanWigner, 2, 2, 0, false);
+        assert!((sz.expectation_basis(bits_triplet) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,286 @@
+//! Hardware-efficient parameterized ansatz circuits.
+//!
+//! CAFQA builds on a hardware-efficient `EfficientSU2`-style ansatz
+//! (paper §2.2 and Fig. 3): alternating layers of parameterized RY/RZ
+//! rotations and ladders of entangling CX gates, whose *fixed* gates are
+//! all Clifford. Restricting the rotation angles to multiples of π/2
+//! makes the whole circuit Clifford.
+
+use std::f64::consts::FRAC_PI_2;
+
+use crate::circuit::Circuit;
+use crate::gate::CliffordAngle;
+
+/// A parameterized circuit family that CAFQA can search over.
+///
+/// Implementors define a fixed structure whose tunable rotation angles are
+/// supplied at bind time. All fixed gates must be Clifford for the bound
+/// circuit to be Clifford at Clifford angles.
+pub trait Ansatz {
+    /// Width of the circuit.
+    fn num_qubits(&self) -> usize;
+    /// Number of tunable rotation parameters.
+    fn num_parameters(&self) -> usize;
+    /// Binds concrete angles (radians) and returns the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `params.len() != self.num_parameters()`.
+    fn bind(&self, params: &[f64]) -> Circuit;
+
+    /// Binds discrete Clifford indices `k` (angle `k·π/2`).
+    fn bind_clifford(&self, indices: &[usize]) -> Circuit {
+        let params: Vec<f64> = indices
+            .iter()
+            .map(|&k| CliffordAngle::from_index(k).radians())
+            .collect();
+        self.bind(&params)
+    }
+
+    /// Binds discrete eighth-turn indices `k` (angle `k·π/4`), the extended
+    /// grid of the CAFQA+kT search. Even `k` are Clifford; odd `k` each cost
+    /// one T-branch doubling in the stabilizer-rank engine.
+    fn bind_eighth(&self, indices: &[usize]) -> Circuit {
+        let params: Vec<f64> = indices
+            .iter()
+            .map(|&k| (k % 8) as f64 * (FRAC_PI_2 / 2.0))
+            .collect();
+        self.bind(&params)
+    }
+}
+
+/// Entanglement topology for the CX ladder between rotation layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Entanglement {
+    /// `CX(q, q+1)` for `q = 0..n-1` (the paper's choice: "one layer of
+    /// linear entanglement", §6).
+    #[default]
+    Linear,
+    /// Linear plus a wrap-around `CX(n-1, 0)`.
+    Circular,
+    /// All ordered pairs `CX(i, j)` with `i < j`.
+    Full,
+}
+
+/// The `EfficientSU2`-equivalent hardware-efficient ansatz.
+///
+/// Structure for `reps = r`: `r + 1` rotation layers (RY on every qubit,
+/// then RZ on every qubit), with an entangling ladder between consecutive
+/// rotation layers. Parameter count is `2 · n · (r + 1)`.
+///
+/// Parameter layout is layer-major: layer 0's RY angles (qubit order),
+/// layer 0's RZ angles, layer 1's RY angles, …
+///
+/// # Examples
+///
+/// ```
+/// use cafqa_circuit::{Ansatz, EfficientSu2};
+///
+/// let ansatz = EfficientSu2::new(4, 1);
+/// assert_eq!(ansatz.num_parameters(), 16);
+/// let circuit = ansatz.bind_clifford(&vec![0; 16]);
+/// assert!(circuit.is_clifford());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EfficientSu2 {
+    num_qubits: usize,
+    reps: usize,
+    entanglement: Entanglement,
+}
+
+impl EfficientSu2 {
+    /// Creates the ansatz with linear entanglement (the paper's default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits == 0`.
+    pub fn new(num_qubits: usize, reps: usize) -> Self {
+        assert!(num_qubits > 0, "ansatz needs at least one qubit");
+        EfficientSu2 { num_qubits, reps, entanglement: Entanglement::Linear }
+    }
+
+    /// Selects a different entanglement topology.
+    pub fn with_entanglement(mut self, entanglement: Entanglement) -> Self {
+        self.entanglement = entanglement;
+        self
+    }
+
+    /// Number of repetition blocks.
+    pub fn reps(&self) -> usize {
+        self.reps
+    }
+
+    /// The entangling pairs for one ladder.
+    fn entangling_pairs(&self) -> Vec<(usize, usize)> {
+        let n = self.num_qubits;
+        match self.entanglement {
+            Entanglement::Linear => (0..n.saturating_sub(1)).map(|q| (q, q + 1)).collect(),
+            Entanglement::Circular => {
+                let mut pairs: Vec<(usize, usize)> =
+                    (0..n.saturating_sub(1)).map(|q| (q, q + 1)).collect();
+                if n > 2 {
+                    pairs.push((n - 1, 0));
+                }
+                pairs
+            }
+            Entanglement::Full => {
+                let mut pairs = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        pairs.push((i, j));
+                    }
+                }
+                pairs
+            }
+        }
+    }
+
+    /// The discrete Clifford configuration that prepares the computational
+    /// basis state `|bits⟩` exactly — all angles zero except the *final* RY
+    /// layer, which applies `Ry(π)` wherever `bits` has a 1.
+    ///
+    /// CAFQA seeds its Bayesian search with this configuration for the
+    /// Hartree-Fock bitstring, which guarantees the search result is never
+    /// worse than HF (paper §1: "always equal or outperform").
+    pub fn basis_state_config(&self, bits: u64) -> Vec<usize> {
+        let mut cfg = vec![0usize; self.num_parameters()];
+        let last_ry_base = self.reps * 2 * self.num_qubits;
+        for q in 0..self.num_qubits {
+            if (bits >> q) & 1 == 1 {
+                cfg[last_ry_base + q] = 2; // Ry(π) = -iY flips |0⟩ → |1⟩.
+            }
+        }
+        cfg
+    }
+
+    /// Describes parameter `k` as `(layer, axis, qubit)` with axis `'y'` or
+    /// `'z'`; useful for logs and tests.
+    pub fn parameter_info(&self, k: usize) -> (usize, char, usize) {
+        let per_layer = 2 * self.num_qubits;
+        let layer = k / per_layer;
+        let within = k % per_layer;
+        if within < self.num_qubits {
+            (layer, 'y', within)
+        } else {
+            (layer, 'z', within - self.num_qubits)
+        }
+    }
+}
+
+impl Ansatz for EfficientSu2 {
+    fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    fn num_parameters(&self) -> usize {
+        2 * self.num_qubits * (self.reps + 1)
+    }
+
+    fn bind(&self, params: &[f64]) -> Circuit {
+        assert_eq!(
+            params.len(),
+            self.num_parameters(),
+            "expected {} parameters",
+            self.num_parameters()
+        );
+        let n = self.num_qubits;
+        let mut c = Circuit::new(n);
+        let mut next = 0usize;
+        for layer in 0..=self.reps {
+            for q in 0..n {
+                c.ry(q, params[next]);
+                next += 1;
+            }
+            for q in 0..n {
+                c.rz(q, params[next]);
+                next += 1;
+            }
+            if layer < self.reps {
+                for (a, b) in self.entangling_pairs() {
+                    c.cx(a, b);
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn parameter_count_matches_qiskit_efficient_su2() {
+        // reps=1 EfficientSU2 on n qubits has 4n parameters.
+        for n in [2, 4, 10] {
+            assert_eq!(EfficientSu2::new(n, 1).num_parameters(), 4 * n);
+        }
+        assert_eq!(EfficientSu2::new(3, 2).num_parameters(), 18);
+    }
+
+    #[test]
+    fn clifford_binding_is_clifford() {
+        let a = EfficientSu2::new(3, 1);
+        let c = a.bind_clifford(&[1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0]);
+        assert!(c.is_clifford());
+    }
+
+    #[test]
+    fn generic_binding_counts_gates() {
+        let a = EfficientSu2::new(4, 1);
+        let c = a.bind(&vec![0.1; 16]);
+        // 8 rotations per layer × 2 layers + 3 CX.
+        assert_eq!(c.num_gates(), 19);
+        let cx = c.gates().iter().filter(|g| matches!(g, Gate::Cx { .. })).count();
+        assert_eq!(cx, 3);
+    }
+
+    #[test]
+    fn entanglement_topologies() {
+        assert_eq!(EfficientSu2::new(4, 1).entangling_pairs().len(), 3);
+        assert_eq!(
+            EfficientSu2::new(4, 1)
+                .with_entanglement(Entanglement::Circular)
+                .entangling_pairs()
+                .len(),
+            4
+        );
+        assert_eq!(
+            EfficientSu2::new(4, 1)
+                .with_entanglement(Entanglement::Full)
+                .entangling_pairs()
+                .len(),
+            6
+        );
+    }
+
+    #[test]
+    fn eighth_binding_has_non_clifford_rotations() {
+        let a = EfficientSu2::new(2, 0);
+        // indices: one odd index -> one non-Clifford rotation.
+        let c = a.bind_eighth(&[1, 0, 0, 0]);
+        assert_eq!(c.non_clifford_count(), 1);
+        assert!(!c.is_clifford());
+    }
+
+    #[test]
+    fn basis_state_config_layout() {
+        let a = EfficientSu2::new(3, 1);
+        let cfg = a.basis_state_config(0b101);
+        // Final RY layer starts at index 2*3*1 = 6.
+        assert_eq!(cfg[6], 2);
+        assert_eq!(cfg[7], 0);
+        assert_eq!(cfg[8], 2);
+        assert!(cfg[..6].iter().all(|&k| k == 0));
+    }
+
+    #[test]
+    fn parameter_info_layout() {
+        let a = EfficientSu2::new(3, 1);
+        assert_eq!(a.parameter_info(0), (0, 'y', 0));
+        assert_eq!(a.parameter_info(3), (0, 'z', 0));
+        assert_eq!(a.parameter_info(6), (1, 'y', 0));
+        assert_eq!(a.parameter_info(11), (1, 'z', 2));
+    }
+}

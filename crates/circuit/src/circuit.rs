@@ -1,0 +1,286 @@
+//! A linear-sequence quantum circuit IR.
+
+use cafqa_linalg::Complex64;
+
+use crate::gate::{clifford_rotation, CliffordAngle, Gate, RotationAxis};
+
+/// An ordered list of gates on a fixed-width qubit register.
+///
+/// # Examples
+///
+/// ```
+/// use cafqa_circuit::Circuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.ry(0, std::f64::consts::FRAC_PI_2).cx(0, 1);
+/// assert_eq!(c.num_gates(), 2);
+/// assert!(c.is_clifford());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    n: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit on `n` qubits.
+    pub fn new(n: usize) -> Self {
+        Circuit { n, gates: Vec::new() }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Number of gates.
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gate sequence in application order.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate touches a qubit outside the register or if a
+    /// two-qubit gate reuses a qubit.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        let qs = gate.qubits();
+        for &q in &qs {
+            assert!(q < self.n, "gate {gate:?} touches qubit {q} outside register of {}", self.n);
+        }
+        if qs.len() == 2 {
+            assert_ne!(qs[0], qs[1], "two-qubit gate with duplicate qubit");
+        }
+        self.gates.push(gate);
+        self
+    }
+
+    /// Appends all gates of another circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the other circuit is wider than this one.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert!(other.n <= self.n, "appending a wider circuit");
+        for g in &other.gates {
+            self.push(*g);
+        }
+        self
+    }
+
+    /// Appends a Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::H(q))
+    }
+    /// Appends an S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::S(q))
+    }
+    /// Appends an S† gate.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Sdg(q))
+    }
+    /// Appends a Pauli-X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::X(q))
+    }
+    /// Appends a Pauli-Y.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Y(q))
+    }
+    /// Appends a Pauli-Z.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::Z(q))
+    }
+    /// Appends a T gate.
+    pub fn t(&mut self, q: usize) -> &mut Self {
+        self.push(Gate::T(q))
+    }
+    /// Appends a CX gate.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.push(Gate::Cx { control, target })
+    }
+    /// Appends a CZ gate.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.push(Gate::Cz(a, b))
+    }
+    /// Appends an Rx rotation.
+    pub fn rx(&mut self, qubit: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rx { qubit, theta })
+    }
+    /// Appends an Ry rotation.
+    pub fn ry(&mut self, qubit: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Ry { qubit, theta })
+    }
+    /// Appends an Rz rotation.
+    pub fn rz(&mut self, qubit: usize, theta: f64) -> &mut Self {
+        self.push(Gate::Rz { qubit, theta })
+    }
+
+    /// True when every gate is Clifford (rotations restricted to multiples
+    /// of π/2), i.e. the circuit is a valid CAFQA "Clifford Ansatz" instance.
+    pub fn is_clifford(&self) -> bool {
+        self.gates.iter().all(Gate::is_structurally_clifford)
+    }
+
+    /// Number of T/T† gates plus non-Clifford rotations, each of which
+    /// costs one branch doubling in the stabilizer-rank engine.
+    pub fn non_clifford_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !g.is_structurally_clifford())
+            .count()
+    }
+
+    /// Lowers the circuit to primitive Clifford gates (`H`, `S`, `S†`,
+    /// Paulis, `CX`, `CZ`), expanding Clifford-angle rotations and tracking
+    /// the exact global phase.
+    ///
+    /// Returns `None` if any gate is non-Clifford.
+    pub fn to_clifford_gates(&self) -> Option<(Vec<Gate>, Complex64)> {
+        let mut out = Vec::with_capacity(self.gates.len() * 2);
+        let mut phase = Complex64::ONE;
+        for g in &self.gates {
+            match *g {
+                Gate::Rx { qubit, theta } => {
+                    let angle = CliffordAngle::from_radians(theta)?;
+                    let (gates, p) = clifford_rotation(RotationAxis::X, qubit, angle);
+                    out.extend(gates);
+                    phase *= p;
+                }
+                Gate::Ry { qubit, theta } => {
+                    let angle = CliffordAngle::from_radians(theta)?;
+                    let (gates, p) = clifford_rotation(RotationAxis::Y, qubit, angle);
+                    out.extend(gates);
+                    phase *= p;
+                }
+                Gate::Rz { qubit, theta } => {
+                    let angle = CliffordAngle::from_radians(theta)?;
+                    let (gates, p) = clifford_rotation(RotationAxis::Z, qubit, angle);
+                    out.extend(gates);
+                    phase *= p;
+                }
+                Gate::T(_) | Gate::Tdg(_) => return None,
+                other => out.push(other),
+            }
+        }
+        Some((out, phase))
+    }
+
+    /// The inverse circuit (reversed order, each gate inverted).
+    pub fn inverse(&self) -> Circuit {
+        let mut inv = Circuit::new(self.n);
+        for g in self.gates.iter().rev() {
+            let ig = match *g {
+                Gate::S(q) => Gate::Sdg(q),
+                Gate::Sdg(q) => Gate::S(q),
+                Gate::T(q) => Gate::Tdg(q),
+                Gate::Tdg(q) => Gate::T(q),
+                Gate::Rx { qubit, theta } => Gate::Rx { qubit, theta: -theta },
+                Gate::Ry { qubit, theta } => Gate::Ry { qubit, theta: -theta },
+                Gate::Rz { qubit, theta } => Gate::Rz { qubit, theta: -theta },
+                self_inverse => self_inverse,
+            };
+            inv.push(ig);
+        }
+        inv
+    }
+
+    /// Circuit depth under the usual as-soon-as-possible schedule.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.n];
+        let mut depth = 0;
+        for g in &self.gates {
+            let qs = g.qubits();
+            let next = qs.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+            for q in qs {
+                level[q] = next;
+            }
+            depth = depth.max(next);
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 0.5).cz(1, 2);
+        assert_eq!(c.num_gates(), 4);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside register")]
+    fn rejects_out_of_range() {
+        Circuit::new(2).h(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn rejects_self_cx() {
+        Circuit::new(2).cx(1, 1);
+    }
+
+    #[test]
+    fn clifford_detection() {
+        let mut c = Circuit::new(2);
+        c.ry(0, std::f64::consts::PI).cx(0, 1);
+        assert!(c.is_clifford());
+        c.ry(1, 0.3);
+        assert!(!c.is_clifford());
+        assert_eq!(c.non_clifford_count(), 1);
+    }
+
+    #[test]
+    fn lowering_expands_rotations() {
+        let mut c = Circuit::new(1);
+        c.ry(0, std::f64::consts::FRAC_PI_2);
+        let (gates, phase) = c.to_clifford_gates().unwrap();
+        assert_eq!(gates, vec![Gate::Z(0), Gate::H(0)]);
+        assert_eq!(phase, Complex64::ONE);
+    }
+
+    #[test]
+    fn lowering_fails_on_t() {
+        let mut c = Circuit::new(1);
+        c.t(0);
+        assert!(c.to_clifford_gates().is_none());
+    }
+
+    #[test]
+    fn inverse_reverses_and_inverts() {
+        let mut c = Circuit::new(2);
+        c.s(0).cx(0, 1).ry(1, 0.7);
+        let inv = c.inverse();
+        assert_eq!(
+            inv.gates(),
+            &[
+                Gate::Ry { qubit: 1, theta: -0.7 },
+                Gate::Cx { control: 0, target: 1 },
+                Gate::Sdg(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn depth_of_parallel_layers() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3); // depth 1
+        c.cx(0, 1).cx(2, 3); // depth 2
+        assert_eq!(c.depth(), 2);
+    }
+}

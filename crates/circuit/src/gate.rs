@@ -1,0 +1,356 @@
+//! Gate set: Cliffords, parameterized rotations, and T gates.
+
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+use cafqa_linalg::Complex64;
+
+/// A gate in the CAFQA circuit IR.
+///
+/// The set is exactly what the paper's pipeline needs: the Clifford
+/// generators (`H`, `S`, `S†`, Paulis, `CX`, `CZ`), the parameterized
+/// single-qubit rotations of the hardware-efficient ansatz, and `T`/`T†`
+/// for the beyond-Clifford extension (§8 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Phase gate `S = diag(1, i)`.
+    S(usize),
+    /// Inverse phase gate `S† = diag(1, -i)`.
+    Sdg(usize),
+    /// Pauli-X.
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// Controlled-X.
+    Cx {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled-Z (symmetric in its qubits).
+    Cz(usize, usize),
+    /// X-rotation `exp(-i θ X / 2)`.
+    Rx {
+        /// Target qubit.
+        qubit: usize,
+        /// Rotation angle in radians.
+        theta: f64,
+    },
+    /// Y-rotation `exp(-i θ Y / 2)`.
+    Ry {
+        /// Target qubit.
+        qubit: usize,
+        /// Rotation angle in radians.
+        theta: f64,
+    },
+    /// Z-rotation `exp(-i θ Z / 2)`.
+    Rz {
+        /// Target qubit.
+        qubit: usize,
+        /// Rotation angle in radians.
+        theta: f64,
+    },
+    /// T gate `diag(1, e^{iπ/4})`.
+    T(usize),
+    /// Inverse T gate.
+    Tdg(usize),
+}
+
+impl Gate {
+    /// The qubits this gate touches (one or two entries).
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Gate::H(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rx { qubit: q, .. }
+            | Gate::Ry { qubit: q, .. }
+            | Gate::Rz { qubit: q, .. } => vec![q],
+            Gate::Cx { control, target } => vec![control, target],
+            Gate::Cz(a, b) => vec![a, b],
+        }
+    }
+
+    /// True if this gate is Clifford regardless of parameters (rotations
+    /// count only when their angle is a multiple of π/2; see
+    /// [`CliffordAngle::from_radians`]).
+    pub fn is_structurally_clifford(&self) -> bool {
+        match self {
+            Gate::Rx { theta, .. } | Gate::Ry { theta, .. } | Gate::Rz { theta, .. } => {
+                CliffordAngle::from_radians(*theta).is_some()
+            }
+            Gate::T(_) | Gate::Tdg(_) => false,
+            _ => true,
+        }
+    }
+
+    /// The 2×2 unitary of a single-qubit gate, row-major; `None` for
+    /// two-qubit gates.
+    pub fn single_qubit_unitary(&self) -> Option<[Complex64; 4]> {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let c = |re: f64, im: f64| Complex64::new(re, im);
+        Some(match *self {
+            Gate::H(_) => [c(s, 0.0), c(s, 0.0), c(s, 0.0), c(-s, 0.0)],
+            Gate::S(_) => [c(1.0, 0.0), c(0.0, 0.0), c(0.0, 0.0), c(0.0, 1.0)],
+            Gate::Sdg(_) => [c(1.0, 0.0), c(0.0, 0.0), c(0.0, 0.0), c(0.0, -1.0)],
+            Gate::X(_) => [c(0.0, 0.0), c(1.0, 0.0), c(1.0, 0.0), c(0.0, 0.0)],
+            Gate::Y(_) => [c(0.0, 0.0), c(0.0, -1.0), c(0.0, 1.0), c(0.0, 0.0)],
+            Gate::Z(_) => [c(1.0, 0.0), c(0.0, 0.0), c(0.0, 0.0), c(-1.0, 0.0)],
+            Gate::T(_) => [
+                c(1.0, 0.0),
+                c(0.0, 0.0),
+                c(0.0, 0.0),
+                Complex64::from_polar(1.0, FRAC_PI_4),
+            ],
+            Gate::Tdg(_) => [
+                c(1.0, 0.0),
+                c(0.0, 0.0),
+                c(0.0, 0.0),
+                Complex64::from_polar(1.0, -FRAC_PI_4),
+            ],
+            Gate::Rx { theta, .. } => {
+                let (ch, sh) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                [c(ch, 0.0), c(0.0, -sh), c(0.0, -sh), c(ch, 0.0)]
+            }
+            Gate::Ry { theta, .. } => {
+                let (ch, sh) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                [c(ch, 0.0), c(-sh, 0.0), c(sh, 0.0), c(ch, 0.0)]
+            }
+            Gate::Rz { theta, .. } => [
+                Complex64::from_polar(1.0, -theta / 2.0),
+                c(0.0, 0.0),
+                c(0.0, 0.0),
+                Complex64::from_polar(1.0, theta / 2.0),
+            ],
+            Gate::Cx { .. } | Gate::Cz(..) => return None,
+        })
+    }
+}
+
+/// One of the four Clifford rotation angles `{0, π/2, π, 3π/2}` that the
+/// CAFQA discrete search draws from (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CliffordAngle {
+    /// θ = 0.
+    Zero,
+    /// θ = π/2.
+    Quarter,
+    /// θ = π.
+    Half,
+    /// θ = 3π/2.
+    ThreeQuarter,
+}
+
+/// All four Clifford angles, in index order.
+pub const CLIFFORD_ANGLES: [CliffordAngle; 4] = [
+    CliffordAngle::Zero,
+    CliffordAngle::Quarter,
+    CliffordAngle::Half,
+    CliffordAngle::ThreeQuarter,
+];
+
+impl CliffordAngle {
+    /// The discrete index `k` with θ = k·π/2.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            CliffordAngle::Zero => 0,
+            CliffordAngle::Quarter => 1,
+            CliffordAngle::Half => 2,
+            CliffordAngle::ThreeQuarter => 3,
+        }
+    }
+
+    /// Builds from a discrete index (mod 4).
+    #[inline]
+    pub fn from_index(k: usize) -> Self {
+        CLIFFORD_ANGLES[k % 4]
+    }
+
+    /// The angle in radians.
+    #[inline]
+    pub fn radians(self) -> f64 {
+        self.index() as f64 * FRAC_PI_2
+    }
+
+    /// Classifies an arbitrary angle as Clifford if it is within `1e-9` of
+    /// a multiple of π/2 (mod 2π).
+    pub fn from_radians(theta: f64) -> Option<Self> {
+        let k = theta / FRAC_PI_2;
+        let rounded = k.round();
+        if (k - rounded).abs() < 1e-9 {
+            Some(CliffordAngle::from_index(rounded.rem_euclid(4.0) as usize))
+        } else {
+            None
+        }
+    }
+}
+
+/// The Pauli rotation axis of a parameterized gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotationAxis {
+    /// `Rx` rotations.
+    X,
+    /// `Ry` rotations.
+    Y,
+    /// `Rz` rotations.
+    Z,
+}
+
+/// Decomposes a Clifford-angle rotation into Clifford gates plus an exact
+/// global phase: `R_axis(k·π/2) = phase · (gate list applied in order)`.
+///
+/// The tableau simulator ignores the phase; the Clifford+T cross-term
+/// engine multiplies it back in.
+///
+/// The identities used (all exact):
+/// `Rz(π/2) = e^{-iπ/4} S`, `Rz(π) = -i Z`, `Rz(3π/2) = e^{-i3π/4} S†`,
+/// `Ry(π/2) = H·Z`, `Ry(π) = -i Y`, `Ry(3π/2) = -(H·X)`,
+/// `Rx(θ) = H · Rz(θ) · H`.
+pub fn clifford_rotation(
+    axis: RotationAxis,
+    qubit: usize,
+    angle: CliffordAngle,
+) -> (Vec<Gate>, Complex64) {
+    // Gate lists are in application (circuit) order: first entry acts first.
+    let phase_s = Complex64::from_polar(1.0, -FRAC_PI_4);
+    let phase_z = Complex64::new(0.0, -1.0);
+    let phase_sdg = Complex64::from_polar(1.0, -3.0 * FRAC_PI_4);
+    match (axis, angle) {
+        (_, CliffordAngle::Zero) => (vec![], Complex64::ONE),
+        (RotationAxis::Z, CliffordAngle::Quarter) => (vec![Gate::S(qubit)], phase_s),
+        (RotationAxis::Z, CliffordAngle::Half) => (vec![Gate::Z(qubit)], phase_z),
+        (RotationAxis::Z, CliffordAngle::ThreeQuarter) => (vec![Gate::Sdg(qubit)], phase_sdg),
+        (RotationAxis::Y, CliffordAngle::Quarter) => {
+            (vec![Gate::Z(qubit), Gate::H(qubit)], Complex64::ONE)
+        }
+        (RotationAxis::Y, CliffordAngle::Half) => (vec![Gate::Y(qubit)], phase_z),
+        (RotationAxis::Y, CliffordAngle::ThreeQuarter) => (
+            vec![Gate::X(qubit), Gate::H(qubit)],
+            Complex64::new(-1.0, 0.0),
+        ),
+        (RotationAxis::X, CliffordAngle::Quarter) => (
+            vec![Gate::H(qubit), Gate::S(qubit), Gate::H(qubit)],
+            phase_s,
+        ),
+        (RotationAxis::X, CliffordAngle::Half) => (vec![Gate::X(qubit)], phase_z),
+        (RotationAxis::X, CliffordAngle::ThreeQuarter) => (
+            vec![Gate::H(qubit), Gate::Sdg(qubit), Gate::H(qubit)],
+            phase_sdg,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_mul(a: &[Complex64; 4], b: &[Complex64; 4]) -> [Complex64; 4] {
+        [
+            a[0] * b[0] + a[1] * b[2],
+            a[0] * b[1] + a[1] * b[3],
+            a[2] * b[0] + a[3] * b[2],
+            a[2] * b[1] + a[3] * b[3],
+        ]
+    }
+
+    fn rotation_gate(axis: RotationAxis, theta: f64) -> Gate {
+        match axis {
+            RotationAxis::X => Gate::Rx { qubit: 0, theta },
+            RotationAxis::Y => Gate::Ry { qubit: 0, theta },
+            RotationAxis::Z => Gate::Rz { qubit: 0, theta },
+        }
+    }
+
+    #[test]
+    fn clifford_rotation_decompositions_are_exact() {
+        for axis in [RotationAxis::X, RotationAxis::Y, RotationAxis::Z] {
+            for angle in CLIFFORD_ANGLES {
+                let reference = rotation_gate(axis, angle.radians())
+                    .single_qubit_unitary()
+                    .unwrap();
+                let (gates, phase) = clifford_rotation(axis, 0, angle);
+                // Compose in application order: matrix = G_k ... G_1.
+                let mut acc = [Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ONE];
+                for g in &gates {
+                    acc = mat_mul(&g.single_qubit_unitary().unwrap(), &acc);
+                }
+                for (i, r) in reference.iter().enumerate() {
+                    let lhs = phase * acc[i];
+                    assert!(
+                        lhs.approx_eq(*r, 1e-12),
+                        "{axis:?} {angle:?} entry {i}: {lhs} vs {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clifford_angle_classification() {
+        assert_eq!(CliffordAngle::from_radians(0.0), Some(CliffordAngle::Zero));
+        assert_eq!(CliffordAngle::from_radians(FRAC_PI_2), Some(CliffordAngle::Quarter));
+        assert_eq!(
+            CliffordAngle::from_radians(3.0 * FRAC_PI_2),
+            Some(CliffordAngle::ThreeQuarter)
+        );
+        assert_eq!(
+            CliffordAngle::from_radians(2.0 * std::f64::consts::PI),
+            Some(CliffordAngle::Zero)
+        );
+        assert_eq!(
+            CliffordAngle::from_radians(-FRAC_PI_2),
+            Some(CliffordAngle::ThreeQuarter)
+        );
+        assert_eq!(CliffordAngle::from_radians(FRAC_PI_4), None);
+    }
+
+    #[test]
+    fn structurally_clifford_detection() {
+        assert!(Gate::H(0).is_structurally_clifford());
+        assert!(Gate::Cx { control: 0, target: 1 }.is_structurally_clifford());
+        assert!(Gate::Ry { qubit: 0, theta: std::f64::consts::PI }.is_structurally_clifford());
+        assert!(!Gate::Ry { qubit: 0, theta: 0.3 }.is_structurally_clifford());
+        assert!(!Gate::T(0).is_structurally_clifford());
+    }
+
+    #[test]
+    fn unitaries_are_unitary() {
+        let gates = [
+            Gate::H(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::Rx { qubit: 0, theta: 0.7 },
+            Gate::Ry { qubit: 0, theta: -1.1 },
+            Gate::Rz { qubit: 0, theta: 2.9 },
+        ];
+        for g in gates {
+            let u = g.single_qubit_unitary().unwrap();
+            let dag = [u[0].conj(), u[2].conj(), u[1].conj(), u[3].conj()];
+            let prod = mat_mul(&dag, &u);
+            assert!(prod[0].approx_eq(Complex64::ONE, 1e-12), "{g:?}");
+            assert!(prod[3].approx_eq(Complex64::ONE, 1e-12), "{g:?}");
+            assert!(prod[1].norm() < 1e-12 && prod[2].norm() < 1e-12, "{g:?}");
+        }
+    }
+
+    #[test]
+    fn qubit_lists() {
+        assert_eq!(Gate::Cx { control: 3, target: 1 }.qubits(), vec![3, 1]);
+        assert_eq!(Gate::Rz { qubit: 2, theta: 0.1 }.qubits(), vec![2]);
+    }
+}

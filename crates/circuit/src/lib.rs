@@ -1,0 +1,31 @@
+//! Quantum circuit IR and hardware-efficient ansatz builders for CAFQA.
+//!
+//! The circuit model is deliberately small: the Clifford generators, the
+//! three parameterized Pauli rotations, and `T`/`T†`. A [`Circuit`] bound
+//! from an [`EfficientSu2`] ansatz at Clifford angles (`k·π/2`) lowers via
+//! [`Circuit::to_clifford_gates`] to primitive Cliffords plus an exact
+//! global phase, which is what the stabilizer simulator and the
+//! Clifford+T stabilizer-rank engine consume.
+//!
+//! # Examples
+//!
+//! ```
+//! use cafqa_circuit::{Ansatz, EfficientSu2};
+//!
+//! // The paper's hardware-efficient ansatz with one entangling layer.
+//! let ansatz = EfficientSu2::new(10, 1);
+//! assert_eq!(ansatz.num_parameters(), 40);
+//! let clifford = ansatz.bind_clifford(&vec![1; 40]);
+//! let (gates, _phase) = clifford.to_clifford_gates().unwrap();
+//! assert!(!gates.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod ansatz;
+mod circuit;
+mod gate;
+
+pub use ansatz::{Ansatz, EfficientSu2, Entanglement};
+pub use circuit::Circuit;
+pub use gate::{clifford_rotation, CliffordAngle, Gate, RotationAxis, CLIFFORD_ANGLES};

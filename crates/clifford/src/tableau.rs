@@ -1,0 +1,410 @@
+//! Aaronson–Gottesman stabilizer tableau simulation.
+//!
+//! This is the classical-simulation workhorse of CAFQA: every candidate
+//! Clifford ansatz in the discrete search is evaluated here, in polynomial
+//! time per the Gottesman–Knill theorem (paper §2.3). Rows are bit-packed
+//! into single `u64` words (the workspace caps registers at 64 qubits; the
+//! paper's largest system is 34).
+
+use std::fmt;
+
+use cafqa_circuit::{Circuit, Gate};
+use cafqa_pauli::{PauliOp, PauliString};
+
+/// Error returned when a circuit contains non-Clifford gates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonCliffordError {
+    /// Number of non-Clifford gates found.
+    pub count: usize,
+}
+
+impl fmt::Display for NonCliffordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "circuit contains {} non-Clifford gate(s)", self.count)
+    }
+}
+
+impl std::error::Error for NonCliffordError {}
+
+/// One row of the tableau: a signed Pauli `(-1)^sign · P(x, z)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Row {
+    x: u64,
+    z: u64,
+    sign: bool,
+}
+
+/// A stabilizer state on `n ≤ 64` qubits, tracked as `n` stabilizer and
+/// `n` destabilizer generators (Aaronson–Gottesman 2004).
+///
+/// # Examples
+///
+/// ```
+/// use cafqa_circuit::Circuit;
+/// use cafqa_clifford::Tableau;
+///
+/// // Bell state: stabilizers ⟨XX, ZZ⟩.
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let t = Tableau::from_circuit(&c).unwrap();
+/// assert_eq!(t.expectation_pauli(&"XX".parse().unwrap()), 1);
+/// assert_eq!(t.expectation_pauli(&"ZZ".parse().unwrap()), 1);
+/// assert_eq!(t.expectation_pauli(&"ZI".parse().unwrap()), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tableau {
+    n: usize,
+    /// Destabilizer rows (indices `0..n`), then stabilizer rows (`n..2n`).
+    rows: Vec<Row>,
+}
+
+impl Tableau {
+    /// The `|0…0⟩` state: stabilizers `Z_i`, destabilizers `X_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 64`.
+    pub fn zero_state(n: usize) -> Self {
+        assert!(n > 0 && n <= 64, "tableau supports 1..=64 qubits");
+        let mut rows = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            rows.push(Row { x: 1 << i, z: 0, sign: false });
+        }
+        for i in 0..n {
+            rows.push(Row { x: 0, z: 1 << i, sign: false });
+        }
+        Tableau { n, rows }
+    }
+
+    /// Runs a Clifford circuit on `|0…0⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonCliffordError`] if the circuit has gates outside the
+    /// Clifford group (T gates or rotations off the π/2 grid).
+    pub fn from_circuit(circuit: &Circuit) -> Result<Self, NonCliffordError> {
+        let (gates, _phase) = circuit
+            .to_clifford_gates()
+            .ok_or(NonCliffordError { count: circuit.non_clifford_count().max(1) })?;
+        let mut t = Tableau::zero_state(circuit.num_qubits());
+        for g in &gates {
+            t.apply_primitive(g);
+        }
+        Ok(t)
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Applies a primitive Clifford gate (`H`, `S`, `S†`, Paulis, `CX`,
+    /// `CZ`). Rotations must be lowered first (see
+    /// [`Circuit::to_clifford_gates`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameterized or T gates.
+    pub fn apply_primitive(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::H(q) => {
+                let m = 1u64 << q;
+                for r in &mut self.rows {
+                    r.sign ^= (r.x & r.z & m) != 0;
+                    let xq = r.x & m;
+                    let zq = r.z & m;
+                    r.x = (r.x & !m) | zq;
+                    r.z = (r.z & !m) | xq;
+                }
+            }
+            Gate::S(q) => {
+                let m = 1u64 << q;
+                for r in &mut self.rows {
+                    r.sign ^= (r.x & r.z & m) != 0;
+                    r.z ^= r.x & m;
+                }
+            }
+            Gate::Sdg(q) => {
+                let m = 1u64 << q;
+                for r in &mut self.rows {
+                    r.sign ^= (r.x & !r.z & m) != 0;
+                    r.z ^= r.x & m;
+                }
+            }
+            Gate::X(q) => {
+                let m = 1u64 << q;
+                for r in &mut self.rows {
+                    r.sign ^= (r.z & m) != 0;
+                }
+            }
+            Gate::Y(q) => {
+                let m = 1u64 << q;
+                for r in &mut self.rows {
+                    r.sign ^= ((r.x ^ r.z) & m) != 0;
+                }
+            }
+            Gate::Z(q) => {
+                let m = 1u64 << q;
+                for r in &mut self.rows {
+                    r.sign ^= (r.x & m) != 0;
+                }
+            }
+            Gate::Cx { control, target } => {
+                let cm = 1u64 << control;
+                let tm = 1u64 << target;
+                for r in &mut self.rows {
+                    let xc = (r.x & cm) != 0;
+                    let zc = (r.z & cm) != 0;
+                    let xt = (r.x & tm) != 0;
+                    let zt = (r.z & tm) != 0;
+                    r.sign ^= xc && zt && (xt == zc);
+                    if xc {
+                        r.x ^= tm;
+                    }
+                    if zt {
+                        r.z ^= cm;
+                    }
+                }
+            }
+            Gate::Cz(a, b) => {
+                // CZ = H(b) · CX(a, b) · H(b).
+                self.apply_primitive(&Gate::H(b));
+                self.apply_primitive(&Gate::Cx { control: a, target: b });
+                self.apply_primitive(&Gate::H(b));
+            }
+            ref other => panic!("apply_primitive got non-primitive gate {other:?}"),
+        }
+    }
+
+    /// The stabilizer generators as signed Pauli strings
+    /// (`(sign, string)`; the state satisfies `(-1)^sign P |ψ⟩ = |ψ⟩`).
+    pub fn stabilizers(&self) -> Vec<(bool, PauliString)> {
+        self.rows[self.n..]
+            .iter()
+            .map(|r| (r.sign, PauliString::from_masks(self.n, r.x, r.z)))
+            .collect()
+    }
+
+    /// Expectation value of a single Pauli string on the stabilizer state:
+    /// exactly `+1`, `-1`, or `0` (paper §3 step 7).
+    ///
+    /// `0` when the string anticommutes with some stabilizer; otherwise the
+    /// string is (up to sign) a product of stabilizer generators, and the
+    /// destabilizer pairing identifies exactly which product.
+    pub fn expectation_pauli(&self, p: &PauliString) -> i8 {
+        assert_eq!(p.num_qubits(), self.n, "pauli width mismatch");
+        let px = p.x_mask();
+        let pz = p.z_mask();
+        let anticommutes =
+            |r: &Row| ((r.x & pz).count_ones() + (r.z & px).count_ones()) % 2 == 1;
+        // Any anticommuting stabilizer ⇒ expectation 0.
+        if self.rows[self.n..].iter().any(anticommutes) {
+            return 0;
+        }
+        // P = ± Π_{i ∈ I} S_i where I = { i : P anticommutes with D_i }.
+        // Accumulate the product with exact phase via PauliString::mul.
+        let mut acc = PauliString::identity(self.n);
+        let mut k: i32 = 0; // phase exponent of i
+        for i in 0..self.n {
+            if anticommutes(&self.rows[i]) {
+                let s = &self.rows[self.n + i];
+                let sp = PauliString::from_masks(self.n, s.x, s.z);
+                let (dk, prod) = acc.mul(&sp);
+                k += dk + if s.sign { 2 } else { 0 };
+                acc = prod;
+            }
+        }
+        debug_assert_eq!(
+            (acc.x_mask(), acc.z_mask()),
+            (px, pz),
+            "destabilizer decomposition failed"
+        );
+        match k.rem_euclid(4) {
+            0 => 1,
+            2 => -1,
+            _ => unreachable!("hermitian pauli product acquired an odd i power"),
+        }
+    }
+
+    /// Expectation value of a Pauli-sum operator: `Σ_k c_k ⟨P_k⟩` with
+    /// each `⟨P_k⟩ ∈ {+1, 0, −1}`.
+    ///
+    /// Only real parts of coefficients contribute (stabilizer expectations
+    /// of Hermitian operators are real).
+    pub fn expectation(&self, op: &PauliOp) -> f64 {
+        assert_eq!(op.num_qubits(), self.n, "operator width mismatch");
+        op.iter()
+            .map(|(p, c)| c.re * f64::from(self.expectation_pauli(p)))
+            .sum()
+    }
+
+    /// Measures qubit `q` in the computational basis, collapsing the state.
+    ///
+    /// Returns the outcome bit. `random_bit` supplies the coin flip for
+    /// non-deterministic outcomes (called only when needed).
+    pub fn measure(&mut self, q: usize, random_bit: &mut impl FnMut() -> bool) -> bool {
+        assert!(q < self.n, "qubit out of range");
+        let m = 1u64 << q;
+        // A stabilizer with X on q ⇒ random outcome.
+        if let Some(p) = (self.n..2 * self.n).find(|&i| self.rows[i].x & m != 0) {
+            let outcome = random_bit();
+            // Replace every other row anticommuting with Z_q by row·rows[p].
+            for i in 0..2 * self.n {
+                if i != p && self.rows[i].x & m != 0 {
+                    self.row_mul_into(i, p);
+                }
+            }
+            // Destabilizer p−n becomes the old stabilizer; stabilizer p
+            // becomes ±Z_q.
+            self.rows[p - self.n] = self.rows[p];
+            self.rows[p] = Row { x: 0, z: m, sign: outcome };
+            outcome
+        } else {
+            // Deterministic: ±Z_q is in the stabilizer group; recover its
+            // sign through the destabilizer pairing, like expectation_pauli.
+            let sign = self.expectation_pauli(&PauliString::from_masks(
+                self.n,
+                0,
+                m,
+            ));
+            debug_assert!(sign != 0);
+            sign < 0
+        }
+    }
+
+    /// Replaces row `i` by `row_i · row_j`, with exact sign tracking.
+    fn row_mul_into(&mut self, i: usize, j: usize) {
+        let a = self.rows[i];
+        let b = self.rows[j];
+        let pa = PauliString::from_masks(self.n, a.x, a.z);
+        let pb = PauliString::from_masks(self.n, b.x, b.z);
+        let (k, prod) = pa.mul(&pb);
+        let k = k + if a.sign { 2 } else { 0 } + if b.sign { 2 } else { 0 };
+        debug_assert!(k.rem_euclid(2) == 0 || true);
+        self.rows[i] = Row {
+            x: prod.x_mask(),
+            z: prod.z_mask(),
+            sign: k.rem_euclid(4) == 2,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> Tableau {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        Tableau::from_circuit(&c).unwrap()
+    }
+
+    #[test]
+    fn zero_state_stabilizers() {
+        let t = Tableau::zero_state(3);
+        for q in 0..3 {
+            let z = PauliString::single(3, q, cafqa_pauli::Pauli::Z);
+            assert_eq!(t.expectation_pauli(&z), 1);
+            let x = PauliString::single(3, q, cafqa_pauli::Pauli::X);
+            assert_eq!(t.expectation_pauli(&x), 0);
+        }
+    }
+
+    #[test]
+    fn bell_state_expectations() {
+        let t = bell();
+        let e = |s: &str| t.expectation_pauli(&s.parse().unwrap());
+        assert_eq!(e("XX"), 1);
+        assert_eq!(e("ZZ"), 1);
+        assert_eq!(e("YY"), -1);
+        assert_eq!(e("XY"), 0);
+        assert_eq!(e("IZ"), 0);
+        assert_eq!(e("II"), 1);
+    }
+
+    #[test]
+    fn minus_state_from_x_then_h() {
+        let mut c = Circuit::new(1);
+        c.x(0).h(0); // |−⟩
+        let t = Tableau::from_circuit(&c).unwrap();
+        assert_eq!(t.expectation_pauli(&"X".parse().unwrap()), -1);
+        assert_eq!(t.expectation_pauli(&"Z".parse().unwrap()), 0);
+    }
+
+    #[test]
+    fn s_gate_turns_plus_into_plus_i() {
+        let mut c = Circuit::new(1);
+        c.h(0).s(0); // |+i⟩, stabilized by +Y.
+        let t = Tableau::from_circuit(&c).unwrap();
+        assert_eq!(t.expectation_pauli(&"Y".parse().unwrap()), 1);
+        c.sdg(0).sdg(0); // net S† on |+⟩ → |−i⟩.
+        let t = Tableau::from_circuit(&c).unwrap();
+        assert_eq!(t.expectation_pauli(&"Y".parse().unwrap()), -1);
+    }
+
+    #[test]
+    fn ghz_parity() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+        let t = Tableau::from_circuit(&c).unwrap();
+        assert_eq!(t.expectation_pauli(&"XXXX".parse().unwrap()), 1);
+        assert_eq!(t.expectation_pauli(&"ZZII".parse().unwrap()), 1);
+        assert_eq!(t.expectation_pauli(&"ZIII".parse().unwrap()), 0);
+        assert_eq!(t.expectation_pauli(&"YYXX".parse().unwrap()), -1);
+    }
+
+    #[test]
+    fn operator_expectation_sums_terms() {
+        let t = bell();
+        let h: PauliOp = "0.5*XX - 0.25*YY + 3.0*IZ".parse().unwrap();
+        assert!((t.expectation(&h) - (0.5 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_clifford() {
+        let mut c = Circuit::new(1);
+        c.ry(0, 0.3);
+        assert!(Tableau::from_circuit(&c).is_err());
+    }
+
+    #[test]
+    fn clifford_rotations_accepted() {
+        let mut c = Circuit::new(2);
+        c.ry(0, std::f64::consts::FRAC_PI_2)
+            .rz(1, std::f64::consts::PI)
+            .rx(0, 3.0 * std::f64::consts::FRAC_PI_2)
+            .cx(0, 1);
+        assert!(Tableau::from_circuit(&c).is_ok());
+    }
+
+    #[test]
+    fn deterministic_measurement() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let mut t = Tableau::from_circuit(&c).unwrap();
+        let mut flips = || panic!("deterministic measurement should not flip coins");
+        assert!(t.measure(0, &mut flips));
+        let mut flips = || panic!("deterministic measurement should not flip coins");
+        assert!(!t.measure(1, &mut flips));
+    }
+
+    #[test]
+    fn random_measurement_collapses() {
+        let mut t = bell();
+        let mut coin = || true;
+        let b0 = t.measure(0, &mut coin);
+        // After measuring qubit 0, qubit 1 is perfectly correlated.
+        let mut flips = || panic!("collapsed qubit must be deterministic");
+        let b1 = t.measure(1, &mut flips);
+        assert_eq!(b0, b1);
+    }
+
+    #[test]
+    fn y_gate_signs() {
+        let mut c = Circuit::new(1);
+        c.y(0); // |1⟩ up to phase: ⟨Z⟩ = −1.
+        let t = Tableau::from_circuit(&c).unwrap();
+        assert_eq!(t.expectation_pauli(&"Z".parse().unwrap()), -1);
+    }
+}

@@ -1,0 +1,160 @@
+//! The paper's evaluation metrics (§6 "Evaluation Metrics").
+
+use serde::Serialize;
+
+/// Chemical accuracy: 1.6·10⁻³ Hartree (paper §2.1).
+pub const CHEMICAL_ACCURACY: f64 = 1.6e-3;
+
+/// Floor applied to error ratios so a numerically-exact CAFQA result
+/// yields a large but finite relative accuracy (the paper reports up to
+/// 3.4·10⁵×).
+pub const ERROR_FLOOR: f64 = 1e-9;
+
+/// Energy-estimation accuracy: `|estimate − exact|` in Hartree (metric 2).
+pub fn energy_error(estimate: f64, exact: f64) -> f64 {
+    (estimate - exact).abs()
+}
+
+/// Percentage of the correlation energy `E_HF − E_exact` recovered by an
+/// estimate (metric 3), clamped to `[0, 100]`.
+pub fn correlation_recovered(estimate: f64, hf: f64, exact: f64) -> f64 {
+    let denom = hf - exact;
+    if denom.abs() < 1e-12 {
+        return 100.0;
+    }
+    (100.0 * (hf - estimate) / denom).clamp(0.0, 100.0)
+}
+
+/// Relative accuracy of CAFQA vs the state-of-the-art HF baseline
+/// (metric 4): `err_HF / err_CAFQA`, error-floored.
+pub fn relative_accuracy(hf_error: f64, cafqa_error: f64) -> f64 {
+    hf_error.max(ERROR_FLOOR) / cafqa_error.max(ERROR_FLOOR)
+}
+
+/// Geometric mean of positive values (Fig. 13's "Geomean" bar).
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive values.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean needs positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Per-bond-length record for dissociation-curve experiments
+/// (Figs. 8–11): every number the three panel rows need.
+#[derive(Debug, Clone, Serialize)]
+pub struct DissociationPoint {
+    /// Bond length in Å.
+    pub bond: f64,
+    /// CAFQA initialization energy.
+    pub cafqa: f64,
+    /// Hartree-Fock energy.
+    pub hf: f64,
+    /// Exact (FCI) energy, when available.
+    pub exact: Option<f64>,
+    /// Whether SCF converged at this geometry.
+    pub scf_converged: bool,
+}
+
+impl DissociationPoint {
+    /// CAFQA error vs exact.
+    pub fn cafqa_error(&self) -> Option<f64> {
+        self.exact.map(|e| energy_error(self.cafqa, e))
+    }
+
+    /// HF error vs exact.
+    pub fn hf_error(&self) -> Option<f64> {
+        self.exact.map(|e| energy_error(self.hf, e))
+    }
+
+    /// Correlation energy recovered by CAFQA over HF (%).
+    pub fn recovered(&self) -> Option<f64> {
+        self.exact.map(|e| correlation_recovered(self.cafqa, self.hf, e))
+    }
+
+    /// Relative accuracy vs HF at this point.
+    pub fn relative(&self) -> Option<f64> {
+        match (self.hf_error(), self.cafqa_error()) {
+            (Some(h), Some(c)) => Some(relative_accuracy(h, c)),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregates per-molecule relative accuracies into the paper's Fig. 13
+/// "Average" and "Maximum" bars.
+pub fn summarize_relative(points: &[DissociationPoint]) -> Option<(f64, f64)> {
+    let rel: Vec<f64> = points.iter().filter_map(DissociationPoint::relative).collect();
+    if rel.is_empty() {
+        return None;
+    }
+    let avg = rel.iter().sum::<f64>() / rel.len() as f64;
+    let max = rel.iter().cloned().fold(f64::MIN, f64::max);
+    Some((avg, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_recovery_bounds() {
+        // HF −1.0, exact −1.2: estimate at exact recovers 100%.
+        assert_eq!(correlation_recovered(-1.2, -1.0, -1.2), 100.0);
+        assert_eq!(correlation_recovered(-1.0, -1.0, -1.2), 0.0);
+        assert!((correlation_recovered(-1.1, -1.0, -1.2) - 50.0).abs() < 1e-12);
+        // Below-exact estimates clamp at 100.
+        assert_eq!(correlation_recovered(-1.3, -1.0, -1.2), 100.0);
+    }
+
+    #[test]
+    fn relative_accuracy_floors_tiny_errors() {
+        let r = relative_accuracy(1e-1, 0.0);
+        assert!(r.is_finite());
+        assert!(r >= 1e7);
+        assert!((relative_accuracy(0.2, 0.1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_matches_paper_style() {
+        assert!((geometric_mean(&[4.0, 16.0]) - 8.0).abs() < 1e-12);
+        assert!((geometric_mean(&[6.4]) - 6.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dissociation_point_metrics() {
+        let p = DissociationPoint {
+            bond: 2.0,
+            cafqa: -1.19,
+            hf: -1.0,
+            exact: Some(-1.2),
+            scf_converged: true,
+        };
+        assert!((p.cafqa_error().unwrap() - 0.01).abs() < 1e-12);
+        assert!((p.hf_error().unwrap() - 0.2).abs() < 1e-12);
+        assert!((p.recovered().unwrap() - 95.0).abs() < 1e-9);
+        assert!((p.relative().unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_over_points() {
+        let mk = |cafqa: f64| DissociationPoint {
+            bond: 1.0,
+            cafqa,
+            hf: -1.0,
+            exact: Some(-1.2),
+            scf_converged: true,
+        };
+        let (avg, max) = summarize_relative(&[mk(-1.19), mk(-1.15)]).unwrap();
+        assert!(max >= avg);
+        assert!(summarize_relative(&[]).is_none());
+    }
+}

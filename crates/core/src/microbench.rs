@@ -1,0 +1,75 @@
+//! The paper's Fig. 5 microbenchmark: a 2-qubit XX Hamiltonian with a
+//! one-parameter hardware-efficient ansatz.
+
+use cafqa_circuit::{Ansatz, Circuit};
+use cafqa_pauli::PauliOp;
+
+/// The one-parameter ansatz of Fig. 5: `Ry(θ)` on qubit 0 followed by a
+/// `CX(0, 1)` entangler, giving `⟨XX⟩ = sin θ` exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XxMicrobenchAnsatz;
+
+impl Ansatz for XxMicrobenchAnsatz {
+    fn num_qubits(&self) -> usize {
+        2
+    }
+
+    fn num_parameters(&self) -> usize {
+        1
+    }
+
+    fn bind(&self, params: &[f64]) -> Circuit {
+        assert_eq!(params.len(), 1, "microbenchmark has one parameter");
+        let mut c = Circuit::new(2);
+        c.ry(0, params[0]).cx(0, 1);
+        c
+    }
+}
+
+/// The 2-qubit `XX` Hamiltonian.
+pub fn xx_hamiltonian() -> PauliOp {
+    "XX".parse().expect("static operator parses")
+}
+
+/// The Hartree-Fock value for the XX system: the best computational basis
+/// state. XX has no diagonal component, so HF is stuck at zero — the
+/// microbenchmark's illustration of "pure correlation energy" (paper
+/// §4.1 point 3).
+pub fn hf_value() -> f64 {
+    let h = xx_hamiltonian();
+    (0u64..4).map(|b| h.expectation_basis(b)).fold(f64::MAX, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::CliffordObjective;
+    use cafqa_sim::Statevector;
+
+    #[test]
+    fn ideal_curve_is_sine() {
+        let ansatz = XxMicrobenchAnsatz;
+        let h = xx_hamiltonian();
+        for k in 0..16 {
+            let theta = k as f64 / 16.0 * std::f64::consts::TAU;
+            let psi = Statevector::from_circuit(&ansatz.bind(&[theta]));
+            assert!((psi.expectation(&h).re - theta.sin()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hf_is_stuck_at_zero() {
+        assert_eq!(hf_value(), 0.0);
+    }
+
+    #[test]
+    fn clifford_points_hit_global_minimum() {
+        // Paper §4.1 point 4: of the four Clifford points, one reaches the
+        // global minimum −1 (θ = 3π/2).
+        let ansatz = XxMicrobenchAnsatz;
+        let h = xx_hamiltonian();
+        let objective = CliffordObjective::new(&ansatz, &h);
+        let values: Vec<f64> = (0..4).map(|k| objective.evaluate(&[k]).energy).collect();
+        assert_eq!(values, vec![0.0, 1.0, 0.0, -1.0]);
+    }
+}

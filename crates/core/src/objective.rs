@@ -1,0 +1,208 @@
+//! The CAFQA classical objective: stabilizer-state energy plus sector
+//! penalties, evaluated by tableau simulation (paper §3, steps 2–7).
+
+use cafqa_circuit::Ansatz;
+use cafqa_clifford::Tableau;
+use cafqa_linalg::Complex64;
+use cafqa_pauli::{PauliOp, PauliString};
+
+/// A quadratic sector penalty `weight · ⟨(O − target)²⟩`, the paper's
+/// mechanism for imposing electron-count (and spin) preservation directly
+/// on the objective function (§3 step 5, §7.1.1 for the H2+ cation).
+#[derive(Debug, Clone)]
+pub struct Penalty {
+    /// Human-readable label ("electron count", "sz", …).
+    pub label: String,
+    /// The squared shifted operator `(O − target)²`, precomputed.
+    squared: PauliOp,
+    /// Penalty weight.
+    pub weight: f64,
+}
+
+impl Penalty {
+    /// Builds a penalty from the operator, its target eigenvalue and a
+    /// weight. The squared operator is formed once, symbolically.
+    pub fn new(label: impl Into<String>, op: &PauliOp, target: f64, weight: f64) -> Self {
+        let mut shifted = op.clone();
+        shifted.add_term(
+            Complex64::from(-target),
+            PauliString::identity(op.num_qubits()),
+        );
+        let squared = shifted.mul_op(&shifted).pruned(1e-12);
+        Penalty { label: label.into(), squared, weight }
+    }
+
+    /// The penalty value on a prepared stabilizer state.
+    pub fn value(&self, tableau: &Tableau) -> f64 {
+        self.weight * tableau.expectation(&self.squared)
+    }
+
+    /// The penalty operator (for non-stabilizer evaluation paths).
+    pub fn squared_op(&self) -> &PauliOp {
+        &self.squared
+    }
+}
+
+/// The classical evaluation of one Clifford-ansatz configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectiveValue {
+    /// The raw Hamiltonian expectation `⟨H⟩` (what gets reported).
+    pub energy: f64,
+    /// `⟨H⟩` plus all penalties (what gets minimized).
+    pub penalized: f64,
+}
+
+/// Hamiltonians above this term count are evaluated with worker threads.
+const PARALLEL_TERM_THRESHOLD: usize = 4096;
+
+/// The CAFQA objective: binds discrete Clifford indices into the ansatz,
+/// simulates the stabilizer state, and returns `⟨H⟩` plus penalties.
+pub struct CliffordObjective<'a> {
+    ansatz: &'a dyn Ansatz,
+    hamiltonian: &'a PauliOp,
+    /// Flat copy of the Hamiltonian for chunked parallel evaluation.
+    terms: Vec<(PauliString, f64)>,
+    penalties: Vec<Penalty>,
+}
+
+impl<'a> CliffordObjective<'a> {
+    /// Creates the objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Hamiltonian width differs from the ansatz width.
+    pub fn new(ansatz: &'a dyn Ansatz, hamiltonian: &'a PauliOp) -> Self {
+        assert_eq!(
+            ansatz.num_qubits(),
+            hamiltonian.num_qubits(),
+            "ansatz/hamiltonian width mismatch"
+        );
+        let terms = hamiltonian.iter().map(|(p, c)| (*p, c.re)).collect();
+        CliffordObjective { ansatz, hamiltonian, terms, penalties: Vec::new() }
+    }
+
+    /// `⟨H⟩` on a prepared tableau, chunked over worker threads for the
+    /// large Hamiltonians of the 18/34-qubit systems (DESIGN.md §5).
+    fn hamiltonian_expectation(&self, tableau: &Tableau) -> f64 {
+        if self.terms.len() < PARALLEL_TERM_THRESHOLD {
+            return self
+                .terms
+                .iter()
+                .map(|(p, c)| c * f64::from(tableau.expectation_pauli(p)))
+                .sum();
+        }
+        let workers = std::thread::available_parallelism().map_or(2, |n| n.get()).min(8);
+        let chunk = self.terms.len().div_ceil(workers);
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = self
+                .terms
+                .chunks(chunk)
+                .map(|terms| {
+                    scope.spawn(move |_| {
+                        terms
+                            .iter()
+                            .map(|(p, c)| c * f64::from(tableau.expectation_pauli(p)))
+                            .sum::<f64>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        })
+        .expect("crossbeam scope")
+    }
+
+    /// Adds a sector penalty.
+    pub fn with_penalty(mut self, penalty: Penalty) -> Self {
+        assert_eq!(
+            penalty.squared.num_qubits(),
+            self.hamiltonian.num_qubits(),
+            "penalty width mismatch"
+        );
+        self.penalties.push(penalty);
+        self
+    }
+
+    /// Number of discrete search parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.ansatz.num_parameters()
+    }
+
+    /// Evaluates one discrete configuration (indices into the four
+    /// Clifford angles). Exact, noise-free, and polynomial-time — the
+    /// whole point of the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` has the wrong length (ansatz contract).
+    pub fn evaluate(&self, config: &[usize]) -> ObjectiveValue {
+        let circuit = self.ansatz.bind_clifford(config);
+        let tableau = Tableau::from_circuit(&circuit)
+            .expect("clifford-bound ansatz must be a Clifford circuit");
+        let energy = self.hamiltonian_expectation(&tableau);
+        let penalized =
+            energy + self.penalties.iter().map(|p| p.value(&tableau)).sum::<f64>();
+        ObjectiveValue { energy, penalized }
+    }
+
+    /// Per-Pauli-term expectations of the Hamiltonian on a configuration,
+    /// in deterministic term order — the data behind the paper's Fig. 6.
+    pub fn term_expectations(&self, config: &[usize]) -> Vec<(PauliString, f64, i8)> {
+        let circuit = self.ansatz.bind_clifford(config);
+        let tableau = Tableau::from_circuit(&circuit)
+            .expect("clifford-bound ansatz must be a Clifford circuit");
+        self.hamiltonian
+            .iter()
+            .map(|(p, c)| (*p, c.re, tableau.expectation_pauli(p)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cafqa_circuit::EfficientSu2;
+
+    #[test]
+    fn xx_microbenchmark_reaches_minus_one() {
+        // Paper Fig. 5: the 2-qubit XX Hamiltonian has a Clifford point at
+        // the global minimum −1.
+        let h: PauliOp = "XX".parse().unwrap();
+        let ansatz = EfficientSu2::new(2, 1);
+        let objective = CliffordObjective::new(&ansatz, &h);
+        let mut best = f64::INFINITY;
+        // Exhaust the first-layer RY on qubit 0 with everything else 0.
+        for k in 0..4 {
+            let mut cfg = vec![0usize; 8];
+            cfg[0] = k;
+            best = best.min(objective.evaluate(&cfg).energy);
+        }
+        assert_eq!(best, -1.0);
+    }
+
+    #[test]
+    fn penalty_pushes_off_sector_states_up() {
+        // Penalize ⟨(Z − 1)²⟩ on a 1-qubit problem: |1⟩ (Z = −1) costs 4w.
+        let h: PauliOp = "0*I".parse().unwrap();
+        let z: PauliOp = "Z".parse().unwrap();
+        let ansatz = EfficientSu2::new(1, 0);
+        let objective = CliffordObjective::new(&ansatz, &h)
+            .with_penalty(Penalty::new("test", &z, 1.0, 0.5));
+        // Ry(π) flips to |1⟩.
+        let flipped = objective.evaluate(&[2, 0]);
+        assert!((flipped.penalized - 2.0).abs() < 1e-12, "{flipped:?}");
+        let stay = objective.evaluate(&[0, 0]);
+        assert!(stay.penalized.abs() < 1e-12);
+        // Raw energy is untouched by penalties.
+        assert_eq!(flipped.energy, 0.0);
+    }
+
+    #[test]
+    fn term_expectations_are_quantized() {
+        let h: PauliOp = "0.5*XX + 0.25*ZZ - 0.1*YI".parse().unwrap();
+        let ansatz = EfficientSu2::new(2, 1);
+        let objective = CliffordObjective::new(&ansatz, &h);
+        for (_, _, e) in objective.term_expectations(&[1, 2, 3, 0, 1, 2, 3, 0]) {
+            assert!(e == -1 || e == 0 || e == 1);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Fig. 6: per-Pauli-term expectation values for LiH at 4.8 Å — HF vs the
+//! CAFQA Clifford ansatz vs exact, with the paper's term classification.
+
+use cafqa_chem::{qubit_ground_energy, ChemPipeline, MoleculeKind, ScfKind};
+use cafqa_core::{CafqaOptions, CliffordObjective, MolecularCafqa};
+use cafqa_experiments::{print_table, run_cfg};
+use cafqa_linalg::lanczos::{self, LanczosOptions};
+use cafqa_pauli::PauliOp;
+
+fn main() {
+    let cfg = run_cfg();
+    let pipe = ChemPipeline::build(MoleculeKind::LiH, 4.8, &ScfKind::Rhf).unwrap();
+    let (na, nb) = pipe.default_sector();
+    let problem = pipe.problem(na, nb, true).unwrap();
+    let hf_bits = problem.hf_bits;
+    let h = problem.hamiltonian.clone();
+    let runner = MolecularCafqa::new(problem);
+    let mut opts = CafqaOptions { warmup: 200, iterations: 400, ..Default::default() };
+    if cfg.quick {
+        opts.warmup = 100;
+        opts.iterations = 150;
+    }
+    let result = runner.run(&opts);
+    // Exact ground-state vector for per-term exact expectations.
+    let exact_state = exact_ground_state(&h);
+    let objective = CliffordObjective::new(&runner.ansatz, &h);
+    let cafqa_terms = objective.term_expectations(&result.best_config);
+    let mut rows = Vec::new();
+    let mut counts = (0usize, 0usize, 0usize);
+    for (p, _coeff, cafqa_e) in &cafqa_terms {
+        let hf_e = p.expectation_basis(hf_bits);
+        let exact_e = pauli_expectation(&exact_state, p);
+        let class = if p.is_diagonal() {
+            counts.0 += 1;
+            "computational-basis"
+        } else if *cafqa_e != 0 {
+            counts.1 += 1;
+            "cafqa-selected"
+        } else {
+            counts.2 += 1;
+            "beyond-clifford"
+        };
+        rows.push(vec![
+            p.to_string(),
+            format!("{hf_e:+.0}"),
+            format!("{cafqa_e:+}"),
+            format!("{exact_e:+.4}"),
+            class.to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 6: LiH @ 4.8 Å per-Pauli-term expectations",
+        &["pauli", "hartree_fock", "cafqa", "exact", "class"],
+        &rows,
+    );
+    println!(
+        "summary: {} diagonal terms, {} non-diagonal selected by CAFQA, {} beyond Clifford reach",
+        counts.0, counts.1, counts.2
+    );
+    println!(
+        "summary: E_HF={:.6} E_CAFQA={:.6} E_exact={:.6}",
+        runner.problem().hf_energy,
+        result.energy,
+        runner.problem().exact_energy.unwrap_or(f64::NAN)
+    );
+    assert!(counts.1 > 0, "CAFQA must select non-diagonal terms (paper's key point)");
+}
+
+/// Ground-state vector via Lanczos on the real computational-basis matrix.
+fn exact_ground_state(h: &PauliOp) -> Vec<f64> {
+    let terms = h.real_basis_terms(1e-9).expect("molecular H is real");
+    let dim = 1usize << h.num_qubits();
+    let apply = move |x: &[f64], y: &mut [f64]| {
+        for &(f, xm, zm) in &terms {
+            for b in 0..dim {
+                if x[b] == 0.0 {
+                    continue;
+                }
+                let sign = if (zm & b as u64).count_ones() % 2 == 0 { f } else { -f };
+                y[b ^ xm as usize] += sign * x[b];
+            }
+        }
+    };
+    let check = qubit_ground_energy(h).unwrap();
+    let pair = lanczos::lowest_eigenpair(&(dim, apply), &LanczosOptions::default()).unwrap();
+    assert!((pair.value - check).abs() < 1e-6);
+    pair.vector
+}
+
+fn pauli_expectation(state: &[f64], p: &cafqa_pauli::PauliString) -> f64 {
+    // Real ground state: ⟨ψ|P|ψ⟩ with the real part of i^{k} phases.
+    let mut acc = 0.0;
+    let base_k = p.y_count() as i32;
+    for (b, &amp) in state.iter().enumerate() {
+        if amp == 0.0 {
+            continue;
+        }
+        let (b2, _) = p.apply_to_basis(b as u64);
+        let sign = if (p.z_mask() & b as u64).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+        let phase_re = match base_k.rem_euclid(4) {
+            0 => 1.0,
+            2 => -1.0,
+            _ => 0.0, // odd #Y: imaginary matrix elements, zero on real states
+        };
+        acc += state[b2 as usize] * sign * phase_re * amp;
+    }
+    acc
+}

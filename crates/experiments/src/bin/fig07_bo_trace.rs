@@ -1,0 +1,51 @@
+//! Fig. 7: the CAFQA discrete-search trace for H2O at 4 Å — 1000 random
+//! warm-up iterations, then Bayesian search into chemical accuracy.
+
+use cafqa_chem::{ChemPipeline, MoleculeKind, ScfKind};
+use cafqa_core::metrics::CHEMICAL_ACCURACY;
+use cafqa_core::{CafqaOptions, MolecularCafqa};
+use cafqa_experiments::{print_table, run_cfg};
+
+fn main() {
+    let cfg = run_cfg();
+    let pipe = ChemPipeline::build(MoleculeKind::H2O, 4.0, &ScfKind::Rhf).unwrap();
+    let (na, nb) = pipe.default_sector();
+    let problem = pipe.problem(na, nb, true).unwrap();
+    let exact = problem.exact_energy.expect("H2O active space is FCI-feasible");
+    if !problem.scf_converged {
+        println!("note: SCF did not fully converge at 4 Å (the paper hit the same with Psi4)");
+    }
+    let runner = MolecularCafqa::new(problem);
+    let (warmup, iterations) = if cfg.quick { (600, 400) } else { (1000, 600) };
+    let opts = CafqaOptions { warmup, iterations, ..Default::default() };
+    let result = runner.run(&opts);
+    let trace = result.best_energy_trace();
+    let stride = (trace.len() / 60).max(1);
+    let rows: Vec<Vec<String>> = trace
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0 || *i + 1 == trace.len())
+        .map(|(i, e)| {
+            let err = (e - exact).abs().max(1e-12);
+            vec![
+                (i + 1).to_string(),
+                format!("{e:.6}"),
+                format!("{err:.3e}"),
+                if i < warmup { "warmup".into() } else { "bo-search".into() },
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 7: H2O @ 4 Å BO search trace (best-so-far)",
+        &["iteration", "best_energy", "error_hartree", "phase"],
+        &rows,
+    );
+    let final_err = (result.energy - exact).abs();
+    println!(
+        "summary: final_error={final_err:.3e} Ha, chemical_accuracy={CHEMICAL_ACCURACY:.1e}, \
+         within_chem_acc={}, iterations_to_best={}",
+        final_err <= CHEMICAL_ACCURACY,
+        result.iterations_to_best
+    );
+    println!("paper: reaches chemical accuracy ~600 iterations after a 1000-iteration warmup");
+}

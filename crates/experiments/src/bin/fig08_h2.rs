@@ -1,0 +1,41 @@
+//! Fig. 8: H2 dissociation curves (energy / accuracy / correlation
+//! recovered) plus the electron-count-constrained H2+ cation curve.
+
+use cafqa_chem::{ChemPipeline, MoleculeKind, ScfKind};
+use cafqa_core::{CafqaOptions, MolecularCafqa};
+use cafqa_experiments::{bond_sweep, dissociation, print_dissociation, print_table, run_cfg};
+
+fn main() {
+    let cfg = run_cfg();
+    let points = dissociation(MoleculeKind::H2, cfg);
+    print_dissociation("Fig. 8: H2", &points);
+    // H2+ cation: same orbitals, 1-electron sector, N-penalty on the
+    // objective (paper §7.1.1).
+    let mut rows = Vec::new();
+    for bond in bond_sweep(MoleculeKind::H2, cfg.quick) {
+        let pipe = ChemPipeline::build(MoleculeKind::H2, bond, &ScfKind::Rhf).unwrap();
+        let cation = pipe.problem(1, 0, true).unwrap();
+        let exact = cation.exact_energy.unwrap();
+        let runner = MolecularCafqa::new(cation);
+        let opts = CafqaOptions {
+            warmup: if cfg.quick { 80 } else { 150 },
+            iterations: if cfg.quick { 120 } else { 300 },
+            number_penalty: 2.0,
+            ..Default::default()
+        };
+        let result = runner.run(&opts);
+        rows.push(vec![
+            format!("{bond:.3}"),
+            format!("{:.6}", result.energy),
+            format!("{exact:.6}"),
+            format!("{:.2e}", (result.energy - exact).abs()),
+        ]);
+    }
+    print_table(
+        "Fig. 8a inset: H2+ cation via CAFQA electron-count constraint",
+        &["bond_A", "E_CAFQA_cation", "E_exact_cation", "err"],
+        &rows,
+    );
+    let max_recovered = points.iter().filter_map(|p| p.recovered()).fold(0.0, f64::max);
+    println!("summary: max correlation recovered = {max_recovered:.2}% (paper: up to 99.7%)");
+}

@@ -1,0 +1,58 @@
+//! Fig. 10: H2O dissociation with the singlet/triplet crossing — CAFQA(s)
+//! from the RHF singlet Hamiltonian, CAFQA(t) from a UHF triplet
+//! Hamiltonian, overall CAFQA = min of the two.
+
+use cafqa_chem::{ChemPipeline, MoleculeKind, ScfKind};
+use cafqa_core::MolecularCafqa;
+use cafqa_experiments::{bond_sweep, cafqa_budget, print_table, run_cfg};
+
+fn main() {
+    let cfg = run_cfg();
+    let kind = MoleculeKind::H2O;
+    let mut rows = Vec::new();
+    for bond in bond_sweep(kind, cfg.quick) {
+        // Singlet (RHF) branch.
+        let singlet = ChemPipeline::build(kind, bond, &ScfKind::Rhf).unwrap();
+        let (na, nb) = singlet.default_sector();
+        let sp = singlet.problem(na, nb, true).unwrap();
+        let s_exact = sp.exact_energy;
+        let s_hf = sp.hf_energy;
+        let s_conv = sp.scf_converged;
+        let s_runner = MolecularCafqa::new(sp);
+        let s_result = s_runner.run(&cafqa_budget(kind, cfg.quick));
+        // Triplet (UHF) branch: 6α/4β.
+        let triplet_kind = ScfKind::Uhf { n_alpha: 6, n_beta: 4, guess_mix: 0.3 };
+        let (t_energy, t_conv) = match ChemPipeline::build(kind, bond, &triplet_kind) {
+            Ok(pipe) => {
+                let tp = pipe.problem(6, 4, false).unwrap();
+                let conv = tp.scf_converged;
+                let runner = MolecularCafqa::new(tp);
+                let mut opts = cafqa_budget(kind, cfg.quick);
+                opts.sz_penalty = 0.5;
+                (runner.run(&opts).energy, conv)
+            }
+            Err(e) => {
+                eprintln!("  [warn] triplet UHF failed at {bond:.2} Å: {e}");
+                (f64::INFINITY, false)
+            }
+        };
+        let combined = s_result.energy.min(t_energy);
+        rows.push(vec![
+            format!("{bond:.3}"),
+            format!("{s_hf:.6}"),
+            format!("{:.6}", s_result.energy),
+            if t_energy.is_finite() { format!("{t_energy:.6}") } else { "n/a".into() },
+            format!("{combined:.6}"),
+            s_exact.map_or("n/a".into(), |e| format!("{e:.6}")),
+            s_exact.map_or("n/a".into(), |e| format!("{:.2e}", (combined - e).abs())),
+            format!("{}{}", if s_conv { "s" } else { "-" }, if t_conv { "t" } else { "-" }),
+        ]);
+    }
+    print_table(
+        "Fig. 10: H2O dissociation with singlet/triplet branches",
+        &["bond_A", "E_HF", "CAFQA_s", "CAFQA_t", "CAFQA", "exact_singlet", "err", "scf"],
+        &rows,
+    );
+    println!("paper: kink near 1.5 Å from the singlet/triplet crossing; CAFQA reaches");
+    println!("       chemical accuracy at stretched geometries (up to 99.998% recovered)");
+}

@@ -1,0 +1,61 @@
+//! Fig. 11: H6 chain dissociation, with the paper's "opt." variant taking
+//! the best estimate over spin-sector-optimized Hamiltonians.
+
+use cafqa_chem::{ChemPipeline, MoleculeKind, ScfKind};
+use cafqa_core::metrics::correlation_recovered;
+use cafqa_core::MolecularCafqa;
+use cafqa_experiments::{bond_sweep, cafqa_budget, print_table, run_cfg};
+
+fn main() {
+    let cfg = run_cfg();
+    let kind = MoleculeKind::H6;
+    let mut rows = Vec::new();
+    for bond in bond_sweep(kind, cfg.quick) {
+        let singlet = ChemPipeline::build(kind, bond, &ScfKind::Rhf).unwrap();
+        let (na, nb) = singlet.default_sector();
+        let sp = singlet.problem(na, nb, true).unwrap();
+        let exact = sp.exact_energy;
+        let hf = sp.hf_energy;
+        let s_runner = MolecularCafqa::new(sp);
+        let s_result = s_runner.run(&cafqa_budget(kind, cfg.quick));
+        // "opt.": also try broken-symmetry UHF singlet and UHF triplet
+        // Hamiltonians, take the lowest estimate (paper §7.1.4).
+        let mut best_opt = s_result.energy;
+        let mut best_hf_opt = hf;
+        for (na_s, nb_s, mix) in [(3usize, 3usize, 0.4), (4, 2, 0.3)] {
+            let sk = ScfKind::Uhf { n_alpha: na_s, n_beta: nb_s, guess_mix: mix };
+            if let Ok(pipe) = ChemPipeline::build(kind, bond, &sk) {
+                if let Ok(p) = pipe.problem(na_s, nb_s, false) {
+                    best_hf_opt = best_hf_opt.min(p.hf_energy);
+                    let runner = MolecularCafqa::new(p);
+                    let mut opts = cafqa_budget(kind, cfg.quick);
+                    opts.sz_penalty = 0.5;
+                    best_opt = best_opt.min(runner.run(&opts).energy);
+                }
+            }
+        }
+        let (rec, rec_opt) = match exact {
+            Some(e) => (
+                format!("{:.2}", correlation_recovered(s_result.energy, hf, e)),
+                format!("{:.2}", correlation_recovered(best_opt, hf, e)),
+            ),
+            None => ("n/a".into(), "n/a".into()),
+        };
+        rows.push(vec![
+            format!("{bond:.3}"),
+            format!("{hf:.6}"),
+            format!("{best_hf_opt:.6}"),
+            format!("{:.6}", s_result.energy),
+            format!("{best_opt:.6}"),
+            exact.map_or("n/a".into(), |e| format!("{e:.6}")),
+            rec,
+            rec_opt,
+        ]);
+    }
+    print_table(
+        "Fig. 11: H6 dissociation with spin-optimized ('opt.') variants",
+        &["bond_A", "E_HF", "E_HF_opt", "CAFQA", "CAFQA_opt", "exact", "rec_%", "rec_opt_%"],
+        &rows,
+    );
+    println!("paper: CAFQA recovers up to ~50%; CAFQA opt. approaches 100% at high bond lengths");
+}

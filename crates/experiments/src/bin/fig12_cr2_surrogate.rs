@@ -1,0 +1,73 @@
+//! Fig. 12: the 34-qubit Cr2-class experiment on the documented H18-chain
+//! surrogate (DESIGN.md §4.1): CAFQA vs HF binding energy `E − 18·E_atom`,
+//! with no exact reference (FCI is infeasible, exactly as in the paper).
+
+use cafqa_chem::{hydrogen_chain, ChemPipeline, MoleculeKind, ScfKind};
+use cafqa_core::{CafqaOptions, MolecularCafqa};
+use cafqa_experiments::{bond_sweep, print_table, run_cfg};
+
+fn main() {
+    let cfg = run_cfg();
+    let kind = MoleculeKind::Cr2Surrogate;
+    // Reference: isolated H atom (UHF, 1 electron) for the binding scale.
+    let atom = hydrogen_chain(1, 1.0);
+    let atom_pipe = cafqa_chem::ChemPipeline::from_molecule(
+        atom,
+        None,
+        &ScfKind::Uhf { n_alpha: 1, n_beta: 0, guess_mix: 0.0 },
+        &cafqa_chem::ScfOptions::default(),
+    )
+    .unwrap();
+    let e_atom = atom_pipe.scf.energy;
+    println!("H-atom reference (UHF/STO-3G): {e_atom:.6} Ha");
+
+    // Quick mode keeps the stretched spacings, where correlation energy
+    // is recoverable by stabilizer states (below ~2x equilibrium the HF
+    // determinant is already the Clifford optimum, as for H2 in Fig. 8).
+    let sweep = if cfg.quick {
+        let all = bond_sweep(kind, false);
+        all[all.len().saturating_sub(3)..].to_vec()
+    } else {
+        bond_sweep(kind, false)
+    };
+    let mut rows = Vec::new();
+    for bond in sweep {
+        let start = std::time::Instant::now();
+        let pipe = match ChemPipeline::build(kind, bond, &ScfKind::Rhf) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("  [warn] H18 pipeline failed at {bond:.2} Å: {e}");
+                continue;
+            }
+        };
+        let (na, nb) = pipe.default_sector();
+        // No exact reference: C(18,9)^2 ≈ 2.4e9 determinants.
+        let problem = pipe.problem(na, nb, false).unwrap();
+        assert_eq!(problem.n_qubits, 34, "Cr2-class register size");
+        let hf = problem.hf_energy;
+        let terms = problem.hamiltonian.num_terms();
+        let conv = problem.scf_converged;
+        let runner = MolecularCafqa::new(problem);
+        let opts = CafqaOptions {
+            warmup: if cfg.quick { 100 } else { 200 },
+            iterations: if cfg.quick { 100 } else { 300 },
+            ..Default::default()
+        };
+        let result = runner.run(&opts);
+        rows.push(vec![
+            format!("{bond:.3}"),
+            format!("{:.4}", hf - 18.0 * e_atom),
+            format!("{:.4}", result.energy - 18.0 * e_atom),
+            format!("{:.4}", hf - result.energy),
+            terms.to_string(),
+            format!("{:.0}s", start.elapsed().as_secs_f64()),
+            if conv { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    print_table(
+        "Fig. 12: Cr2 surrogate (H18 chain, 34 qubits): binding energy E - 18*E_atom",
+        &["spacing_A", "HF_binding", "CAFQA_binding", "CAFQA_gain", "H_terms", "time", "scf_ok"],
+        &rows,
+    );
+    println!("paper: CAFQA consistently below HF across all bond lengths at 34 qubits");
+}

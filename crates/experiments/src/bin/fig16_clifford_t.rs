@@ -1,0 +1,73 @@
+//! Fig. 16: CAFQA+kT dissociation curves — up to 1 T-like rotation for H2
+//! and up to 4 for LiH, via the stabilizer-rank branch engine.
+
+use cafqa_chem::{ChemPipeline, MoleculeKind, ScfKind};
+use cafqa_core::{
+    run_cafqa_kt, widen_clifford_config, CafqaOptions, MolecularCafqa, Penalty,
+};
+use cafqa_experiments::{bond_sweep, print_table, run_cfg};
+
+fn run_molecule(kind: MoleculeKind, k_max: usize, cfg: cafqa_experiments::RunCfg) {
+    let mut rows = Vec::new();
+    for bond in bond_sweep(kind, cfg.quick) {
+        let pipe = ChemPipeline::build(kind, bond, &ScfKind::Rhf).unwrap();
+        let (na, nb) = pipe.default_sector();
+        let problem = pipe.problem(na, nb, true).unwrap();
+        let exact = problem.exact_energy.unwrap();
+        let runner = MolecularCafqa::new(problem.clone());
+        let copts = CafqaOptions {
+            warmup: if cfg.quick { 300 } else { 400 },
+            iterations: if cfg.quick { 400 } else { 600 },
+            ..Default::default()
+        };
+        let clifford = runner.run(&copts);
+        // CAFQA+kT seeded from the Clifford winner (the paper inserts T
+        // rotations at prior Clifford gate positions).
+        let penalty = Penalty::new(
+            "electron count",
+            &problem.number_op,
+            problem.n_electrons() as f64,
+            1.0,
+        );
+        let kt_opts = CafqaOptions {
+            warmup: if cfg.quick { 300 } else { 400 },
+            iterations: if cfg.quick { 400 } else { 700 },
+            ..Default::default()
+        };
+        let kt = run_cafqa_kt(
+            &runner.ansatz,
+            &problem.hamiltonian,
+            &[penalty],
+            k_max,
+            &[widen_clifford_config(&clifford.best_config)],
+            &kt_opts,
+        );
+        let (kt_energy, t_used) = if kt.energy < clifford.energy - 1e-12 {
+            (kt.energy, kt.t_count)
+        } else {
+            (clifford.energy, 0)
+        };
+        rows.push(vec![
+            format!("{bond:.3}"),
+            format!("{:.6}", clifford.energy),
+            format!("{kt_energy:.6}"),
+            format!("{exact:.6}"),
+            format!("{:.2e}", (clifford.energy - exact).abs()),
+            format!("{:.2e}", (kt_energy - exact).abs()),
+            t_used.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Fig. 16: {} CAFQA vs CAFQA+{k_max}T", kind.name()),
+        &["bond_A", "CAFQA", "CAFQA_kT", "exact", "err_CAFQA", "err_kT", "t_used"],
+        &rows,
+    );
+}
+
+fn main() {
+    let cfg = run_cfg();
+    run_molecule(MoleculeKind::H2, 1, cfg);
+    run_molecule(MoleculeKind::LiH, 4, cfg);
+    println!("paper: <=1 T for H2 and <=4 T for LiH significantly improve initialization,");
+    println!("       recovering up to 99.9% of correlation energy while staying simulable");
+}

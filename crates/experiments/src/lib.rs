@@ -1,0 +1,154 @@
+//! Shared harness for the per-figure experiment binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the
+//! CAFQA paper: it runs the full pipeline (chemistry → Clifford search →
+//! metrics) and prints the same rows/series the paper reports, as an
+//! aligned table plus CSV lines (prefix `csv,`) for plotting.
+//!
+//! All binaries accept `--quick` for a reduced sweep and are otherwise
+//! deterministic (fixed seeds).
+
+#![warn(missing_docs)]
+
+use cafqa_chem::{ChemPipeline, MoleculeKind, ScfKind};
+use cafqa_core::metrics::DissociationPoint;
+use cafqa_core::{CafqaOptions, MolecularCafqa};
+
+/// Runtime configuration shared by all experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct RunCfg {
+    /// Reduced sweeps and budgets for fast runs.
+    pub quick: bool,
+}
+
+/// Parses the command line (`--quick` is the only flag).
+pub fn run_cfg() -> RunCfg {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "-q");
+    RunCfg { quick }
+}
+
+/// The search budget used for a molecule, scaled to its register size
+/// (the paper's Fig. 15 shows iterations growing with problem size).
+pub fn cafqa_budget(kind: MoleculeKind, quick: bool) -> CafqaOptions {
+    // Candidate evaluations are cheap (tableau simulation); quick mode
+    // thins the bond sweep instead of starving the search.
+    let (warmup, iterations) = match kind.num_qubits() {
+        0..=4 => (300, 400),
+        5..=20 => (400, 600),
+        _ => (200, 300),
+    };
+    let scale = if quick && kind.num_qubits() > 20 { 2 } else { 1 };
+    CafqaOptions {
+        warmup: warmup / scale,
+        iterations: iterations / scale,
+        number_penalty: 1.0,
+        ..Default::default()
+    }
+}
+
+/// The bond sweep for a molecule, thinned in quick mode.
+pub fn bond_sweep(kind: MoleculeKind, quick: bool) -> Vec<f64> {
+    let all = kind.bond_sweep();
+    if quick {
+        all.into_iter().step_by(2).collect()
+    } else {
+        all
+    }
+}
+
+/// Runs the full CAFQA-vs-HF-vs-exact dissociation experiment for one
+/// molecule, one point per bond length.
+pub fn dissociation(kind: MoleculeKind, cfg: RunCfg) -> Vec<DissociationPoint> {
+    let mut out = Vec::new();
+    for bond in bond_sweep(kind, cfg.quick) {
+        match dissociation_point(kind, bond, cfg) {
+            Ok(p) => out.push(p),
+            Err(e) => eprintln!("  [warn] {} at {bond:.2} Å failed: {e}", kind.name()),
+        }
+    }
+    out
+}
+
+/// One dissociation point: build the problem, run CAFQA, collect metrics.
+pub fn dissociation_point(
+    kind: MoleculeKind,
+    bond: f64,
+    cfg: RunCfg,
+) -> Result<DissociationPoint, Box<dyn std::error::Error>> {
+    let pipe = ChemPipeline::build(kind, bond, &ScfKind::Rhf)?;
+    let (na, nb) = pipe.default_sector();
+    let problem = pipe.problem(na, nb, true)?;
+    let scf_converged = problem.scf_converged;
+    let hf = problem.hf_energy;
+    let exact = problem.exact_energy;
+    let runner = MolecularCafqa::new(problem);
+    let result = runner.run(&cafqa_budget(kind, cfg.quick));
+    Ok(DissociationPoint { bond, cafqa: result.energy, hf, exact, scf_converged })
+}
+
+/// Prints an aligned table followed by machine-readable CSV rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, String::len))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+    println!();
+    println!("csv,{}", headers.join(","));
+    for row in rows {
+        println!("csv,{}", row.join(","));
+    }
+}
+
+/// Prints the three-panel dissociation summary (Figs. 8–11 layout).
+pub fn print_dissociation(name: &str, points: &[DissociationPoint]) {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.3}", p.bond),
+                format!("{:.6}", p.hf),
+                format!("{:.6}", p.cafqa),
+                p.exact.map_or("n/a".into(), |e| format!("{e:.6}")),
+                p.hf_error().map_or("n/a".into(), |e| format!("{e:.2e}")),
+                p.cafqa_error().map_or("n/a".into(), |e| format!("{e:.2e}")),
+                p.recovered().map_or("n/a".into(), |r| format!("{r:.2}")),
+                if p.scf_converged { String::from("yes") } else { String::from("NO") },
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("{name} dissociation (energy / error / correlation recovered)"),
+        &[
+            "bond_A",
+            "E_HF",
+            "E_CAFQA",
+            "E_exact",
+            "err_HF",
+            "err_CAFQA",
+            "recovered_%",
+            "scf_ok",
+        ],
+        &rows,
+    );
+}

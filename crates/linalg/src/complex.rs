@@ -1,0 +1,295 @@
+//! A minimal double-precision complex number.
+//!
+//! The workspace deliberately avoids external numerics crates; this type
+//! provides exactly the operations the simulators and chemistry stack need.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Examples
+///
+/// ```
+/// use cafqa_linalg::Complex64;
+///
+/// let i = Complex64::I;
+/// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
+/// assert!((Complex64::from_polar(2.0, std::f64::consts::PI).re + 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns the complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Returns the squared magnitude `|z|²`, avoiding the square root.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Returns the magnitude `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Returns the argument (phase angle) in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Returns the multiplicative inverse `1/z`.
+    ///
+    /// Dividing by zero yields non-finite components, mirroring `f64`.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Multiplies by the imaginary unit (a 90° rotation), cheaper than `* I`.
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Complex64::new(-self.im, self.re)
+    }
+
+    /// Scales both components by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64::new(self.re * s, self.im * s)
+    }
+
+    /// Returns `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Returns `i^k` for integer `k` (used by Pauli phase bookkeeping).
+    #[inline]
+    pub fn i_pow(k: i32) -> Self {
+        match k.rem_euclid(4) {
+            0 => Complex64::ONE,
+            1 => Complex64::I,
+            2 => Complex64::new(-1.0, 0.0),
+            _ => Complex64::new(0.0, -1.0),
+        }
+    }
+
+    /// Returns true when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Returns true if `|self - other| <= tol`.
+    #[inline]
+    pub fn approx_eq(self, other: Complex64, tol: f64) -> bool {
+        (self - other).norm() <= tol
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::new(re, 0.0)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.inv()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.25, 4.0);
+        assert_eq!(a + b, Complex64::new(1.25, 2.0));
+        assert_eq!(a - b, Complex64::new(1.75, -6.0));
+        assert!((a * b - Complex64::new(7.625, 6.5)).norm() < 1e-14);
+        assert!(((a / b) * b - a).norm() < 1e-14);
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
+        assert!((z * z.conj() - Complex64::from(25.0)).norm() < 1e-14);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(2.0, FRAC_PI_2);
+        assert!(z.approx_eq(Complex64::new(0.0, 2.0), 1e-14));
+        assert!((z.arg() - FRAC_PI_2).abs() < 1e-14);
+        assert!((z.norm() - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn i_pow_cycles() {
+        assert_eq!(Complex64::i_pow(0), Complex64::ONE);
+        assert_eq!(Complex64::i_pow(1), Complex64::I);
+        assert_eq!(Complex64::i_pow(2), Complex64::new(-1.0, 0.0));
+        assert_eq!(Complex64::i_pow(3), Complex64::new(0.0, -1.0));
+        assert_eq!(Complex64::i_pow(-1), Complex64::i_pow(3));
+        assert_eq!(Complex64::i_pow(7), Complex64::i_pow(3));
+    }
+
+    #[test]
+    fn exp_euler() {
+        let z = Complex64::new(0.0, PI);
+        assert!(z.exp().approx_eq(Complex64::new(-1.0, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn mul_i_matches_multiplication() {
+        let z = Complex64::new(0.7, -1.3);
+        assert_eq!(z.mul_i(), z * Complex64::I);
+    }
+
+    #[test]
+    fn inv_of_inv() {
+        let z = Complex64::new(-2.5, 0.5);
+        assert!(z.inv().inv().approx_eq(z, 1e-13));
+    }
+}

@@ -1,0 +1,96 @@
+//! Dense linear algebra for the CAFQA reproduction.
+//!
+//! The CAFQA workspace is self-contained: no external numerics crates.
+//! This crate provides the complex scalar type shared by the simulators
+//! ([`Complex64`]), small dense matrices with a Jacobi symmetric
+//! eigensolver ([`Matrix`]), and a restarted [`lanczos`] iteration used as
+//! the exact-diagonalization reference for qubit Hamiltonians and FCI
+//! spaces.
+//!
+//! # Examples
+//!
+//! ```
+//! use cafqa_linalg::{Matrix, lanczos};
+//!
+//! // Lowest eigenvalue of a symmetric matrix two ways.
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, -3.0]]);
+//! let dense = a.eigh().unwrap().values[0];
+//! let krylov = lanczos::lowest_eigenpair(&a, &Default::default()).unwrap().value;
+//! assert!((dense - krylov).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod complex;
+pub mod lanczos;
+mod matrix;
+
+pub use complex::Complex64;
+pub use matrix::{Eigh, LinalgError, Matrix};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn symmetric_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-5.0f64..5.0, n * n).prop_map(move |v| {
+            let mut m = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    let x = v[i * n + j];
+                    m[(i, j)] += x / 2.0;
+                    m[(j, i)] += x / 2.0;
+                }
+            }
+            m
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn eigh_reconstructs(m in symmetric_matrix(5)) {
+            let e = m.eigh().unwrap();
+            let d = Matrix::from_fn(5, 5, |i, j| if i == j { e.values[i] } else { 0.0 });
+            let recon = &(&e.vectors * &d) * &e.vectors.transpose();
+            prop_assert!((&recon - &m).frobenius_norm() < 1e-9);
+        }
+
+        #[test]
+        fn eigh_trace_preserved(m in symmetric_matrix(6)) {
+            let trace: f64 = (0..6).map(|i| m[(i, i)]).sum();
+            let e = m.eigh().unwrap();
+            let sum: f64 = e.values.iter().sum();
+            prop_assert!((trace - sum).abs() < 1e-9);
+        }
+
+        #[test]
+        fn lanczos_matches_eigh(m in symmetric_matrix(8)) {
+            let dense = m.eigh().unwrap().values[0];
+            let pair = lanczos::lowest_eigenpair(&m, &lanczos::LanczosOptions::default()).unwrap();
+            prop_assert!((dense - pair.value).abs() < 1e-7);
+        }
+
+        #[test]
+        fn solve_is_inverse(m in symmetric_matrix(4), x in proptest::collection::vec(-3.0f64..3.0, 4)) {
+            // Shift the diagonal to keep it well-conditioned.
+            let mut a = m.clone();
+            for i in 0..4 { a[(i, i)] += 10.0; }
+            let b = a.matvec(&x);
+            let solved = a.solve(&b).unwrap();
+            for (s, t) in solved.iter().zip(&x) {
+                prop_assert!((s - t).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn complex_field_axioms(ar in -3.0f64..3.0, ai in -3.0f64..3.0, br in -3.0f64..3.0, bi in -3.0f64..3.0) {
+            let a = Complex64::new(ar, ai);
+            let b = Complex64::new(br, bi);
+            prop_assert!((a * b - b * a).norm() < 1e-12);
+            prop_assert!(((a + b).conj() - (a.conj() + b.conj())).norm() < 1e-12);
+            prop_assert!(((a * b).conj() - (a.conj() * b.conj())).norm() < 1e-12);
+            prop_assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! Bit-packed Pauli strings on up to 64 qubits.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of qubits representable by the bit-packed encoding.
+pub const MAX_QUBITS: usize = 64;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+impl Pauli {
+    /// The `(x, z)` symplectic bits of this Pauli.
+    #[inline]
+    pub fn bits(self) -> (bool, bool) {
+        match self {
+            Pauli::I => (false, false),
+            Pauli::X => (true, false),
+            Pauli::Y => (true, true),
+            Pauli::Z => (false, true),
+        }
+    }
+
+    /// Reconstructs a Pauli from its symplectic bits.
+    #[inline]
+    pub fn from_bits(x: bool, z: bool) -> Self {
+        match (x, z) {
+            (false, false) => Pauli::I,
+            (true, false) => Pauli::X,
+            (true, true) => Pauli::Y,
+            (false, true) => Pauli::Z,
+        }
+    }
+
+    /// The character used in string form.
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+}
+
+/// Error returned when parsing Pauli strings or operators fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePauliError {
+    message: String,
+}
+
+impl ParsePauliError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ParsePauliError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pauli syntax: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+/// A tensor product of single-qubit Paulis on `n ≤ 64` qubits, stored as a
+/// pair of bit masks: bit `q` of `x`/`z` records the X/Z component on qubit
+/// `q`, with `Y = iXZ` having both set.
+///
+/// The string form uses **index order**: the first character is qubit 0.
+///
+/// `PauliString` itself is *unsigned* — signs and `i` factors live in the
+/// coefficients of a [`crate::PauliOp`] or are returned from [`Self::mul`].
+///
+/// # Examples
+///
+/// ```
+/// use cafqa_pauli::PauliString;
+///
+/// let a: PauliString = "XYZ".parse().unwrap();
+/// let b: PauliString = "YII".parse().unwrap();
+/// assert!(!a.commutes_with(&b)); // they differ on exactly one anticommuting site
+/// assert_eq!(a.weight(), 3);
+/// let (phase, prod) = a.mul(&b);
+/// assert_eq!(prod.to_string(), "ZYZ");
+/// assert_eq!(phase, 1); // X·Y = iZ contributes one factor of i
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PauliString {
+    n: u8,
+    x: u64,
+    z: u64,
+}
+
+impl PauliString {
+    /// The all-identity string on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn identity(n: usize) -> Self {
+        assert!(n <= MAX_QUBITS, "at most {MAX_QUBITS} qubits supported");
+        PauliString { n: n as u8, x: 0, z: 0 }
+    }
+
+    /// Builds a Pauli string from raw `(x, z)` masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64` or if a mask has bits above `n`.
+    pub fn from_masks(n: usize, x: u64, z: u64) -> Self {
+        assert!(n <= MAX_QUBITS, "at most {MAX_QUBITS} qubits supported");
+        let valid = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        assert!(x & !valid == 0 && z & !valid == 0, "mask bits above qubit count");
+        PauliString { n: n as u8, x, z }
+    }
+
+    /// A single-qubit Pauli embedded in an `n`-qubit identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n` or `n > 64`.
+    pub fn single(n: usize, qubit: usize, p: Pauli) -> Self {
+        assert!(qubit < n, "qubit index out of range");
+        let (xb, zb) = p.bits();
+        PauliString::from_masks(n, (xb as u64) << qubit, (zb as u64) << qubit)
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The X bit mask.
+    #[inline]
+    pub fn x_mask(&self) -> u64 {
+        self.x
+    }
+
+    /// The Z bit mask.
+    #[inline]
+    pub fn z_mask(&self) -> u64 {
+        self.z
+    }
+
+    /// The Pauli acting on `qubit`.
+    #[inline]
+    pub fn pauli_at(&self, qubit: usize) -> Pauli {
+        Pauli::from_bits((self.x >> qubit) & 1 == 1, (self.z >> qubit) & 1 == 1)
+    }
+
+    /// Returns a copy with the Pauli on `qubit` replaced.
+    pub fn with_pauli(mut self, qubit: usize, p: Pauli) -> Self {
+        assert!(qubit < self.n as usize, "qubit index out of range");
+        let (xb, zb) = p.bits();
+        let bit = 1u64 << qubit;
+        self.x = (self.x & !bit) | ((xb as u64) << qubit);
+        self.z = (self.z & !bit) | ((zb as u64) << qubit);
+        self
+    }
+
+    /// Number of non-identity sites.
+    #[inline]
+    pub fn weight(&self) -> u32 {
+        (self.x | self.z).count_ones()
+    }
+
+    /// True when every site is `I` or `Z` (a "computational-basis" /
+    /// diagonal term in the Hamiltonian sense of the paper's Fig. 6).
+    #[inline]
+    pub fn is_diagonal(&self) -> bool {
+        self.x == 0
+    }
+
+    /// True when this is the identity string.
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        self.x == 0 && self.z == 0
+    }
+
+    /// Number of `Y` sites (where both masks are set).
+    #[inline]
+    pub fn y_count(&self) -> u32 {
+        (self.x & self.z).count_ones()
+    }
+
+    /// Whether two strings commute, via the binary symplectic form.
+    #[inline]
+    pub fn commutes_with(&self, other: &PauliString) -> bool {
+        ((self.x & other.z).count_ones() + (self.z & other.x).count_ones()) % 2 == 0
+    }
+
+    /// Multiplies two Pauli strings.
+    ///
+    /// Returns `(k, P)` such that `self · other = i^k · P` with `P` the
+    /// unsigned product string and `k ∈ {0, 1, 2, 3}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit counts differ.
+    pub fn mul(&self, other: &PauliString) -> (i32, PauliString) {
+        assert_eq!(self.n, other.n, "pauli qubit count mismatch");
+        let x = self.x ^ other.x;
+        let z = self.z ^ other.z;
+        // Pure string = i^{#Y} X^x Z^z; moving other's X past self's Z
+        // contributes (-1)^{|z1 & x2|}.
+        let k = self.y_count() as i32 + other.y_count() as i32
+            + 2 * (self.z & other.x).count_ones() as i32
+            - (x & z).count_ones() as i32;
+        (k.rem_euclid(4), PauliString { n: self.n, x, z })
+    }
+
+    /// Applies this Pauli to a computational basis state.
+    ///
+    /// Returns `(b', k)` such that `P |b⟩ = i^k |b'⟩`.
+    #[inline]
+    pub fn apply_to_basis(&self, b: u64) -> (u64, i32) {
+        // P = i^{#Y} X^x Z^z and Z^z|b⟩ = (-1)^{|z∧b|}|b⟩.
+        let k = self.y_count() as i32 + 2 * (self.z & b).count_ones() as i32;
+        (b ^ self.x, k.rem_euclid(4))
+    }
+
+    /// Expectation value `⟨b|P|b⟩` on a computational basis state: `±1` for
+    /// diagonal strings, `0` otherwise.
+    #[inline]
+    pub fn expectation_basis(&self, b: u64) -> f64 {
+        if self.x != 0 {
+            return 0.0;
+        }
+        if (self.z & b).count_ones() % 2 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Embeds this string into a larger register, keeping qubit indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is smaller than the current qubit count or above 64.
+    pub fn embed(&self, n: usize) -> PauliString {
+        assert!(n >= self.n as usize, "cannot shrink a pauli string");
+        PauliString::from_masks(n, self.x, self.z)
+    }
+
+    /// Removes the given qubit (which must carry `I` or `Z`), shifting
+    /// higher indices down. Used by the two-qubit symmetry reduction.
+    ///
+    /// Returns `(had_z, reduced)` where `had_z` reports whether the removed
+    /// site carried a `Z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site carries `X` or `Y`.
+    pub fn remove_qubit(&self, qubit: usize) -> (bool, PauliString) {
+        let bit = 1u64 << qubit;
+        assert!(self.x & bit == 0, "cannot remove a qubit carrying X/Y");
+        let had_z = self.z & bit != 0;
+        let low = bit - 1;
+        let squeeze = |m: u64| (m & low) | ((m >> 1) & !low);
+        (
+            had_z,
+            PauliString { n: self.n - 1, x: squeeze(self.x), z: squeeze(self.z) },
+        )
+    }
+
+    /// Iterates over the single-qubit Paulis in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Pauli> + '_ {
+        (0..self.n as usize).map(move |q| self.pauli_at(q))
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in self.iter() {
+            write!(f, "{}", p.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() > MAX_QUBITS {
+            return Err(ParsePauliError::new(format!(
+                "string has {} sites; at most {MAX_QUBITS} supported",
+                s.len()
+            )));
+        }
+        let mut x = 0u64;
+        let mut z = 0u64;
+        for (q, c) in s.chars().enumerate() {
+            let p = match c.to_ascii_uppercase() {
+                'I' => Pauli::I,
+                'X' => Pauli::X,
+                'Y' => Pauli::Y,
+                'Z' => Pauli::Z,
+                other => {
+                    return Err(ParsePauliError::new(format!("unexpected character '{other}'")))
+                }
+            };
+            let (xb, zb) = p.bits();
+            x |= (xb as u64) << q;
+            z |= (zb as u64) << q;
+        }
+        Ok(PauliString { n: s.len() as u8, x, z })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["I", "XYZI", "ZZZZZZ", "IXIYIZ"] {
+            let p: PauliString = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("XQ".parse::<PauliString>().is_err());
+    }
+
+    #[test]
+    fn single_qubit_placement() {
+        let p = PauliString::single(4, 2, Pauli::Y);
+        assert_eq!(p.to_string(), "IIYI");
+        assert_eq!(p.pauli_at(2), Pauli::Y);
+        assert_eq!(p.weight(), 1);
+    }
+
+    #[test]
+    fn commutation_rules() {
+        let x: PauliString = "X".parse().unwrap();
+        let y: PauliString = "Y".parse().unwrap();
+        let z: PauliString = "Z".parse().unwrap();
+        assert!(!x.commutes_with(&y));
+        assert!(!y.commutes_with(&z));
+        assert!(!x.commutes_with(&z));
+        let xx: PauliString = "XX".parse().unwrap();
+        let zz: PauliString = "ZZ".parse().unwrap();
+        assert!(xx.commutes_with(&zz));
+    }
+
+    #[test]
+    fn single_qubit_products() {
+        let x: PauliString = "X".parse().unwrap();
+        let y: PauliString = "Y".parse().unwrap();
+        let z: PauliString = "Z".parse().unwrap();
+        // XY = iZ
+        let (k, p) = x.mul(&y);
+        assert_eq!((k, p.to_string().as_str()), (1, "Z"));
+        // YX = -iZ
+        let (k, p) = y.mul(&x);
+        assert_eq!((k, p.to_string().as_str()), (3, "Z"));
+        // YZ = iX
+        let (k, p) = y.mul(&z);
+        assert_eq!((k, p.to_string().as_str()), (1, "X"));
+        // ZX = iY
+        let (k, p) = z.mul(&x);
+        assert_eq!((k, p.to_string().as_str()), (1, "Y"));
+        // XX = I
+        let (k, p) = x.mul(&x);
+        assert_eq!((k, p.to_string().as_str()), (0, "I"));
+        // YY = I
+        let (k, p) = y.mul(&y);
+        assert_eq!((k, p.to_string().as_str()), (0, "I"));
+    }
+
+    #[test]
+    fn apply_to_basis_matches_matrix_action() {
+        // Y|0> = i|1>, Y|1> = -i|0>
+        let y: PauliString = "Y".parse().unwrap();
+        assert_eq!(y.apply_to_basis(0), (1, 1));
+        assert_eq!(y.apply_to_basis(1), (0, 3));
+        // Z|1> = -|1>
+        let z: PauliString = "Z".parse().unwrap();
+        assert_eq!(z.apply_to_basis(1), (1, 2));
+        // X|0> = |1>
+        let x: PauliString = "X".parse().unwrap();
+        assert_eq!(x.apply_to_basis(0), (1, 0));
+    }
+
+    #[test]
+    fn basis_expectation() {
+        let zi: PauliString = "ZI".parse().unwrap();
+        assert_eq!(zi.expectation_basis(0b00), 1.0);
+        assert_eq!(zi.expectation_basis(0b01), -1.0);
+        assert_eq!(zi.expectation_basis(0b10), 1.0);
+        let xi: PauliString = "XI".parse().unwrap();
+        assert_eq!(xi.expectation_basis(0b01), 0.0);
+    }
+
+    #[test]
+    fn remove_qubit_shifts() {
+        let p: PauliString = "XZYI".parse().unwrap();
+        let (had_z, q) = p.remove_qubit(1);
+        assert!(had_z);
+        assert_eq!(q.to_string(), "XYI");
+        let (had_z, q) = p.remove_qubit(3);
+        assert!(!had_z);
+        assert_eq!(q.to_string(), "XZY");
+    }
+
+    #[test]
+    #[should_panic(expected = "carrying X/Y")]
+    fn remove_qubit_rejects_x() {
+        let p: PauliString = "XZ".parse().unwrap();
+        let _ = p.remove_qubit(0);
+    }
+
+    #[test]
+    fn mul_is_associative_on_samples() {
+        let samples = ["XYZ", "ZZY", "IYX", "YYY", "XIZ"];
+        for a in samples {
+            for b in samples {
+                for c in samples {
+                    let pa: PauliString = a.parse().unwrap();
+                    let pb: PauliString = b.parse().unwrap();
+                    let pc: PauliString = c.parse().unwrap();
+                    let (k1, ab) = pa.mul(&pb);
+                    let (k2, ab_c) = ab.mul(&pc);
+                    let (k3, bc) = pb.mul(&pc);
+                    let (k4, a_bc) = pa.mul(&bc);
+                    assert_eq!(ab_c, a_bc);
+                    assert_eq!((k1 + k2) % 4, (k3 + k4) % 4, "{a} {b} {c}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Density-matrix simulation for noisy ("NISQ machine") evaluation.
+
+use cafqa_circuit::{Circuit, Gate};
+use cafqa_linalg::Complex64;
+use cafqa_pauli::{PauliOp, PauliString};
+
+/// Maximum register width for density-matrix simulation (dim `4^n`).
+pub const MAX_DENSITY_QUBITS: usize = 10;
+
+/// A dense `2^n × 2^n` density matrix.
+///
+/// Used by the noisy-device experiments (paper Fig. 5 and Fig. 14); the
+/// systems there have 2–4 qubits, far below the 10-qubit guard.
+#[derive(Debug, Clone)]
+pub struct DensityMatrix {
+    n: usize,
+    dim: usize,
+    data: Vec<Complex64>, // row-major dim × dim
+}
+
+impl DensityMatrix {
+    /// The pure state `|0…0⟩⟨0…0|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 10`.
+    pub fn zero_state(n: usize) -> Self {
+        assert!(
+            n <= MAX_DENSITY_QUBITS,
+            "density simulation limited to {MAX_DENSITY_QUBITS} qubits"
+        );
+        let dim = 1usize << n;
+        let mut data = vec![Complex64::ZERO; dim * dim];
+        data[0] = Complex64::ONE;
+        DensityMatrix { n, dim, data }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix element `ρ[r, c]`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Complex64 {
+        self.data[r * self.dim + c]
+    }
+
+    /// The trace (1 for any physical state).
+    pub fn trace(&self) -> Complex64 {
+        (0..self.dim).map(|i| self.get(i, i)).sum()
+    }
+
+    /// The purity `Tr(ρ²)`; 1 for pure states, `1/2^n` for fully mixed.
+    pub fn purity(&self) -> f64 {
+        let mut acc = 0.0;
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                // Tr(ρ²) = Σ_{r,c} ρ_{rc} ρ_{cr} = Σ |ρ_{rc}|² for Hermitian ρ.
+                acc += self.get(r, c).norm_sqr();
+            }
+        }
+        acc
+    }
+
+    /// Applies a unitary gate, `ρ → U ρ U†`.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::Cx { control, target } => {
+                let perm = |b: usize| {
+                    if b & (1 << control) != 0 {
+                        b ^ (1 << target)
+                    } else {
+                        b
+                    }
+                };
+                self.permute(perm);
+            }
+            Gate::Cz(a, b) => {
+                let mask = (1usize << a) | (1usize << b);
+                for r in 0..self.dim {
+                    for c in 0..self.dim {
+                        let mut f = 1.0;
+                        if r & mask == mask {
+                            f = -f;
+                        }
+                        if c & mask == mask {
+                            f = -f;
+                        }
+                        if f < 0.0 {
+                            self.data[r * self.dim + c] = -self.data[r * self.dim + c];
+                        }
+                    }
+                }
+            }
+            ref g => {
+                let u = g
+                    .single_qubit_unitary()
+                    .expect("all single-qubit gates provide a unitary");
+                let q = g.qubits()[0];
+                self.apply_single_qubit(q, &u);
+            }
+        }
+    }
+
+    fn permute(&mut self, perm: impl Fn(usize) -> usize) {
+        let mut out = vec![Complex64::ZERO; self.data.len()];
+        for r in 0..self.dim {
+            let pr = perm(r);
+            for c in 0..self.dim {
+                out[pr * self.dim + perm(c)] = self.data[r * self.dim + c];
+            }
+        }
+        self.data = out;
+    }
+
+    fn apply_single_qubit(&mut self, q: usize, u: &[Complex64; 4]) {
+        let qm = 1usize << q;
+        // Left multiply: rows.
+        for c in 0..self.dim {
+            for r in 0..self.dim {
+                if r & qm == 0 {
+                    let a0 = self.data[r * self.dim + c];
+                    let a1 = self.data[(r | qm) * self.dim + c];
+                    self.data[r * self.dim + c] = u[0] * a0 + u[1] * a1;
+                    self.data[(r | qm) * self.dim + c] = u[2] * a0 + u[3] * a1;
+                }
+            }
+        }
+        // Right multiply by U†: columns with conjugated transpose.
+        let ud = [u[0].conj(), u[2].conj(), u[1].conj(), u[3].conj()];
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                if c & qm == 0 {
+                    let a0 = self.data[r * self.dim + c];
+                    let a1 = self.data[r * self.dim + (c | qm)];
+                    // ρ U† on columns: (ρ U†)[r, c] = Σ_k ρ[r,k] U†[k,c].
+                    self.data[r * self.dim + c] = a0 * ud[0] + a1 * ud[2];
+                    self.data[r * self.dim + (c | qm)] = a0 * ud[1] + a1 * ud[3];
+                }
+            }
+        }
+    }
+
+    /// Conjugates by a Pauli string: `ρ → P ρ P†`.
+    pub fn apply_pauli(&mut self, p: &PauliString) {
+        assert_eq!(p.num_qubits(), self.n, "pauli width mismatch");
+        let xm = p.x_mask() as usize;
+        let zm = p.z_mask();
+        let mut out = vec![Complex64::ZERO; self.data.len()];
+        for r in 0..self.dim {
+            let (r2, kr) = p.apply_to_basis(r as u64);
+            let _ = (xm, zm);
+            for c in 0..self.dim {
+                let (c2, kc) = p.apply_to_basis(c as u64);
+                let phase = Complex64::i_pow(kr - kc);
+                out[r2 as usize * self.dim + c2 as usize] =
+                    phase * self.data[r * self.dim + c];
+            }
+        }
+        self.data = out;
+    }
+
+    /// Single-qubit depolarizing channel with error probability `p`:
+    /// `ρ → (1-p) ρ + p/3 (XρX + YρY + ZρZ)`.
+    pub fn depolarize1(&mut self, qubit: usize, p: f64) {
+        if p <= 0.0 {
+            return;
+        }
+        let mut mixed = vec![Complex64::ZERO; self.data.len()];
+        for pauli in [cafqa_pauli::Pauli::X, cafqa_pauli::Pauli::Y, cafqa_pauli::Pauli::Z] {
+            let mut branch = self.clone();
+            branch.apply_pauli(&PauliString::single(self.n, qubit, pauli));
+            for (m, b) in mixed.iter_mut().zip(&branch.data) {
+                *m += *b;
+            }
+        }
+        for (d, m) in self.data.iter_mut().zip(&mixed) {
+            *d = d.scale(1.0 - p) + m.scale(p / 3.0);
+        }
+    }
+
+    /// Two-qubit depolarizing channel with error probability `p`, mixing
+    /// over the 15 non-identity two-qubit Paulis on `(a, b)`.
+    pub fn depolarize2(&mut self, a: usize, b: usize, p: f64) {
+        if p <= 0.0 {
+            return;
+        }
+        let mut mixed = vec![Complex64::ZERO; self.data.len()];
+        use cafqa_pauli::Pauli::{I, X, Y, Z};
+        for pa in [I, X, Y, Z] {
+            for pb in [I, X, Y, Z] {
+                if pa == I && pb == I {
+                    continue;
+                }
+                let ps = PauliString::identity(self.n)
+                    .with_pauli(a, pa)
+                    .with_pauli(b, pb);
+                let mut branch = self.clone();
+                branch.apply_pauli(&ps);
+                for (m, q) in mixed.iter_mut().zip(&branch.data) {
+                    *m += *q;
+                }
+            }
+        }
+        for (d, m) in self.data.iter_mut().zip(&mixed) {
+            *d = d.scale(1.0 - p) + m.scale(p / 15.0);
+        }
+    }
+
+    /// Exact expectation `Tr(ρ H)` of a Pauli-sum operator.
+    pub fn expectation(&self, op: &PauliOp) -> f64 {
+        assert_eq!(op.num_qubits(), self.n, "operator width mismatch");
+        let mut total = Complex64::ZERO;
+        for (p, c) in op.iter() {
+            // Tr(ρP) = Σ_b ⟨b|ρP|b⟩ = Σ_b ρ[b, P(b)] phase.
+            let base = Complex64::i_pow(p.y_count() as i32);
+            let zm = p.z_mask();
+            let xm = p.x_mask();
+            let mut acc = Complex64::ZERO;
+            for b in 0..self.dim {
+                let sign = if (zm & b as u64).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                // P|b⟩ lands on |b ^ x⟩, so column b contributes ρ[b, b^x].
+                acc += self.get(b, b ^ xm as usize) * (base * sign);
+            }
+            total += *c * acc;
+        }
+        total.re
+    }
+
+    /// Applies a full circuit without noise.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(circuit.num_qubits() <= self.n, "circuit wider than state");
+        for g in circuit.gates() {
+            self.apply_gate(g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::Statevector;
+
+    fn op(s: &str) -> PauliOp {
+        s.parse().unwrap()
+    }
+
+    fn random_circuit(n: usize, len: usize, seed: u64) -> Circuit {
+        // Deterministic little generator to avoid rand dependency wiring.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut c = Circuit::new(n);
+        for _ in 0..len {
+            match next() % 5 {
+                0 => {
+                    c.h(next() % n);
+                }
+                1 => {
+                    c.s(next() % n);
+                }
+                2 => {
+                    let theta = (next() % 628) as f64 / 100.0;
+                    c.ry(next() % n, theta);
+                }
+                3 => {
+                    let theta = (next() % 628) as f64 / 100.0;
+                    c.rz(next() % n, theta);
+                }
+                _ => {
+                    if n > 1 {
+                        let a = next() % n;
+                        let mut b = next() % n;
+                        if a == b {
+                            b = (b + 1) % n;
+                        }
+                        c.cx(a, b);
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn pure_evolution_matches_statevector() {
+        for seed in 0..5 {
+            let circuit = random_circuit(3, 25, seed);
+            let psi = Statevector::from_circuit(&circuit);
+            let mut rho = DensityMatrix::zero_state(3);
+            rho.apply_circuit(&circuit);
+            assert!((rho.trace().re - 1.0).abs() < 1e-10);
+            assert!((rho.purity() - 1.0).abs() < 1e-10);
+            for h in ["ZII + 0.5*XXI", "0.3*YZX", "ZZZ - XIX"] {
+                let h = op(h);
+                let sv = psi.expectation(&h).re;
+                let dm = rho.expectation(&h);
+                assert!((sv - dm).abs() < 1e-10, "seed {seed} op {h}: {sv} vs {dm}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_depolarizing_kills_bloch_vector() {
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.depolarize1(0, 0.75); // p=3/4 is the fully depolarizing point.
+        assert!(rho.expectation(&op("Z")).abs() < 1e-12);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        assert!((rho.purity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_shrinks_expectation_linearly() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_circuit(&c);
+        rho.depolarize1(0, 0.3);
+        // ⟨X⟩ scales by (1 - 4p/3).
+        assert!((rho.expectation(&op("X")) - (1.0 - 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_qubit_depolarizing_preserves_trace() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_circuit(&c);
+        rho.depolarize2(0, 1, 0.1);
+        assert!((rho.trace().re - 1.0).abs() < 1e-12);
+        // Bell ⟨XX⟩ shrinks by (1 - 16p/15).
+        let expect = 1.0 - 16.0 * 0.1 / 15.0;
+        assert!((rho.expectation(&op("XX")) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_conjugation_is_involution() {
+        let circuit = random_circuit(2, 15, 9);
+        let mut rho = DensityMatrix::zero_state(2);
+        rho.apply_circuit(&circuit);
+        let before = rho.clone();
+        let p: PauliString = "YX".parse().unwrap();
+        rho.apply_pauli(&p);
+        rho.apply_pauli(&p);
+        for (a, b) in rho.data.iter().zip(&before.data) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Dense quantum simulators for the CAFQA reproduction.
+//!
+//! Three backends cover the paper's evaluation settings:
+//!
+//! - [`Statevector`] — the "ideal machine": exact pure-state evolution,
+//!   used for exact expectation sweeps and to validate the stabilizer
+//!   simulator.
+//! - [`DensityMatrix`] — mixed-state evolution with Pauli channels.
+//! - [`NoiseModel`] — gate-level depolarizing + readout presets standing in
+//!   for the paper's IBMQ Casablanca / Manhattan snapshots (see DESIGN.md
+//!   §4.3 for the substitution rationale).
+//!
+//! # Examples
+//!
+//! ```
+//! use cafqa_circuit::Circuit;
+//! use cafqa_sim::{NoiseModel, Statevector};
+//!
+//! let mut c = Circuit::new(2);
+//! c.ry(0, 4.71).cx(0, 1);
+//! let ideal = Statevector::from_circuit(&c).expectation(&"XX".parse().unwrap()).re;
+//! let noisy = NoiseModel::manhattan_class().expectation(&c, &"XX".parse().unwrap());
+//! assert!(ideal < noisy); // noise pulls the minimum up, as in Fig. 5
+//! ```
+
+#![warn(missing_docs)]
+
+mod density;
+mod noise;
+mod shots;
+mod statevector;
+
+pub use density::{DensityMatrix, MAX_DENSITY_QUBITS};
+pub use noise::NoiseModel;
+pub use shots::ShotEstimator;
+pub use statevector::{Statevector, MAX_DENSE_QUBITS};

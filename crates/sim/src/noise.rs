@@ -1,0 +1,158 @@
+//! Parametric NISQ device noise models.
+//!
+//! The paper evaluates against Qiskit noise-model snapshots of IBMQ
+//! Casablanca and IBMQ Manhattan. Those snapshots are not redistributable,
+//! so this module provides the documented substitution from `DESIGN.md`
+//! §4.3: gate-level depolarizing errors plus symmetric readout flips, with
+//! per-device strengths chosen to reproduce the paper's observed
+//! microbenchmark minima (≈ −0.85 for the Casablanca-class device and
+//! ≈ −0.70 for the Manhattan-class device on the 2-qubit XX system).
+
+use cafqa_circuit::{Circuit, Gate};
+use cafqa_pauli::PauliOp;
+
+use crate::density::DensityMatrix;
+
+/// A gate-level noise model: depolarizing error after every gate plus a
+/// symmetric readout flip per measured qubit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseModel {
+    /// Human-readable device name.
+    pub name: String,
+    /// Depolarizing probability after each single-qubit gate.
+    pub p1: f64,
+    /// Depolarizing probability after each two-qubit gate.
+    pub p2: f64,
+    /// Symmetric readout bit-flip probability per qubit.
+    pub readout: f64,
+}
+
+impl NoiseModel {
+    /// A noiseless model (useful as a control).
+    pub fn ideal() -> Self {
+        NoiseModel { name: "ideal".into(), p1: 0.0, p2: 0.0, readout: 0.0 }
+    }
+
+    /// Casablanca-class 7-qubit Falcon device (the "less noisy" machine of
+    /// the paper's Fig. 5).
+    pub fn casablanca_class() -> Self {
+        NoiseModel {
+            name: "ibmq-casablanca-class".into(),
+            p1: 4e-4,
+            p2: 1.2e-2,
+            readout: 2.2e-2,
+        }
+    }
+
+    /// Manhattan-class 65-qubit Hummingbird device (the noisier machine of
+    /// the paper's Fig. 5).
+    pub fn manhattan_class() -> Self {
+        NoiseModel {
+            name: "ibmq-manhattan-class".into(),
+            p1: 9e-4,
+            p2: 3.2e-2,
+            readout: 6.0e-2,
+        }
+    }
+
+    /// Runs a circuit on `|0…0⟩` with this noise model, inserting a
+    /// depolarizing channel after every gate.
+    pub fn run(&self, circuit: &Circuit) -> DensityMatrix {
+        let mut rho = DensityMatrix::zero_state(circuit.num_qubits());
+        for g in circuit.gates() {
+            rho.apply_gate(g);
+            match g {
+                Gate::Cx { control, target } => rho.depolarize2(*control, *target, self.p2),
+                Gate::Cz(a, b) => rho.depolarize2(*a, *b, self.p2),
+                other => rho.depolarize1(other.qubits()[0], self.p1),
+            }
+        }
+        rho
+    }
+
+    /// Expectation of `op` after running `circuit` noisily, including the
+    /// readout-error attenuation.
+    ///
+    /// Measuring a weight-`w` Pauli term through symmetric per-qubit
+    /// readout flips with probability `ε` attenuates its expectation by
+    /// `(1 − 2ε)^w` exactly, so the readout channel is applied analytically
+    /// per term rather than by sampling.
+    pub fn expectation(&self, circuit: &Circuit, op: &PauliOp) -> f64 {
+        let rho = self.run(circuit);
+        self.expectation_of(&rho, op)
+    }
+
+    /// Readout-attenuated expectation on an already-evolved state.
+    pub fn expectation_of(&self, rho: &DensityMatrix, op: &PauliOp) -> f64 {
+        let damp = 1.0 - 2.0 * self.readout;
+        let mut total = 0.0;
+        for (p, c) in op.iter() {
+            let single = PauliOp::from_terms(op.num_qubits(), [(*c, *p)]);
+            total += rho.expectation(&single) * damp.powi(p.weight() as i32);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xx() -> PauliOp {
+        "XX".parse().unwrap()
+    }
+
+    fn microbench_circuit(theta: f64) -> Circuit {
+        let mut c = Circuit::new(2);
+        c.ry(0, theta).cx(0, 1);
+        c
+    }
+
+    fn sweep_min(model: &NoiseModel) -> f64 {
+        let mut best = f64::INFINITY;
+        for k in 0..128 {
+            let theta = k as f64 / 128.0 * std::f64::consts::TAU;
+            let v = model.expectation(&microbench_circuit(theta), &xx());
+            best = best.min(v);
+        }
+        best
+    }
+
+    #[test]
+    fn ideal_model_reaches_exact_minimum() {
+        let min = sweep_min(&NoiseModel::ideal());
+        assert!((min + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn casablanca_class_matches_paper_band() {
+        // Paper Fig. 5: the better device bottoms out around −0.85.
+        let min = sweep_min(&NoiseModel::casablanca_class());
+        assert!(min > -0.93 && min < -0.78, "got {min}");
+    }
+
+    #[test]
+    fn manhattan_class_matches_paper_band() {
+        // Paper Fig. 5: the noisier device bottoms out around −0.70.
+        let min = sweep_min(&NoiseModel::manhattan_class());
+        assert!(min > -0.80 && min < -0.60, "got {min}");
+    }
+
+    #[test]
+    fn noise_ordering_is_monotone() {
+        let ideal = sweep_min(&NoiseModel::ideal());
+        let good = sweep_min(&NoiseModel::casablanca_class());
+        let bad = sweep_min(&NoiseModel::manhattan_class());
+        assert!(ideal < good && good < bad);
+    }
+
+    #[test]
+    fn readout_attenuation_by_weight() {
+        let model = NoiseModel { name: "t".into(), p1: 0.0, p2: 0.0, readout: 0.1 };
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        // ⟨XX⟩ = 1 ideally, attenuated by (1-0.2)² = 0.64.
+        let v = model.expectation(&c, &xx());
+        assert!((v - 0.64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Finite-shot expectation estimation.
+//!
+//! Real devices estimate each Pauli term from a finite number of
+//! measurement shots: rotate every non-identity site into the Z basis,
+//! sample bitstrings, optionally flip bits with the readout-error
+//! probability, and average parities. This estimator reproduces that
+//! statistics path on top of the statevector backend (the paper's note
+//! that stabilizer terms need only *one* shot — §3 step 7 — is exactly
+//! the contrast this module makes concrete).
+
+use cafqa_circuit::Circuit;
+use cafqa_pauli::{Pauli, PauliOp, PauliString};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::statevector::Statevector;
+
+/// A finite-shot, readout-noisy expectation estimator.
+#[derive(Debug, Clone)]
+pub struct ShotEstimator {
+    /// Shots per Pauli term.
+    pub shots: usize,
+    /// Symmetric readout flip probability per measured qubit.
+    pub readout_error: f64,
+    /// RNG seed (deterministic sampling).
+    pub seed: u64,
+}
+
+impl ShotEstimator {
+    /// A noiseless estimator with the given shot budget.
+    pub fn new(shots: usize) -> Self {
+        ShotEstimator { shots, readout_error: 0.0, seed: 0x5807 }
+    }
+
+    /// The basis-change circuit that maps a Pauli string's eigenbasis onto
+    /// the computational basis (`X → H`, `Y → S† H`).
+    fn basis_change(p: &PauliString) -> Circuit {
+        let mut c = Circuit::new(p.num_qubits());
+        for (q, site) in p.iter().enumerate() {
+            match site {
+                Pauli::X => {
+                    c.h(q);
+                }
+                Pauli::Y => {
+                    c.sdg(q).h(q);
+                }
+                Pauli::I | Pauli::Z => {}
+            }
+        }
+        c
+    }
+
+    /// Estimates `⟨ψ(circuit)|H|ψ(circuit)⟩` from sampled shots.
+    ///
+    /// Identity terms contribute exactly; every other term is estimated
+    /// with `self.shots` samples in its own measurement basis.
+    pub fn expectation(&self, circuit: &Circuit, op: &PauliOp) -> f64 {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let base = Statevector::from_circuit(circuit);
+        let mut total = 0.0;
+        for (p, c) in op.iter() {
+            if p.is_identity() {
+                total += c.re;
+                continue;
+            }
+            let mut rotated = base.clone();
+            rotated.apply_circuit(&Self::basis_change(p));
+            let support = p.x_mask() | p.z_mask();
+            let samples = rotated.sample(&mut rng, self.shots);
+            let mut acc = 0i64;
+            for mut bits in samples {
+                if self.readout_error > 0.0 {
+                    for q in 0..op.num_qubits() {
+                        if support & (1 << q) != 0 && rng.gen::<f64>() < self.readout_error {
+                            bits ^= 1 << q;
+                        }
+                    }
+                }
+                let parity = (bits & support).count_ones() % 2;
+                acc += if parity == 0 { 1 } else { -1 };
+            }
+            total += c.re * acc as f64 / self.shots as f64;
+        }
+        total
+    }
+
+    /// Total shots this estimator spends on an operator (the quantity the
+    /// paper's one-shot-per-stabilizer-term observation saves).
+    pub fn shot_budget(&self, op: &PauliOp) -> usize {
+        op.iter().filter(|(p, _)| !p.is_identity()).count() * self.shots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn converges_to_exact_expectation() {
+        let c = bell();
+        let h: PauliOp = "0.5*XX + 0.5*ZZ - 0.25*YY".parse().unwrap();
+        let exact = Statevector::from_circuit(&c).expectation(&h).re;
+        let estimator = ShotEstimator::new(20_000);
+        let est = estimator.expectation(&c, &h);
+        assert!((est - exact).abs() < 0.03, "{est} vs {exact}");
+    }
+
+    #[test]
+    fn deterministic_terms_need_few_shots() {
+        // On the Bell state ⟨ZZ⟩ = +1 deterministically: even 1 shot is
+        // exact — the stabilizer one-shot observation from the paper.
+        let c = bell();
+        let zz: PauliOp = "ZZ".parse().unwrap();
+        let estimator = ShotEstimator::new(1);
+        assert_eq!(estimator.expectation(&c, &zz), 1.0);
+    }
+
+    #[test]
+    fn readout_error_attenuates() {
+        let c = bell();
+        let zz: PauliOp = "ZZ".parse().unwrap();
+        let noisy = ShotEstimator { shots: 40_000, readout_error: 0.1, seed: 3 };
+        let est = noisy.expectation(&c, &zz);
+        // Expect (1-2·0.1)² = 0.64 up to sampling error.
+        assert!((est - 0.64).abs() < 0.03, "{est}");
+    }
+
+    #[test]
+    fn identity_is_exact_and_free() {
+        let c = bell();
+        let op: PauliOp = "2.5*II".parse().unwrap();
+        let estimator = ShotEstimator::new(1);
+        assert_eq!(estimator.expectation(&c, &op), 2.5);
+        assert_eq!(estimator.shot_budget(&op), 0);
+    }
+
+    #[test]
+    fn y_basis_rotation_is_correct() {
+        // Ry(π/2)|0⟩... use S|+⟩ = |+i⟩ with ⟨Y⟩ = +1.
+        let mut c = Circuit::new(1);
+        c.h(0).s(0);
+        let y: PauliOp = "Y".parse().unwrap();
+        let estimator = ShotEstimator::new(100);
+        assert_eq!(estimator.expectation(&c, &y), 1.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Dense statevector simulation (the "ideal machine" of the paper).
+
+use cafqa_circuit::{Circuit, Gate};
+use cafqa_linalg::Complex64;
+use cafqa_pauli::PauliOp;
+
+/// Maximum register width for dense simulation (memory guard).
+pub const MAX_DENSE_QUBITS: usize = 24;
+
+/// A dense `2^n`-amplitude pure state.
+///
+/// Qubit `q` corresponds to bit `q` of the basis index.
+///
+/// # Examples
+///
+/// ```
+/// use cafqa_circuit::Circuit;
+/// use cafqa_sim::Statevector;
+///
+/// // Bell state ⟨XX⟩ = 1.
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let psi = Statevector::from_circuit(&c);
+/// let xx = "XX".parse().unwrap();
+/// assert!((psi.expectation(&xx).re - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Statevector {
+    n: usize,
+    amps: Vec<Complex64>,
+}
+
+impl Statevector {
+    /// The all-zeros state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 24`.
+    pub fn zero_state(n: usize) -> Self {
+        assert!(n <= MAX_DENSE_QUBITS, "dense simulation limited to {MAX_DENSE_QUBITS} qubits");
+        let mut amps = vec![Complex64::ZERO; 1 << n];
+        amps[0] = Complex64::ONE;
+        Statevector { n, amps }
+    }
+
+    /// The computational basis state `|bits⟩`.
+    pub fn basis_state(n: usize, bits: u64) -> Self {
+        let mut s = Statevector::zero_state(n);
+        s.amps[0] = Complex64::ZERO;
+        s.amps[bits as usize] = Complex64::ONE;
+        s
+    }
+
+    /// Runs `circuit` on `|0…0⟩`.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut s = Statevector::zero_state(circuit.num_qubits());
+        s.apply_circuit(circuit);
+        s
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The raw amplitudes, indexed by basis state.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// The amplitude `⟨bits|ψ⟩`.
+    #[inline]
+    pub fn amplitude(&self, bits: u64) -> Complex64 {
+        self.amps[bits as usize]
+    }
+
+    /// Overwrites the amplitude vector (used by the Clifford+T branch
+    /// engine to install a weighted branch sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amps.len() != 2^n`.
+    pub fn set_amplitudes(&mut self, amps: &[Complex64]) {
+        assert_eq!(amps.len(), self.amps.len(), "amplitude vector length mismatch");
+        self.amps.copy_from_slice(amps);
+    }
+
+    /// Applies one gate in place.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::Cx { control, target } => {
+                let cm = 1usize << control;
+                let tm = 1usize << target;
+                for b in 0..self.amps.len() {
+                    if b & cm != 0 && b & tm == 0 {
+                        self.amps.swap(b, b | tm);
+                    }
+                }
+            }
+            Gate::Cz(a, b) => {
+                let mask = (1usize << a) | (1usize << b);
+                for (idx, amp) in self.amps.iter_mut().enumerate() {
+                    if idx & mask == mask {
+                        *amp = -*amp;
+                    }
+                }
+            }
+            ref g => {
+                let u = g
+                    .single_qubit_unitary()
+                    .expect("all single-qubit gates provide a unitary");
+                let q = g.qubits()[0];
+                let qm = 1usize << q;
+                for b in 0..self.amps.len() {
+                    if b & qm == 0 {
+                        let a0 = self.amps[b];
+                        let a1 = self.amps[b | qm];
+                        self.amps[b] = u[0] * a0 + u[1] * a1;
+                        self.amps[b | qm] = u[2] * a0 + u[3] * a1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies every gate of a circuit in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(circuit.num_qubits() <= self.n, "circuit wider than state");
+        for g in circuit.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// The inner product `⟨self|other⟩`.
+    pub fn inner(&self, other: &Statevector) -> Complex64 {
+        assert_eq!(self.n, other.n, "statevector width mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// The squared norm (1 for any circuit output).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Exact expectation value `⟨ψ|H|ψ⟩` of a Pauli-sum operator.
+    pub fn expectation(&self, op: &PauliOp) -> Complex64 {
+        assert_eq!(op.num_qubits(), self.n, "operator width mismatch");
+        let mut total = Complex64::ZERO;
+        for (p, c) in op.iter() {
+            let base = Complex64::i_pow(p.y_count() as i32);
+            let xm = p.x_mask() as usize;
+            let zm = p.z_mask();
+            let mut acc = Complex64::ZERO;
+            for (b, amp) in self.amps.iter().enumerate() {
+                if amp.norm_sqr() == 0.0 {
+                    continue;
+                }
+                let sign = if (zm & b as u64).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                acc += self.amps[b ^ xm].conj() * (base * sign * *amp);
+            }
+            total += *c * acc;
+        }
+        total
+    }
+
+    /// Measurement probabilities in the computational basis.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Samples `shots` computational-basis outcomes.
+    pub fn sample(&self, rng: &mut impl rand::Rng, shots: usize) -> Vec<u64> {
+        let probs = self.probabilities();
+        let mut cumulative = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in probs {
+            acc += p;
+            cumulative.push(acc);
+        }
+        (0..shots)
+            .map(|_| {
+                let r: f64 = rng.gen::<f64>() * acc;
+                cumulative.partition_point(|&c| c < r) as u64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn op(s: &str) -> PauliOp {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn zero_state_probabilities() {
+        let s = Statevector::zero_state(3);
+        assert_eq!(s.amplitude(0), Complex64::ONE);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let s = Statevector::from_circuit(&c);
+        assert_eq!(s.amplitude(0b10), Complex64::ONE);
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = Statevector::from_circuit(&c);
+        assert!((s.expectation(&op("XX")).re - 1.0).abs() < 1e-12);
+        assert!((s.expectation(&op("ZZ")).re - 1.0).abs() < 1e-12);
+        assert!((s.expectation(&op("YY")).re + 1.0).abs() < 1e-12);
+        assert!(s.expectation(&op("ZI")).re.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ry_rotation_expectation_curve() {
+        // ⟨Z⟩ after Ry(θ)|0⟩ is cos θ; ⟨X⟩ is sin θ.
+        for &theta in &[0.3, 1.2, 2.8, -0.7] {
+            let mut c = Circuit::new(1);
+            c.ry(0, theta);
+            let s = Statevector::from_circuit(&c);
+            assert!((s.expectation(&op("Z")).re - theta.cos()).abs() < 1e-12);
+            assert!((s.expectation(&op("X")).re - theta.sin()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn microbenchmark_xx_curve() {
+        // The paper's Fig. 5 system: Ry(θ) on q0 then CX gives ⟨XX⟩ = sin θ.
+        for &theta in &[0.0, FRAC_PI_2, PI, 4.0] {
+            let mut c = Circuit::new(2);
+            c.ry(0, theta).cx(0, 1);
+            let s = Statevector::from_circuit(&c);
+            assert!(
+                (s.expectation(&op("XX")).re - theta.sin()).abs() < 1e-12,
+                "theta={theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn global_phase_invisible_in_expectations() {
+        let mut c1 = Circuit::new(1);
+        c1.z(0).x(0).z(0).x(0); // = -I
+        let s = Statevector::from_circuit(&c1);
+        assert!((s.amplitude(0) - Complex64::new(-1.0, 0.0)).norm() < 1e-12);
+        assert!((s.expectation(&op("Z")).re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rz_phases_basis_states() {
+        let mut c = Circuit::new(1);
+        c.x(0).rz(0, FRAC_PI_2);
+        let s = Statevector::from_circuit(&c);
+        let expect = Complex64::from_polar(1.0, FRAC_PI_2 / 2.0);
+        assert!(s.amplitude(1).approx_eq(expect, 1e-12));
+    }
+
+    #[test]
+    fn cz_is_symmetric() {
+        let mut c1 = Circuit::new(2);
+        c1.h(0).h(1).cz(0, 1);
+        let mut c2 = Circuit::new(2);
+        c2.h(0).h(1).cz(1, 0);
+        let s1 = Statevector::from_circuit(&c1);
+        let s2 = Statevector::from_circuit(&c2);
+        assert!((s1.inner(&s2).re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_circuit_returns_to_zero() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 0.9).s(1).cx(1, 2).rz(0, -0.4);
+        let mut s = Statevector::from_circuit(&c);
+        s.apply_circuit(&c.inverse());
+        assert!((s.amplitude(0).norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let s = Statevector::from_circuit(&c);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let samples = s.sample(&mut rng, 4000);
+        let ones = samples.iter().filter(|&&b| b == 1).count();
+        assert!((ones as f64 / 4000.0 - 0.5).abs() < 0.05);
+    }
+}

@@ -1,0 +1,27 @@
+//! Dissociation-curve scenario: CAFQA vs HF vs exact across LiH bond
+//! lengths (a miniature of the paper's Fig. 9).
+//!
+//! Run with: `cargo run --release --example lih_dissociation`
+
+use cafqa::chem::{ChemPipeline, MoleculeKind, ScfKind};
+use cafqa::core::metrics::correlation_recovered;
+use cafqa::core::{CafqaOptions, MolecularCafqa};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("bond_A     E_HF       E_CAFQA     E_exact    recovered");
+    for bond in [1.2, 1.6, 2.4, 3.2, 4.0] {
+        let pipe = ChemPipeline::build(MoleculeKind::LiH, bond, &ScfKind::Rhf)?;
+        let (na, nb) = pipe.default_sector();
+        let problem = pipe.problem(na, nb, true)?;
+        let hf = problem.hf_energy;
+        let exact = problem.exact_energy.unwrap();
+        let runner = MolecularCafqa::new(problem);
+        let result = runner.run(&CafqaOptions::quick());
+        println!(
+            "{bond:>5.2}  {hf:>10.6}  {:>10.6}  {exact:>10.6}  {:>7.2}%",
+            result.energy,
+            correlation_recovered(result.energy, hf, exact)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! CAFQA: a Clifford Ansatz For Quantum Accuracy — facade crate.
+//!
+//! A from-scratch Rust reproduction of *CAFQA: A Classical Simulation
+//! Bootstrap for Variational Quantum Algorithms* (Ravi et al.,
+//! ASPLOS 2023). This crate re-exports the whole workspace:
+//!
+//! - [`chem`] — STO-3G integrals, Hartree-Fock, fermion mappings, FCI
+//! - [`clifford`] — stabilizer tableau + Clifford+T branch simulation
+//! - [`circuit`] — circuit IR and the hardware-efficient SU2 ansatz
+//! - [`sim`] — statevector / density-matrix simulators and noise models
+//! - [`bayesopt`] — random-forest Bayesian optimization
+//! - [`vqe`] — SPSA tuning loop
+//! - [`core`] — the CAFQA search itself
+//!
+//! # Examples
+//!
+//! ```
+//! use cafqa::chem::{ChemPipeline, MoleculeKind, ScfKind};
+//! use cafqa::core::{CafqaOptions, MolecularCafqa};
+//!
+//! let pipe = ChemPipeline::build(MoleculeKind::H2, 2.0, &ScfKind::Rhf)?;
+//! let problem = pipe.problem(1, 1, true)?;
+//! let runner = MolecularCafqa::new(problem);
+//! let result = runner.run(&CafqaOptions::quick());
+//! assert!(result.energy <= runner.problem().hf_energy + 1e-9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cafqa_bayesopt as bayesopt;
+pub use cafqa_chem as chem;
+pub use cafqa_circuit as circuit;
+pub use cafqa_clifford as clifford;
+pub use cafqa_core as core;
+pub use cafqa_linalg as linalg;
+pub use cafqa_pauli as pauli;
+pub use cafqa_sim as sim;
+pub use cafqa_vqe as vqe;

@@ -1,0 +1,125 @@
+//! Failure-injection and boundary tests across the workspace.
+
+use cafqa::bayesopt::{minimize, BoOptions, SearchSpace};
+use cafqa::chem::{
+    fci_ground_state, hydrogen_chain, ChemPipeline, MoleculeKind, ScfKind, ScfOptions,
+};
+use cafqa::circuit::{Ansatz, Circuit, EfficientSu2};
+use cafqa::clifford::{BranchDecomposition, CliffordTError, Tableau};
+use cafqa::core::{CafqaOptions, MolecularCafqa, Penalty};
+use cafqa::pauli::{PauliOp, PauliString};
+
+/// The FCI guard refuses infeasible determinant spaces instead of
+/// allocating; the Cr2-class surrogate must hit this path.
+#[test]
+fn fci_refuses_h18() {
+    let pipe = cafqa::chem::ChemPipeline::from_molecule(
+        hydrogen_chain(18, 1.0),
+        None,
+        &ScfKind::Rhf,
+        &ScfOptions::robust(),
+    );
+    // SCF may or may not converge fully; either way the FCI space is too
+    // large and must be refused cleanly.
+    if let Ok(pipe) = pipe {
+        let r = fci_ground_state(&pipe.spin_integrals, 9, 9);
+        assert!(matches!(r, Err(cafqa::chem::FciError::TooLarge { .. })));
+    }
+}
+
+/// A non-Clifford circuit is rejected by the tableau but accepted by the
+/// branch engine — and the branch engine enforces its own budget.
+#[test]
+fn simulator_boundaries() {
+    let mut c = Circuit::new(2);
+    c.h(0).ry(1, 0.7);
+    assert!(Tableau::from_circuit(&c).is_err());
+    assert!(BranchDecomposition::new(&c).is_ok());
+    let mut too_many = Circuit::new(1);
+    for _ in 0..20 {
+        too_many.t(0);
+    }
+    assert!(matches!(
+        BranchDecomposition::new(&too_many),
+        Err(CliffordTError::TooManyBranches { count: 20 })
+    ));
+}
+
+/// The cation sector of a shared pipeline differs from the neutral one in
+/// both Hamiltonian constants and HF bits — a regression test for the
+/// sector-dependent two-qubit reduction.
+#[test]
+fn sector_reduction_constants_differ() {
+    let pipe = ChemPipeline::build(MoleculeKind::H2, 1.0, &ScfKind::Rhf).unwrap();
+    let neutral = pipe.problem(1, 1, false).unwrap();
+    let cation = pipe.problem(1, 0, false).unwrap();
+    assert_ne!(neutral.hf_bits, cation.hf_bits);
+    // Same register, different tapering constants ⇒ different identity
+    // coefficient in at least one operator.
+    assert_eq!(neutral.n_qubits, cation.n_qubits);
+    let ni = neutral.hamiltonian.identity_coefficient();
+    let ci = cation.hamiltonian.identity_coefficient();
+    assert!((ni - ci).norm() > 1e-12 || neutral.hamiltonian != cation.hamiltonian);
+}
+
+/// BO handles degenerate spaces: single-parameter, and seeds equal to the
+/// whole space.
+#[test]
+fn bo_degenerate_spaces() {
+    let space = SearchSpace::uniform(1, 4);
+    let opts = BoOptions { warmup: 10, iterations: 20, ..Default::default() };
+    let r = minimize(&space, |c| c[0] as f64, &[], &opts);
+    assert_eq!(r.best_value, 0.0);
+    // Seeding every point of the space up front still terminates.
+    let seeds: Vec<Vec<usize>> = (0..4).map(|k| vec![k]).collect();
+    let r = minimize(&space, |c| c[0] as f64, &seeds, &opts);
+    assert_eq!(r.best_value, 0.0);
+    assert_eq!(r.iterations_to_best, 1);
+}
+
+/// Penalties with zero weight change nothing; penalties with huge weight
+/// dominate — the objective is linear in them.
+#[test]
+fn penalty_weight_scaling() {
+    let h: PauliOp = "Z".parse().unwrap();
+    let ansatz = EfficientSu2::new(1, 0);
+    let x_op: PauliOp = "X".parse().unwrap();
+    let free = cafqa::core::CliffordObjective::new(&ansatz, &h);
+    let weighted = cafqa::core::CliffordObjective::new(&ansatz, &h)
+        .with_penalty(Penalty::new("x", &x_op, 1.0, 100.0));
+    // |0⟩: ⟨X⟩ = 0 ⇒ (X−1)² expectation is 1+... = ⟨X²⟩ −2⟨X⟩ +1 = 2.
+    let cfg = vec![0usize, 0];
+    assert_eq!(free.evaluate(&cfg).energy, weighted.evaluate(&cfg).energy);
+    assert!((weighted.evaluate(&cfg).penalized - (1.0 + 200.0)).abs() < 1e-9);
+}
+
+/// The polish stage never worsens the result and respects the HF bound
+/// even with zero BO iterations.
+#[test]
+fn polish_only_search_respects_hf_bound() {
+    let pipe = ChemPipeline::build(MoleculeKind::H2, 2.96, &ScfKind::Rhf).unwrap();
+    let problem = pipe.problem(1, 1, true).unwrap();
+    let exact = problem.exact_energy.unwrap();
+    let runner = MolecularCafqa::new(problem);
+    // No warmup, no BO — pure coordinate descent from the HF seed.
+    let opts = CafqaOptions { warmup: 0, iterations: 0, polish_sweeps: 8, ..Default::default() };
+    let result = runner.run(&opts);
+    assert!(result.energy <= runner.problem().hf_energy + 1e-9);
+    assert!(result.energy >= exact - 1e-9);
+    // At extreme stretch, even polish-only recovers most correlation.
+    let recovered = (runner.problem().hf_energy - result.energy)
+        / (runner.problem().hf_energy - exact);
+    assert!(recovered > 0.5, "recovered {recovered}");
+}
+
+/// Pauli strings survive the full 64-qubit boundary.
+#[test]
+fn pauli_at_64_qubits() {
+    let p = PauliString::from_masks(64, u64::MAX, 0);
+    assert_eq!(p.weight(), 64);
+    let q = PauliString::from_masks(64, 0, u64::MAX);
+    assert!(!p.commutes_with(&q) == (64 % 2 == 1) || p.commutes_with(&q));
+    let (k, prod) = p.mul(&q);
+    assert_eq!(prod.y_count(), 64);
+    assert_eq!(k.rem_euclid(2), 0);
+}

@@ -1,0 +1,93 @@
+//! Integration tests for the estimator stack: exact, noisy, and
+//! finite-shot expectation paths must tell one consistent story.
+
+use cafqa::chem::{ChemPipeline, MoleculeKind, ScfKind};
+use cafqa::circuit::{Ansatz, EfficientSu2};
+use cafqa::core::{CafqaOptions, MolecularCafqa};
+use cafqa::sim::{NoiseModel, ShotEstimator, Statevector};
+
+/// Finite-shot estimation of a CAFQA-initialized molecular circuit agrees
+/// with the exact statevector expectation within sampling error.
+#[test]
+fn shot_estimator_agrees_with_exact_on_molecular_circuit() {
+    let pipe = ChemPipeline::build(MoleculeKind::H2, 1.2, &ScfKind::Rhf).unwrap();
+    let problem = pipe.problem(1, 1, false).unwrap();
+    let h = problem.hamiltonian.clone();
+    let runner = MolecularCafqa::new(problem);
+    let result = runner.run(&CafqaOptions::quick());
+    let circuit = runner.circuit(&result);
+    let exact = Statevector::from_circuit(&circuit).expectation(&h).re;
+    let estimated = ShotEstimator::new(30_000).expectation(&circuit, &h);
+    assert!(
+        (exact - estimated).abs() < 0.02,
+        "exact {exact} vs estimated {estimated}"
+    );
+    // And the tableau value CAFQA reported is the same number.
+    assert!((exact - result.energy).abs() < 1e-9);
+}
+
+/// Stabilizer states need exactly one shot per term (paper §3 step 7):
+/// the 1-shot estimate on a Clifford circuit is *exact*.
+#[test]
+fn one_shot_is_exact_on_stabilizer_states() {
+    let pipe = ChemPipeline::build(MoleculeKind::H2, 2.0, &ScfKind::Rhf).unwrap();
+    let problem = pipe.problem(1, 1, false).unwrap();
+    let h = problem.hamiltonian.clone();
+    let runner = MolecularCafqa::new(problem);
+    let result = runner.run(&CafqaOptions::quick());
+    let circuit = runner.circuit(&result);
+    for seed in 0..5 {
+        let one_shot = ShotEstimator { shots: 1, readout_error: 0.0, seed };
+        let estimate = one_shot.expectation(&circuit, &h);
+        assert!(
+            (estimate - result.energy).abs() < 1e-9,
+            "seed {seed}: {estimate} vs {}",
+            result.energy
+        );
+    }
+}
+
+/// Noise strictly degrades the energy estimate of a good initialization,
+/// and worse devices degrade it more (the Fig. 5 ordering, end to end on
+/// a molecular circuit).
+#[test]
+fn noise_ordering_on_molecular_circuit() {
+    let pipe = ChemPipeline::build(MoleculeKind::H2, 0.74, &ScfKind::Rhf).unwrap();
+    let problem = pipe.problem(1, 1, false).unwrap();
+    let h = problem.hamiltonian.clone();
+    let runner = MolecularCafqa::new(problem);
+    let result = runner.run(&CafqaOptions::quick());
+    let circuit = runner.circuit(&result);
+    let ideal = Statevector::from_circuit(&circuit).expectation(&h).re;
+    let good = NoiseModel::casablanca_class().expectation(&circuit, &h);
+    let bad = NoiseModel::manhattan_class().expectation(&circuit, &h);
+    assert!(ideal < good, "ideal {ideal} vs casablanca {good}");
+    assert!(good < bad, "casablanca {good} vs manhattan {bad}");
+}
+
+/// The S² penalty steers the search toward the requested spin sector.
+#[test]
+fn s_squared_penalty_respects_sector() {
+    let pipe = ChemPipeline::build(MoleculeKind::H2, 1.5, &ScfKind::Rhf).unwrap();
+    let problem = pipe.problem(1, 1, true).unwrap();
+    let exact = problem.exact_energy.unwrap();
+    let runner = MolecularCafqa::new(problem);
+    let opts = CafqaOptions {
+        warmup: 80,
+        iterations: 120,
+        s2_penalty: 0.5,
+        ..Default::default()
+    };
+    let result = runner.run(&opts);
+    // Still lands between exact and HF — penalties never push the raw
+    // energy report off the physical branch.
+    assert!(result.energy >= exact - 1e-9);
+    assert!(result.energy <= runner.problem().hf_energy + 1e-9);
+    // The winning state is (numerically) a singlet.
+    let ansatz = EfficientSu2::new(runner.problem().n_qubits, 1);
+    let circuit = ansatz.bind_clifford(&result.best_config);
+    let s2 = Statevector::from_circuit(&circuit)
+        .expectation(&runner.problem().s_squared_op)
+        .re;
+    assert!(s2.abs() < 0.6, "S² = {s2}");
+}

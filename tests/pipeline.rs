@@ -1,0 +1,84 @@
+//! Cross-crate integration tests: the full paper pipeline end to end.
+
+use cafqa::chem::{qubit_ground_energy, ChemPipeline, MoleculeKind, ScfKind};
+use cafqa::circuit::{Ansatz, EfficientSu2};
+use cafqa::clifford::Tableau;
+use cafqa::core::metrics::correlation_recovered;
+use cafqa::core::{CafqaOptions, MolecularCafqa};
+use cafqa::sim::Statevector;
+use cafqa::vqe::{run_vqe, IdealBackend, SpsaOptions};
+
+/// Geometry → integrals → SCF → qubit Hamiltonian → CAFQA → VQE, with
+/// every energy relation the paper relies on checked along the way.
+#[test]
+fn full_pipeline_h2_stretched() {
+    let pipe = ChemPipeline::build(MoleculeKind::H2, 2.4, &ScfKind::Rhf).unwrap();
+    let problem = pipe.problem(1, 1, true).unwrap();
+    let hf = problem.hf_energy;
+    let exact = problem.exact_energy.unwrap();
+    assert!(exact < hf, "correlation energy must be positive");
+
+    let runner = MolecularCafqa::new(problem);
+    let cafqa = runner.run(&CafqaOptions::quick());
+    // CAFQA ∈ [exact, HF]: variational from above, seeded from HF.
+    assert!(cafqa.energy <= hf + 1e-9);
+    assert!(cafqa.energy >= exact - 1e-9);
+    assert!(correlation_recovered(cafqa.energy, hf, exact) > 50.0);
+
+    // Post-CAFQA VQE on the ideal backend refines toward exact.
+    let h = runner.problem().hamiltonian.clone();
+    let spsa = SpsaOptions { iterations: 250, ..Default::default() };
+    let vqe = run_vqe(&runner.ansatz, &h, &cafqa.initial_angles(), &IdealBackend, &spsa);
+    assert!(vqe.best_energy <= cafqa.energy + 1e-9);
+    assert!(vqe.best_energy >= exact - 1e-6);
+}
+
+/// The tableau and dense simulators agree on every Clifford configuration
+/// of the molecular ansatz (Gottesman–Knill end-to-end).
+#[test]
+fn stabilizer_and_dense_agree_on_molecular_ansatz() {
+    let pipe = ChemPipeline::build(MoleculeKind::H2, 1.0, &ScfKind::Rhf).unwrap();
+    let problem = pipe.problem(1, 1, false).unwrap();
+    let ansatz = EfficientSu2::new(problem.n_qubits, 1);
+    for k in 0..4 {
+        let config = vec![k; ansatz.num_parameters()];
+        let circuit = ansatz.bind_clifford(&config);
+        let tab = Tableau::from_circuit(&circuit).unwrap().expectation(&problem.hamiltonian);
+        let dense = Statevector::from_circuit(&circuit)
+            .expectation(&problem.hamiltonian)
+            .re;
+        assert!((tab - dense).abs() < 1e-9, "config {k}: {tab} vs {dense}");
+    }
+}
+
+/// The HF configuration is exactly representable and reproduces the SCF
+/// energy through the whole stack (ansatz → tableau → Hamiltonian).
+#[test]
+fn hf_roundtrip_through_every_layer() {
+    for (kind, bond) in [(MoleculeKind::H2, 0.74), (MoleculeKind::LiH, 1.6)] {
+        let pipe = ChemPipeline::build(kind, bond, &ScfKind::Rhf).unwrap();
+        let (na, nb) = pipe.default_sector();
+        let problem = pipe.problem(na, nb, false).unwrap();
+        let ansatz = EfficientSu2::new(problem.n_qubits, 1);
+        let config = ansatz.basis_state_config(problem.hf_bits);
+        let circuit = ansatz.bind_clifford(&config);
+        let energy = Tableau::from_circuit(&circuit).unwrap().expectation(&problem.hamiltonian);
+        assert!(
+            (energy - problem.scf_energy).abs() < 1e-8,
+            "{}: {energy} vs scf {}",
+            kind.name(),
+            problem.scf_energy
+        );
+    }
+}
+
+/// Qubit-space Lanczos agrees with determinant FCI through the facade.
+#[test]
+fn exact_solvers_cross_validate() {
+    let pipe = ChemPipeline::build(MoleculeKind::H6, 1.3, &ScfKind::Rhf).unwrap();
+    let (na, nb) = pipe.default_sector();
+    let problem = pipe.problem(na, nb, true).unwrap();
+    let qubit = qubit_ground_energy(&problem.hamiltonian).unwrap();
+    let fci = problem.exact_energy.unwrap();
+    assert!((qubit - fci).abs() < 1e-6, "{qubit} vs {fci}");
+}
