@@ -161,14 +161,14 @@ pub fn minimize(
     let mut stale = 0usize;
 
     let evaluate = |config: Vec<usize>,
-                        xs: &mut Vec<Vec<usize>>,
-                        ys: &mut Vec<f64>,
-                        history: &mut Vec<Evaluation>,
-                        seen: &mut HashSet<Vec<usize>>,
-                        best: &mut f64,
-                        best_config: &mut Vec<usize>,
-                        iterations_to_best: &mut usize,
-                        objective: &mut dyn FnMut(&[usize]) -> f64| {
+                    xs: &mut Vec<Vec<usize>>,
+                    ys: &mut Vec<f64>,
+                    history: &mut Vec<Evaluation>,
+                    seen: &mut HashSet<Vec<usize>>,
+                    best: &mut f64,
+                    best_config: &mut Vec<usize>,
+                    iterations_to_best: &mut usize,
+                    objective: &mut dyn FnMut(&[usize]) -> f64| {
         let value = objective(&config);
         if value < *best - 1e-15 {
             *best = value;
@@ -215,13 +215,8 @@ pub fn minimize(
     let mut forest: Option<RandomForest> = None;
     for it in 0..opts.iterations {
         if forest.is_none() || it % opts.refit_every.max(1) == 0 {
-            forest = Some(RandomForest::fit(
-                &xs,
-                &ys,
-                &space.cardinalities,
-                &opts.forest,
-                &mut rng,
-            ));
+            forest =
+                Some(RandomForest::fit(&xs, &ys, &space.cardinalities, &opts.forest, &mut rng));
         }
         let model = forest.as_ref().expect("fitted above");
         // Candidate pool: incumbent mutations + uniform samples.
@@ -278,12 +273,7 @@ mod tests {
     use super::*;
 
     fn quadratic(target: &[usize]) -> impl Fn(&[usize]) -> f64 + '_ {
-        move |c: &[usize]| {
-            c.iter()
-                .zip(target)
-                .map(|(&a, &t)| (a as f64 - t as f64).powi(2))
-                .sum()
-        }
+        move |c: &[usize]| c.iter().zip(target).map(|(&a, &t)| (a as f64 - t as f64).powi(2)).sum()
     }
 
     #[test]
@@ -302,11 +292,8 @@ mod tests {
         // Compare best-of-N for BO vs pure random on a rugged function.
         let space = SearchSpace::uniform(10, 4);
         let f = |c: &[usize]| {
-            let s: f64 = c
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| ((v as f64) - ((i % 4) as f64)).abs())
-                .sum();
+            let s: f64 =
+                c.iter().enumerate().map(|(i, &v)| ((v as f64) - ((i % 4) as f64)).abs()).sum();
             s + if c[0] == c[9] { 0.0 } else { 2.0 }
         };
         let opts = BoOptions { warmup: 50, iterations: 200, seed: 3, ..Default::default() };
@@ -323,7 +310,7 @@ mod tests {
         let space = SearchSpace::uniform(4, 4);
         let f = quadratic(&target);
         let opts = BoOptions { warmup: 5, iterations: 10, ..Default::default() };
-        let result = minimize(&space, |c| f(c), &[target.clone()], &opts);
+        let result = minimize(&space, |c| f(c), std::slice::from_ref(&target), &opts);
         assert_eq!(result.best_value, 0.0);
         assert_eq!(result.iterations_to_best, 1);
     }
@@ -357,12 +344,7 @@ mod tests {
     fn patience_stops_early() {
         let space = SearchSpace::uniform(3, 4);
         let f = |_: &[usize]| 1.0; // flat: nothing to improve
-        let opts = BoOptions {
-            warmup: 10,
-            iterations: 500,
-            patience: 20,
-            ..Default::default()
-        };
+        let opts = BoOptions { warmup: 10, iterations: 500, patience: 20, ..Default::default() };
         let result = minimize(&space, f, &[], &opts);
         assert!(result.history.len() < 100, "stopped after {}", result.history.len());
     }

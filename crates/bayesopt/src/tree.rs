@@ -85,11 +85,7 @@ impl RegressionTree {
             return Node::Leaf { value: mean(ys, idx) };
         }
         let d = cards.len();
-        let k = if opts.feature_subsample == 0 {
-            d
-        } else {
-            opts.feature_subsample.min(d)
-        };
+        let k = if opts.feature_subsample == 0 { d } else { opts.feature_subsample.min(d) };
         // Sample k distinct features.
         let mut features: Vec<usize> = (0..d).collect();
         for i in 0..k {

@@ -110,7 +110,7 @@ fn bench_fig09(c: &mut Criterion) {
         let mut k = 0usize;
         b.iter(|| {
             k = (k + 1) % 4;
-            black_box(objective.evaluate(&vec![k; 16]))
+            black_box(objective.evaluate(&[k; 16]))
         })
     });
 }
@@ -169,7 +169,7 @@ fn bench_fig14(c: &mut Criterion) {
     c.bench_function("fig14_spsa_vqe_10_iterations", |b| {
         b.iter(|| {
             let opts = SpsaOptions { iterations: 10, ..Default::default() };
-            black_box(run_vqe(&ansatz, &h, &vec![0.1; 16], &IdealBackend, &opts))
+            black_box(run_vqe(&ansatz, &h, &[0.1; 16], &IdealBackend, &opts))
         })
     });
 }

@@ -67,7 +67,13 @@ impl SpinIntegrals {
 /// Transforms the AO ERI tensor into the MO basis, with the first index
 /// pair over `c1`'s columns in `sel1` and the second over `c2`'s columns
 /// in `sel2`.
-fn transform_eri(ao: &EriTensor, c1: &Matrix, sel1: &[usize], c2: &Matrix, sel2: &[usize]) -> EriTensor {
+fn transform_eri(
+    ao: &EriTensor,
+    c1: &Matrix,
+    sel1: &[usize],
+    c2: &Matrix,
+    sel2: &[usize],
+) -> EriTensor {
     let n = ao.len();
     let m1 = sel1.len();
     let m2 = sel2.len();
@@ -160,10 +166,7 @@ pub fn active_space_integrals(
     space: &ActiveSpace,
 ) -> SpinIntegrals {
     let is_uhf = scf.coefficients_beta.is_some();
-    assert!(
-        !is_uhf || space.frozen.is_empty(),
-        "frozen core is only supported on RHF references"
-    );
+    assert!(!is_uhf || space.frozen.is_empty(), "frozen core is only supported on RHF references");
     let ca = &scf.coefficients;
     let cb = scf.coefficients_beta.as_ref().unwrap_or(ca);
     let n_ao = ca.rows();
@@ -181,15 +184,11 @@ pub fn active_space_integrals(
     // frozen blocks for the core correction; UHF has no frozen).
     let mut sel: Vec<usize> = space.frozen.clone();
     sel.extend(&space.active);
-    let pos_of_active: Vec<usize> =
-        (0..nact).map(|k| space.frozen.len() + k).collect();
+    let pos_of_active: Vec<usize> = (0..nact).map(|k| space.frozen.len() + k).collect();
 
     let eri_aa_sel = transform_eri(&ints.eri, ca, &sel, ca, &sel);
     let (eri_ab_sel, eri_bb_sel) = if is_uhf {
-        (
-            transform_eri(&ints.eri, ca, &sel, cb, &sel),
-            transform_eri(&ints.eri, cb, &sel, cb, &sel),
-        )
+        (transform_eri(&ints.eri, ca, &sel, cb, &sel), transform_eri(&ints.eri, cb, &sel, cb, &sel))
     } else {
         (eri_aa_sel.clone(), eri_aa_sel.clone())
     };
@@ -200,8 +199,7 @@ pub fn active_space_integrals(
     for (fi, &f) in space.frozen.iter().enumerate() {
         core_energy += 2.0 * ha_full[(f, f)];
         for fj in 0..nf {
-            core_energy +=
-                2.0 * eri_aa_sel.get(fi, fi, fj, fj) - eri_aa_sel.get(fi, fj, fj, fi);
+            core_energy += 2.0 * eri_aa_sel.get(fi, fi, fj, fj) - eri_aa_sel.get(fi, fj, fj, fi);
         }
     }
     let h_active = |h_full: &Matrix| -> Matrix {

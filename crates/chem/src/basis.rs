@@ -26,10 +26,9 @@ fn shells(element: Element) -> Vec<Shell> {
     const S_3S: [f64; 3] = [-0.219_620_369_0, 0.225_595_433_6, 0.900_398_426_0];
     const P_3P: [f64; 3] = [0.010_587_604_29, 0.595_167_005_3, 0.462_001_012_0];
     match element {
-        Element::H => vec![Shell::S {
-            exps: [3.425_250_91, 0.623_913_73, 0.168_855_40],
-            coefs: S_1S,
-        }],
+        Element::H => {
+            vec![Shell::S { exps: [3.425_250_91, 0.623_913_73, 0.168_855_40], coefs: S_1S }]
+        }
         Element::Li => vec![
             Shell::S { exps: [16.119_575_0, 2.936_200_7, 0.794_650_5], coefs: S_1S },
             Shell::Sp {

@@ -60,11 +60,7 @@ fn excite(det: u32, from: usize, to: usize) -> (u32, f64) {
     debug_assert!(det & (1 << from) != 0 && det & (1 << to) == 0);
     let removed = det & !(1 << from);
     let (lo, hi) = if from < to { (from + 1, to) } else { (to + 1, from) };
-    let between = if hi > lo {
-        (removed >> lo) & ((1 << (hi - lo)) - 1)
-    } else {
-        0
-    };
+    let between = if hi > lo { (removed >> lo) & ((1 << (hi - lo)) - 1) } else { 0 };
     let sign = if between.count_ones() % 2 == 0 { 1.0 } else { -1.0 };
     (removed | (1 << to), sign)
 }
@@ -136,14 +132,16 @@ fn diagonal_element(si: &SpinIntegrals, occ_a: &[usize], occ_b: &[usize]) -> f64
     }
     for &p in occ_a {
         for &q in occ_a {
-            e += 0.5 * (si.eri(Spin::Alpha, Spin::Alpha, p, p, q, q)
-                - si.eri(Spin::Alpha, Spin::Alpha, p, q, q, p));
+            e += 0.5
+                * (si.eri(Spin::Alpha, Spin::Alpha, p, p, q, q)
+                    - si.eri(Spin::Alpha, Spin::Alpha, p, q, q, p));
         }
     }
     for &p in occ_b {
         for &q in occ_b {
-            e += 0.5 * (si.eri(Spin::Beta, Spin::Beta, p, p, q, q)
-                - si.eri(Spin::Beta, Spin::Beta, p, q, q, p));
+            e += 0.5
+                * (si.eri(Spin::Beta, Spin::Beta, p, p, q, q)
+                    - si.eri(Spin::Beta, Spin::Beta, p, q, q, p));
         }
     }
     for &p in occ_a {
@@ -175,21 +173,19 @@ fn build_matrix(si: &SpinIntegrals, n_alpha: usize, n_beta: usize) -> Result<Fci
 
     // Precompute spin-resolved single excitations: (from_string_index,
     // to_string_index, p, q, sign).
-    let singles = |strs: &[u32],
-                   index: &HashMap<u32, usize>,
-                   occs: &[Vec<usize>],
-                   virts: &[Vec<usize>]| {
-        let mut out: Vec<Vec<(usize, usize, usize, f64)>> = vec![Vec::new(); strs.len()];
-        for (i, &d) in strs.iter().enumerate() {
-            for &p in &occs[i] {
-                for &q in &virts[i] {
-                    let (d2, sign) = excite(d, p, q);
-                    out[i].push((index[&d2], p, q, sign));
+    let singles =
+        |strs: &[u32], index: &HashMap<u32, usize>, occs: &[Vec<usize>], virts: &[Vec<usize>]| {
+            let mut out: Vec<Vec<(usize, usize, usize, f64)>> = vec![Vec::new(); strs.len()];
+            for (i, &d) in strs.iter().enumerate() {
+                for &p in &occs[i] {
+                    for &q in &virts[i] {
+                        let (d2, sign) = excite(d, p, q);
+                        out[i].push((index[&d2], p, q, sign));
+                    }
                 }
             }
-        }
-        out
-    };
+            out
+        };
     let singles_a = singles(&alphas, &a_index, &occ_a, &virt_a);
     let singles_b = singles(&betas, &b_index, &occ_b, &virt_b);
 
@@ -311,13 +307,14 @@ pub fn fci_ground_state(
         matrix.apply(&[1.0], &mut y);
         return Ok(FciResult { energy: y[0] + si.core_energy, dimension: 1, residual: 0.0 });
     }
-    let opts = LanczosOptions { max_subspace: 60, max_restarts: 60, tolerance: 1e-8, ..Default::default() };
+    let opts = LanczosOptions {
+        max_subspace: 60,
+        max_restarts: 60,
+        tolerance: 1e-8,
+        ..Default::default()
+    };
     let pair = lanczos::lowest_eigenpair(&matrix, &opts).map_err(FciError::Linalg)?;
-    Ok(FciResult {
-        energy: pair.value + si.core_energy,
-        dimension: dim,
-        residual: pair.residual,
-    })
+    Ok(FciResult { energy: pair.value + si.core_energy, dimension: dim, residual: pair.residual })
 }
 
 #[cfg(test)]

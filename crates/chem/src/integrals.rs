@@ -102,30 +102,33 @@ fn hermite_r(t: i32, u: i32, v: i32, n: usize, p: f64, pc: [f64; 3], f: &[f64]) 
 
 fn gaussian_product_center(a: f64, ca: [f64; 3], b: f64, cb: [f64; 3]) -> [f64; 3] {
     let p = a + b;
-    [
-        (a * ca[0] + b * cb[0]) / p,
-        (a * ca[1] + b * cb[1]) / p,
-        (a * ca[2] + b * cb[2]) / p,
-    ]
+    [(a * ca[0] + b * cb[0]) / p, (a * ca[1] + b * cb[1]) / p, (a * ca[2] + b * cb[2]) / p]
 }
 
-fn primitive_overlap(a: f64, la: [u32; 3], ca: [f64; 3], b: f64, lb: [u32; 3], cb: [f64; 3]) -> f64 {
+fn primitive_overlap(
+    a: f64,
+    la: [u32; 3],
+    ca: [f64; 3],
+    b: f64,
+    lb: [u32; 3],
+    cb: [f64; 3],
+) -> f64 {
     let p = a + b;
     let mut s = (std::f64::consts::PI / p).powf(1.5);
     for axis in 0..3 {
-        s *= hermite_e(
-            la[axis] as i32,
-            lb[axis] as i32,
-            0,
-            ca[axis] - cb[axis],
-            a,
-            b,
-        );
+        s *= hermite_e(la[axis] as i32, lb[axis] as i32, 0, ca[axis] - cb[axis], a, b);
     }
     s
 }
 
-fn primitive_kinetic(a: f64, la: [u32; 3], ca: [f64; 3], b: f64, lb: [u32; 3], cb: [f64; 3]) -> f64 {
+fn primitive_kinetic(
+    a: f64,
+    la: [u32; 3],
+    ca: [f64; 3],
+    b: f64,
+    lb: [u32; 3],
+    cb: [f64; 3],
+) -> f64 {
     let l = lb[0] as f64;
     let m = lb[1] as f64;
     let n = lb[2] as f64;
@@ -171,11 +174,7 @@ fn primitive_nuclear(
 ) -> f64 {
     let p = a + b;
     let pcenter = gaussian_product_center(a, ca, b, cb);
-    let pc = [
-        pcenter[0] - nucleus[0],
-        pcenter[1] - nucleus[1],
-        pcenter[2] - nucleus[2],
-    ];
+    let pc = [pcenter[0] - nucleus[0], pcenter[1] - nucleus[1], pcenter[2] - nucleus[2]];
     let r2 = pc[0] * pc[0] + pc[1] * pc[1] + pc[2] * pc[2];
     let lmax = (la[0] + lb[0] + la[1] + lb[1] + la[2] + lb[2]) as usize;
     let f = boys(lmax, p * r2);
@@ -238,7 +237,14 @@ fn primitive_eri(
                         for phi in 0..=(lc[2] + ld[2]) as i32 {
                             let e2 =
                                 hermite_e(lc[0] as i32, ld[0] as i32, tau, cc[0] - cd[0], c, d)
-                                    * hermite_e(lc[1] as i32, ld[1] as i32, nu, cc[1] - cd[1], c, d)
+                                    * hermite_e(
+                                        lc[1] as i32,
+                                        ld[1] as i32,
+                                        nu,
+                                        cc[1] - cd[1],
+                                        c,
+                                        d,
+                                    )
                                     * hermite_e(
                                         lc[2] as i32,
                                         ld[2] as i32,
@@ -313,8 +319,8 @@ pub fn eri(a: &BasisFunction, b: &BasisFunction, c: &BasisFunction, d: &BasisFun
                         * cc
                         * cd
                         * primitive_eri(
-                            ea, a.powers, a.center, eb, b.powers, b.center, ec, c.powers,
-                            c.center, ed, d.powers, d.center,
+                            ea, a.powers, a.center, eb, b.powers, b.center, ec, c.powers, c.center,
+                            ed, d.powers, d.center,
                         );
                 }
             }
@@ -481,11 +487,7 @@ mod tests {
                     let g = |u: f64| u.powi(2 * m as i32) * (-t * u * u).exp();
                     acc += h / 6.0 * (g(x0) + 4.0 * g(x1) + g(x2));
                 }
-                assert!(
-                    (f[m] - acc).abs() < 1e-9,
-                    "t={t} m={m}: {} vs {acc}",
-                    f[m]
-                );
+                assert!((f[m] - acc).abs() < 1e-9, "t={t} m={m}: {} vs {acc}", f[m]);
             }
         }
     }

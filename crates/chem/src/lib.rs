@@ -44,9 +44,11 @@ pub use fci::{fci_ground_state, FciError, FciResult, MAX_DETERMINANTS};
 pub use geometry::{dist, Atom, Element, Molecule, BOHR_PER_ANGSTROM};
 pub use integrals::{compute_ao_integrals, AoIntegrals, EriTensor};
 pub use mapping::{
-    hf_bitstring, lowering_op, number_operator, qubit_hamiltonian, raising_op,
-    s_squared_operator, spin_orbital, sz_operator, taper_two_qubits, Mapping,
+    hf_bitstring, lowering_op, number_operator, qubit_hamiltonian, raising_op, s_squared_operator,
+    spin_orbital, sz_operator, taper_two_qubits, Mapping,
 };
-pub use molecules::{hydrogen_chain, hydrogen_ring, select_active_space, MoleculeKind, ALL_MOLECULES};
+pub use molecules::{
+    hydrogen_chain, hydrogen_ring, select_active_space, MoleculeKind, ALL_MOLECULES,
+};
 pub use problem::{qubit_ground_energy, ChemError, ChemPipeline, MolecularProblem, ScfKind};
 pub use scf::{rhf, uhf, ScfError, ScfOptions, ScfResult};

@@ -124,10 +124,8 @@ pub fn qubit_hamiltonian(si: &SpinIntegrals, mapping: Mapping) -> PauliOp {
                             if v.abs() < 1e-12 {
                                 continue;
                             }
-                            let (ri, sidx) =
-                                (spin_orbital(n, r, tau), spin_orbital(n, s, tau));
-                            if ri == spin_orbital(n, p, sigma)
-                                || sidx == spin_orbital(n, q, sigma)
+                            let (ri, sidx) = (spin_orbital(n, r, tau), spin_orbital(n, s, tau));
+                            if ri == spin_orbital(n, p, sigma) || sidx == spin_orbital(n, q, sigma)
                             {
                                 // a†_p a†_p = 0 and a_q a_q = 0: skip terms
                                 // the algebra would cancel anyway.
@@ -135,8 +133,7 @@ pub fn qubit_hamiltonian(si: &SpinIntegrals, mapping: Mapping) -> PauliOp {
                             }
                             // ½ a†_pσ a†_rτ a_sτ a_qσ.
                             let inner = raise[ri].mul_op(&lower[sidx]);
-                            chunk = &chunk
-                                + &inner.scaled(Complex64::from(0.5 * v));
+                            chunk = &chunk + &inner.scaled(Complex64::from(0.5 * v));
                             any = true;
                         }
                     }
@@ -221,18 +218,12 @@ pub fn taper_two_qubits(op: &PauliOp, n_alpha: usize, n_beta: usize) -> PauliOp 
     let z_total = if (n_alpha + n_beta) % 2 == 0 { 1.0 } else { -1.0 };
     let dropped_total = op.map_terms(m - 1, |p| {
         let (had_z, q) = p.remove_qubit(total_qubit);
-        (
-            Complex64::from(if had_z { z_total } else { 1.0 }),
-            q,
-        )
+        (Complex64::from(if had_z { z_total } else { 1.0 }), q)
     });
     dropped_total
         .map_terms(m - 2, |p| {
             let (had_z, q) = p.remove_qubit(alpha_qubit);
-            (
-                Complex64::from(if had_z { z_alpha } else { 1.0 }),
-                q,
-            )
+            (Complex64::from(if had_z { z_alpha } else { 1.0 }), q)
         })
         .pruned(1e-12)
 }

@@ -146,9 +146,9 @@ impl MoleculeKind {
     /// π-virtual detection handled separately for LiH.
     pub fn frozen_core_count(self) -> usize {
         match self {
-            MoleculeKind::LiH => 1,      // Li 1s
-            MoleculeKind::N2 => 2,       // 2 × N 1s
-            MoleculeKind::NaH => 2,      // Na 1s, 2s
+            MoleculeKind::LiH => 1, // Li 1s
+            MoleculeKind::N2 => 2,  // 2 × N 1s
+            MoleculeKind::NaH => 2, // Na 1s, 2s
             _ => 0,
         }
     }
@@ -156,9 +156,8 @@ impl MoleculeKind {
 
 /// A linear hydrogen chain along z with uniform spacing (Å).
 pub fn hydrogen_chain(n: usize, spacing: f64) -> Molecule {
-    let atoms: Vec<(Element, [f64; 3])> = (0..n)
-        .map(|k| (Element::H, [0.0, 0.0, k as f64 * spacing]))
-        .collect();
+    let atoms: Vec<(Element, [f64; 3])> =
+        (0..n).map(|k| (Element::H, [0.0, 0.0, k as f64 * spacing])).collect();
     Molecule::from_angstrom(&atoms)
 }
 

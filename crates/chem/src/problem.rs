@@ -180,11 +180,7 @@ impl ChemPipeline {
         }
         let full = qubit_hamiltonian(&self.spin_integrals, Mapping::Parity);
         let hamiltonian = taper_two_qubits(&full, n_alpha, n_beta);
-        let number_op = taper_two_qubits(
-            &number_operator(nact, Mapping::Parity),
-            n_alpha,
-            n_beta,
-        );
+        let number_op = taper_two_qubits(&number_operator(nact, Mapping::Parity), n_alpha, n_beta);
         let sz_op = taper_two_qubits(&sz_operator(nact, Mapping::Parity), n_alpha, n_beta);
         let s_squared_op =
             taper_two_qubits(&s_squared_operator(nact, Mapping::Parity), n_alpha, n_beta);
@@ -286,7 +282,12 @@ pub fn qubit_ground_energy(op: &PauliOp) -> Option<f64> {
         }
     };
     let op = (dim, apply);
-    let opts = LanczosOptions { max_subspace: 70, max_restarts: 50, tolerance: 1e-8, ..Default::default() };
+    let opts = LanczosOptions {
+        max_subspace: 70,
+        max_restarts: 50,
+        tolerance: 1e-8,
+        ..Default::default()
+    };
     lanczos::lowest_eigenpair(&op, &opts).ok().map(|p| p.value)
 }
 

@@ -237,7 +237,11 @@ fn solve_fock(
 /// let scf = rhf(&ints, 2, &ScfOptions::default()).unwrap();
 /// assert!((scf.energy - (-1.117)).abs() < 5e-3); // literature STO-3G value
 /// ```
-pub fn rhf(ints: &AoIntegrals, n_electrons: usize, opts: &ScfOptions) -> Result<ScfResult, ScfError> {
+pub fn rhf(
+    ints: &AoIntegrals,
+    n_electrons: usize,
+    opts: &ScfOptions,
+) -> Result<ScfResult, ScfError> {
     let n = ints.overlap.rows();
     if n_electrons % 2 != 0 || n_electrons / 2 > n {
         return Err(ScfError::BadElectronCount {

@@ -30,10 +30,8 @@ pub trait Ansatz {
 
     /// Binds discrete Clifford indices `k` (angle `k·π/2`).
     fn bind_clifford(&self, indices: &[usize]) -> Circuit {
-        let params: Vec<f64> = indices
-            .iter()
-            .map(|&k| CliffordAngle::from_index(k).radians())
-            .collect();
+        let params: Vec<f64> =
+            indices.iter().map(|&k| CliffordAngle::from_index(k).radians()).collect();
         self.bind(&params)
     }
 
@@ -41,10 +39,8 @@ pub trait Ansatz {
     /// grid of the CAFQA+kT search. Even `k` are Clifford; odd `k` each cost
     /// one T-branch doubling in the stabilizer-rank engine.
     fn bind_eighth(&self, indices: &[usize]) -> Circuit {
-        let params: Vec<f64> = indices
-            .iter()
-            .map(|&k| (k % 8) as f64 * (FRAC_PI_2 / 2.0))
-            .collect();
+        let params: Vec<f64> =
+            indices.iter().map(|&k| (k % 8) as f64 * (FRAC_PI_2 / 2.0)).collect();
         self.bind(&params)
     }
 }
@@ -229,7 +225,7 @@ mod tests {
     #[test]
     fn generic_binding_counts_gates() {
         let a = EfficientSu2::new(4, 1);
-        let c = a.bind(&vec![0.1; 16]);
+        let c = a.bind(&[0.1; 16]);
         // 8 rotations per layer × 2 layers + 3 CX.
         assert_eq!(c.num_gates(), 19);
         let cx = c.gates().iter().filter(|g| matches!(g, Gate::Cx { .. })).count();
@@ -247,10 +243,7 @@ mod tests {
             4
         );
         assert_eq!(
-            EfficientSu2::new(4, 1)
-                .with_entanglement(Entanglement::Full)
-                .entangling_pairs()
-                .len(),
+            EfficientSu2::new(4, 1).with_entanglement(Entanglement::Full).entangling_pairs().len(),
             6
         );
     }

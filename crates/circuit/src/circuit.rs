@@ -135,10 +135,7 @@ impl Circuit {
     /// Number of T/T† gates plus non-Clifford rotations, each of which
     /// costs one branch doubling in the stabilizer-rank engine.
     pub fn non_clifford_count(&self) -> usize {
-        self.gates
-            .iter()
-            .filter(|g| !g.is_structurally_clifford())
-            .count()
+        self.gates.iter().filter(|g| !g.is_structurally_clifford()).count()
     }
 
     /// Lowers the circuit to primitive Clifford gates (`H`, `S`, `S†`,
@@ -268,11 +265,7 @@ mod tests {
         let inv = c.inverse();
         assert_eq!(
             inv.gates(),
-            &[
-                Gate::Ry { qubit: 1, theta: -0.7 },
-                Gate::Cx { control: 0, target: 1 },
-                Gate::Sdg(0)
-            ]
+            &[Gate::Ry { qubit: 1, theta: -0.7 }, Gate::Cx { control: 0, target: 1 }, Gate::Sdg(0)]
         );
     }
 

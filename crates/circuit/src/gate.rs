@@ -105,18 +105,12 @@ impl Gate {
             Gate::X(_) => [c(0.0, 0.0), c(1.0, 0.0), c(1.0, 0.0), c(0.0, 0.0)],
             Gate::Y(_) => [c(0.0, 0.0), c(0.0, -1.0), c(0.0, 1.0), c(0.0, 0.0)],
             Gate::Z(_) => [c(1.0, 0.0), c(0.0, 0.0), c(0.0, 0.0), c(-1.0, 0.0)],
-            Gate::T(_) => [
-                c(1.0, 0.0),
-                c(0.0, 0.0),
-                c(0.0, 0.0),
-                Complex64::from_polar(1.0, FRAC_PI_4),
-            ],
-            Gate::Tdg(_) => [
-                c(1.0, 0.0),
-                c(0.0, 0.0),
-                c(0.0, 0.0),
-                Complex64::from_polar(1.0, -FRAC_PI_4),
-            ],
+            Gate::T(_) => {
+                [c(1.0, 0.0), c(0.0, 0.0), c(0.0, 0.0), Complex64::from_polar(1.0, FRAC_PI_4)]
+            }
+            Gate::Tdg(_) => {
+                [c(1.0, 0.0), c(0.0, 0.0), c(0.0, 0.0), Complex64::from_polar(1.0, -FRAC_PI_4)]
+            }
             Gate::Rx { theta, .. } => {
                 let (ch, sh) = ((theta / 2.0).cos(), (theta / 2.0).sin());
                 [c(ch, 0.0), c(0.0, -sh), c(0.0, -sh), c(ch, 0.0)]
@@ -151,12 +145,8 @@ pub enum CliffordAngle {
 }
 
 /// All four Clifford angles, in index order.
-pub const CLIFFORD_ANGLES: [CliffordAngle; 4] = [
-    CliffordAngle::Zero,
-    CliffordAngle::Quarter,
-    CliffordAngle::Half,
-    CliffordAngle::ThreeQuarter,
-];
+pub const CLIFFORD_ANGLES: [CliffordAngle; 4] =
+    [CliffordAngle::Zero, CliffordAngle::Quarter, CliffordAngle::Half, CliffordAngle::ThreeQuarter];
 
 impl CliffordAngle {
     /// The discrete index `k` with θ = k·π/2.
@@ -234,19 +224,16 @@ pub fn clifford_rotation(
             (vec![Gate::Z(qubit), Gate::H(qubit)], Complex64::ONE)
         }
         (RotationAxis::Y, CliffordAngle::Half) => (vec![Gate::Y(qubit)], phase_z),
-        (RotationAxis::Y, CliffordAngle::ThreeQuarter) => (
-            vec![Gate::X(qubit), Gate::H(qubit)],
-            Complex64::new(-1.0, 0.0),
-        ),
-        (RotationAxis::X, CliffordAngle::Quarter) => (
-            vec![Gate::H(qubit), Gate::S(qubit), Gate::H(qubit)],
-            phase_s,
-        ),
+        (RotationAxis::Y, CliffordAngle::ThreeQuarter) => {
+            (vec![Gate::X(qubit), Gate::H(qubit)], Complex64::new(-1.0, 0.0))
+        }
+        (RotationAxis::X, CliffordAngle::Quarter) => {
+            (vec![Gate::H(qubit), Gate::S(qubit), Gate::H(qubit)], phase_s)
+        }
         (RotationAxis::X, CliffordAngle::Half) => (vec![Gate::X(qubit)], phase_z),
-        (RotationAxis::X, CliffordAngle::ThreeQuarter) => (
-            vec![Gate::H(qubit), Gate::Sdg(qubit), Gate::H(qubit)],
-            phase_sdg,
-        ),
+        (RotationAxis::X, CliffordAngle::ThreeQuarter) => {
+            (vec![Gate::H(qubit), Gate::Sdg(qubit), Gate::H(qubit)], phase_sdg)
+        }
     }
 }
 
@@ -275,9 +262,8 @@ mod tests {
     fn clifford_rotation_decompositions_are_exact() {
         for axis in [RotationAxis::X, RotationAxis::Y, RotationAxis::Z] {
             for angle in CLIFFORD_ANGLES {
-                let reference = rotation_gate(axis, angle.radians())
-                    .single_qubit_unitary()
-                    .unwrap();
+                let reference =
+                    rotation_gate(axis, angle.radians()).single_qubit_unitary().unwrap();
                 let (gates, phase) = clifford_rotation(axis, 0, angle);
                 // Compose in application order: matrix = G_k ... G_1.
                 let mut acc = [Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ONE];
@@ -286,10 +272,7 @@ mod tests {
                 }
                 for (i, r) in reference.iter().enumerate() {
                     let lhs = phase * acc[i];
-                    assert!(
-                        lhs.approx_eq(*r, 1e-12),
-                        "{axis:?} {angle:?} entry {i}: {lhs} vs {r}"
-                    );
+                    assert!(lhs.approx_eq(*r, 1e-12), "{axis:?} {angle:?} entry {i}: {lhs} vs {r}");
                 }
             }
         }
@@ -299,18 +282,12 @@ mod tests {
     fn clifford_angle_classification() {
         assert_eq!(CliffordAngle::from_radians(0.0), Some(CliffordAngle::Zero));
         assert_eq!(CliffordAngle::from_radians(FRAC_PI_2), Some(CliffordAngle::Quarter));
-        assert_eq!(
-            CliffordAngle::from_radians(3.0 * FRAC_PI_2),
-            Some(CliffordAngle::ThreeQuarter)
-        );
+        assert_eq!(CliffordAngle::from_radians(3.0 * FRAC_PI_2), Some(CliffordAngle::ThreeQuarter));
         assert_eq!(
             CliffordAngle::from_radians(2.0 * std::f64::consts::PI),
             Some(CliffordAngle::Zero)
         );
-        assert_eq!(
-            CliffordAngle::from_radians(-FRAC_PI_2),
-            Some(CliffordAngle::ThreeQuarter)
-        );
+        assert_eq!(CliffordAngle::from_radians(-FRAC_PI_2), Some(CliffordAngle::ThreeQuarter));
         assert_eq!(CliffordAngle::from_radians(FRAC_PI_4), None);
     }
 

@@ -61,11 +61,7 @@ enum Element {
     Clifford(Gate),
     /// A branch point: identity with weight `cos(θ/2)` or the Pauli gate
     /// with weight `−i·sin(θ/2)`.
-    Branch {
-        pauli: Gate,
-        cos_half: f64,
-        sin_half: f64,
-    },
+    Branch { pauli: Gate, cos_half: f64, sin_half: f64 },
 }
 
 /// The exact decomposition of a Clifford+rotations circuit into a weighted
@@ -141,12 +137,7 @@ impl BranchDecomposition {
         if t_count > MAX_BRANCH_GATES {
             return Err(CliffordTError::TooManyBranches { count: t_count });
         }
-        Ok(BranchDecomposition {
-            n: circuit.num_qubits(),
-            global,
-            elements,
-            t_count,
-        })
+        Ok(BranchDecomposition { n: circuit.num_qubits(), global, elements, t_count })
     }
 
     /// Number of branch points (non-Clifford gates).

@@ -196,8 +196,7 @@ impl Tableau {
         assert_eq!(p.num_qubits(), self.n, "pauli width mismatch");
         let px = p.x_mask();
         let pz = p.z_mask();
-        let anticommutes =
-            |r: &Row| ((r.x & pz).count_ones() + (r.z & px).count_ones()) % 2 == 1;
+        let anticommutes = |r: &Row| ((r.x & pz).count_ones() + (r.z & px).count_ones()) % 2 == 1;
         // Any anticommuting stabilizer ⇒ expectation 0.
         if self.rows[self.n..].iter().any(anticommutes) {
             return 0;
@@ -234,9 +233,7 @@ impl Tableau {
     /// of Hermitian operators are real).
     pub fn expectation(&self, op: &PauliOp) -> f64 {
         assert_eq!(op.num_qubits(), self.n, "operator width mismatch");
-        op.iter()
-            .map(|(p, c)| c.re * f64::from(self.expectation_pauli(p)))
-            .sum()
+        op.iter().map(|(p, c)| c.re * f64::from(self.expectation_pauli(p))).sum()
     }
 
     /// Measures qubit `q` in the computational basis, collapsing the state.
@@ -263,11 +260,7 @@ impl Tableau {
         } else {
             // Deterministic: ±Z_q is in the stabilizer group; recover its
             // sign through the destabilizer pairing, like expectation_pauli.
-            let sign = self.expectation_pauli(&PauliString::from_masks(
-                self.n,
-                0,
-                m,
-            ));
+            let sign = self.expectation_pauli(&PauliString::from_masks(self.n, 0, m));
             debug_assert!(sign != 0);
             sign < 0
         }
@@ -281,12 +274,12 @@ impl Tableau {
         let pb = PauliString::from_masks(self.n, b.x, b.z);
         let (k, prod) = pa.mul(&pb);
         let k = k + if a.sign { 2 } else { 0 } + if b.sign { 2 } else { 0 };
-        debug_assert!(k.rem_euclid(2) == 0 || true);
-        self.rows[i] = Row {
-            x: prod.x_mask(),
-            z: prod.z_mask(),
-            sign: k.rem_euclid(4) == 2,
-        };
+        // Stabilizer rows commute mutually, so a stabilizer×stabilizer
+        // product has real phase (±1). Destabilizer rows may anticommute
+        // with the multiplier; their sign bit is unused, so an odd power
+        // of i there is harmless.
+        debug_assert!(i < self.n || j < self.n || k.rem_euclid(2) == 0);
+        self.rows[i] = Row { x: prod.x_mask(), z: prod.z_mask(), sign: k.rem_euclid(4) == 2 };
     }
 }
 

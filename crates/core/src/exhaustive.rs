@@ -104,20 +104,12 @@ mod tests {
         let pipe = ChemPipeline::build(MoleculeKind::H2, 2.5, &ScfKind::Rhf).unwrap();
         let problem = pipe.problem(1, 1, true).unwrap();
         let ansatz = EfficientSu2::new(2, 1);
-        let penalty =
-            Penalty::new("n", &problem.number_op, problem.n_electrons() as f64, 1.0);
-        let oracle = exhaustive_search(
-            &ansatz,
-            &problem.hamiltonian,
-            vec![penalty],
-        )
-        .unwrap();
-        let penalty =
-            Penalty::new("n", &problem.number_op, problem.n_electrons() as f64, 1.0);
+        let penalty = Penalty::new("n", &problem.number_op, problem.n_electrons() as f64, 1.0);
+        let oracle = exhaustive_search(&ansatz, &problem.hamiltonian, vec![penalty]).unwrap();
+        let penalty = Penalty::new("n", &problem.number_op, problem.n_electrons() as f64, 1.0);
         let seeds = vec![ansatz.basis_state_config(problem.hf_bits)];
         let opts = CafqaOptions { warmup: 150, iterations: 250, ..Default::default() };
-        let searched =
-            run_cafqa(&ansatz, &problem.hamiltonian, vec![penalty], &seeds, &opts);
+        let searched = run_cafqa(&ansatz, &problem.hamiltonian, vec![penalty], &seeds, &opts);
         assert!(
             (searched.penalized - oracle.penalized).abs() < 1e-9,
             "search {} vs oracle {}",

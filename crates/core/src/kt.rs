@@ -122,11 +122,7 @@ mod tests {
         };
         let kt = run_cafqa_kt(&ansatz, &h, &[], 1, &[], &opts);
         assert!(kt.t_count <= 1);
-        assert!(
-            kt.energy < clifford_best - 0.1,
-            "kT {} vs Clifford {clifford_best}",
-            kt.energy
-        );
+        assert!(kt.energy < clifford_best - 0.1, "kT {} vs Clifford {clifford_best}", kt.energy);
         assert!((kt.energy + 1.0).abs() < 0.05, "kT energy {}", kt.energy);
     }
 

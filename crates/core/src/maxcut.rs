@@ -49,9 +49,7 @@ impl Graph {
     /// Panics above 24 vertices.
     pub fn max_cut_exact(&self) -> f64 {
         assert!(self.n <= 24, "exhaustive max-cut limited to 24 vertices");
-        (0..(1u64 << self.n))
-            .map(|a| self.cut_value(a))
-            .fold(f64::MIN, f64::max)
+        (0..(1u64 << self.n)).map(|a| self.cut_value(a)).fold(f64::MIN, f64::max)
     }
 }
 
@@ -60,9 +58,7 @@ impl Graph {
 pub fn maxcut_hamiltonian(graph: &Graph) -> PauliOp {
     let mut op = PauliOp::zero(graph.n);
     for &(u, v, w) in &graph.edges {
-        let zz = PauliString::identity(graph.n)
-            .with_pauli(u, Pauli::Z)
-            .with_pauli(v, Pauli::Z);
+        let zz = PauliString::identity(graph.n).with_pauli(u, Pauli::Z).with_pauli(v, Pauli::Z);
         op.add_term(Complex64::from(w / 2.0), zz);
         op.add_term(Complex64::from(-w / 2.0), PauliString::identity(graph.n));
     }

@@ -24,10 +24,7 @@ impl Penalty {
     /// weight. The squared operator is formed once, symbolically.
     pub fn new(label: impl Into<String>, op: &PauliOp, target: f64, weight: f64) -> Self {
         let mut shifted = op.clone();
-        shifted.add_term(
-            Complex64::from(-target),
-            PauliString::identity(op.num_qubits()),
-        );
+        shifted.add_term(Complex64::from(-target), PauliString::identity(op.num_qubits()));
         let squared = shifted.mul_op(&shifted).pruned(1e-12);
         Penalty { label: label.into(), squared, weight }
     }
@@ -93,12 +90,12 @@ impl<'a> CliffordObjective<'a> {
         }
         let workers = std::thread::available_parallelism().map_or(2, |n| n.get()).min(8);
         let chunk = self.terms.len().div_ceil(workers);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .terms
                 .chunks(chunk)
                 .map(|terms| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         terms
                             .iter()
                             .map(|(p, c)| c * f64::from(tableau.expectation_pauli(p)))
@@ -108,7 +105,6 @@ impl<'a> CliffordObjective<'a> {
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
         })
-        .expect("crossbeam scope")
     }
 
     /// Adds a sector penalty.
@@ -139,8 +135,7 @@ impl<'a> CliffordObjective<'a> {
         let tableau = Tableau::from_circuit(&circuit)
             .expect("clifford-bound ansatz must be a Clifford circuit");
         let energy = self.hamiltonian_expectation(&tableau);
-        let penalized =
-            energy + self.penalties.iter().map(|p| p.value(&tableau)).sum::<f64>();
+        let penalized = energy + self.penalties.iter().map(|p| p.value(&tableau)).sum::<f64>();
         ObjectiveValue { energy, penalized }
     }
 
@@ -150,10 +145,7 @@ impl<'a> CliffordObjective<'a> {
         let circuit = self.ansatz.bind_clifford(config);
         let tableau = Tableau::from_circuit(&circuit)
             .expect("clifford-bound ansatz must be a Clifford circuit");
-        self.hamiltonian
-            .iter()
-            .map(|(p, c)| (*p, c.re, tableau.expectation_pauli(p)))
-            .collect()
+        self.hamiltonian.iter().map(|(p, c)| (*p, c.re, tableau.expectation_pauli(p))).collect()
     }
 }
 
@@ -185,8 +177,8 @@ mod tests {
         let h: PauliOp = "0*I".parse().unwrap();
         let z: PauliOp = "Z".parse().unwrap();
         let ansatz = EfficientSu2::new(1, 0);
-        let objective = CliffordObjective::new(&ansatz, &h)
-            .with_penalty(Penalty::new("test", &z, 1.0, 0.5));
+        let objective =
+            CliffordObjective::new(&ansatz, &h).with_penalty(Penalty::new("test", &z, 1.0, 0.5));
         // Ry(π) flips to |1⟩.
         let flipped = objective.evaluate(&[2, 0]);
         assert!((flipped.penalized - 2.0).abs() < 1e-12, "{flipped:?}");

@@ -91,10 +91,7 @@ impl CafqaResult {
     /// The initial continuous angles for post-CAFQA VQE tuning
     /// (paper §3 step 9: the Clifford parameters become the start point).
     pub fn initial_angles(&self) -> Vec<f64> {
-        self.best_config
-            .iter()
-            .map(|&k| k as f64 * std::f64::consts::FRAC_PI_2)
-            .collect()
+        self.best_config.iter().map(|&k| k as f64 * std::f64::consts::FRAC_PI_2).collect()
     }
 
     /// The best-so-far raw energy after each evaluation (for Fig. 7-style
@@ -192,16 +189,7 @@ pub fn run_cafqa(
         } else {
             // Includes the α/β spin-pair distance nq/2 of the blocked
             // spin-orbital ordering, where pairing correlations live.
-            let offsets = [
-                1,
-                2,
-                nq / 2,
-                nq / 2 + 1,
-                nq.saturating_sub(1),
-                nq,
-                nq + 1,
-                2 * nq,
-            ];
+            let offsets = [1, 2, nq / 2, nq / 2 + 1, nq.saturating_sub(1), nq, nq + 1, 2 * nq];
             let mut out = Vec::new();
             for i in 0..d {
                 for &off in &offsets {
@@ -311,8 +299,7 @@ impl MolecularCafqa {
                 opts.s2_penalty,
             ));
         }
-        let seeds: Vec<Vec<usize>> =
-            if opts.seed_hf { vec![self.hf_config()] } else { Vec::new() };
+        let seeds: Vec<Vec<usize>> = if opts.seed_hf { vec![self.hf_config()] } else { Vec::new() };
         run_cafqa(&self.ansatz, &self.problem.hamiltonian, penalties, &seeds, opts)
     }
 
@@ -335,11 +322,7 @@ mod tests {
         let runner = MolecularCafqa::new(problem);
         let result = runner.run(&CafqaOptions::quick());
         let hf = runner.problem().hf_energy;
-        assert!(
-            result.energy <= hf + 1e-9,
-            "CAFQA {} must not exceed HF {hf}",
-            result.energy
-        );
+        assert!(result.energy <= hf + 1e-9, "CAFQA {} must not exceed HF {hf}", result.energy);
     }
 
     #[test]
@@ -351,7 +334,8 @@ mod tests {
         let exact = problem.exact_energy.unwrap();
         let hf = problem.hf_energy;
         let runner = MolecularCafqa::new(problem);
-        let result = runner.run(&CafqaOptions { warmup: 120, iterations: 260, ..Default::default() });
+        let result =
+            runner.run(&CafqaOptions { warmup: 120, iterations: 260, ..Default::default() });
         let recovered = (hf - result.energy) / (hf - exact);
         assert!(
             recovered > 0.9,
@@ -367,8 +351,7 @@ mod tests {
         let (na, nb) = pipe.default_sector();
         let problem = pipe.problem(na, nb, false).unwrap();
         let runner = MolecularCafqa::new(problem);
-        let objective =
-            CliffordObjective::new(&runner.ansatz, &runner.problem().hamiltonian);
+        let objective = CliffordObjective::new(&runner.ansatz, &runner.problem().hamiltonian);
         let v = objective.evaluate(&runner.hf_config());
         assert!(
             (v.energy - runner.problem().hf_energy).abs() < 1e-9,

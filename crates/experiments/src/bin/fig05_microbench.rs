@@ -40,10 +40,7 @@ fn main() {
     let objective = CliffordObjective::new(&ansatz, &h);
     let clifford: Vec<Vec<String>> = (0..4)
         .map(|k| {
-            vec![
-                format!("{}", k as f64 * 0.5),
-                format!("{:.4}", objective.evaluate(&[k]).energy),
-            ]
+            vec![format!("{}", k as f64 * 0.5), format!("{:.4}", objective.evaluate(&[k]).energy)]
         })
         .collect();
     print_table("Fig. 5: CAFQA Clifford points", &["theta_over_pi", "expectation"], &clifford);

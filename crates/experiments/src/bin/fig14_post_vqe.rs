@@ -48,8 +48,7 @@ fn main() {
             name.to_string(),
             format!("{:.6}", r.trace[0]),
             format!("{:.6}", r.best_energy),
-            r.iterations_to_reach(target, 0.0)
-                .map_or("never".into(), |k| k.to_string()),
+            r.iterations_to_reach(target, 0.0).map_or("never".into(), |k| k.to_string()),
         ]);
     }
     print_table(

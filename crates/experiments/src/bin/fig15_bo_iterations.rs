@@ -25,8 +25,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut counts = Vec::new();
     for kind in molecules {
-        let pipe =
-            ChemPipeline::build(kind, 2.0 * kind.equilibrium_bond(), &ScfKind::Rhf).unwrap();
+        let pipe = ChemPipeline::build(kind, 2.0 * kind.equilibrium_bond(), &ScfKind::Rhf).unwrap();
         let (na, nb) = pipe.default_sector();
         let problem = pipe.problem(na, nb, false).unwrap();
         let params = 4 * problem.n_qubits;
@@ -83,7 +82,13 @@ fn main() {
         }
     }
     let mean = counts.iter().sum::<f64>() / counts.len() as f64;
-    rows.push(vec!["Mean".into(), String::new(), String::new(), format!("{mean:.0}"), String::new()]);
+    rows.push(vec![
+        "Mean".into(),
+        String::new(),
+        String::new(),
+        format!("{mean:.0}"),
+        String::new(),
+    ]);
     print_table(
         "Fig. 15: BO iterations to reach the lowest estimate per problem",
         &["problem", "qubits", "parameters", "iters_to_best", "total_evals"],

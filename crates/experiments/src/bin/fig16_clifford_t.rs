@@ -2,9 +2,7 @@
 //! and up to 4 for LiH, via the stabilizer-rank branch engine.
 
 use cafqa_chem::{ChemPipeline, MoleculeKind, ScfKind};
-use cafqa_core::{
-    run_cafqa_kt, widen_clifford_config, CafqaOptions, MolecularCafqa, Penalty,
-};
+use cafqa_core::{run_cafqa_kt, widen_clifford_config, CafqaOptions, MolecularCafqa, Penalty};
 use cafqa_experiments::{bond_sweep, print_table, run_cfg};
 
 fn run_molecule(kind: MoleculeKind, k_max: usize, cfg: cafqa_experiments::RunCfg) {
@@ -23,12 +21,8 @@ fn run_molecule(kind: MoleculeKind, k_max: usize, cfg: cafqa_experiments::RunCfg
         let clifford = runner.run(&copts);
         // CAFQA+kT seeded from the Clifford winner (the paper inserts T
         // rotations at prior Clifford gate positions).
-        let penalty = Penalty::new(
-            "electron count",
-            &problem.number_op,
-            problem.n_electrons() as f64,
-            1.0,
-        );
+        let penalty =
+            Penalty::new("electron count", &problem.number_op, problem.n_electrons() as f64, 1.0);
         let kt_opts = CafqaOptions {
             warmup: if cfg.quick { 300 } else { 400 },
             iterations: if cfg.quick { 400 } else { 700 },

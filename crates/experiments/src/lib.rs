@@ -139,16 +139,7 @@ pub fn print_dissociation(name: &str, points: &[DissociationPoint]) {
         .collect();
     print_table(
         &format!("{name} dissociation (energy / error / correlation recovered)"),
-        &[
-            "bond_A",
-            "E_HF",
-            "E_CAFQA",
-            "E_exact",
-            "err_HF",
-            "err_CAFQA",
-            "recovered_%",
-            "scf_ok",
-        ],
+        &["bond_A", "E_HF", "E_CAFQA", "E_exact", "err_HF", "err_CAFQA", "recovered_%", "scf_ok"],
         &rows,
     );
 }

@@ -1,0 +1,27 @@
+//! Smoke test for the figure binaries' `--quick` mode: the binary must
+//! run to completion, emit its `csv,` series and a `summary:` line.
+
+use std::process::Command;
+
+#[test]
+fn fig05_quick_runs_and_emits_csv() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig05_microbench"))
+        .arg("--quick")
+        .output()
+        .expect("fig05_microbench binary should spawn");
+    assert!(
+        out.status.success(),
+        "fig05_microbench --quick exited with {:?}:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.lines().any(|l| l.starts_with("csv,")),
+        "expected csv rows in output:\n{stdout}"
+    );
+    assert!(
+        stdout.lines().any(|l| l.starts_with("summary:")),
+        "expected a summary line in output:\n{stdout}"
+    );
+}

@@ -147,10 +147,7 @@ impl Mul for Complex64 {
     type Output = Complex64;
     #[inline]
     fn mul(self, rhs: Complex64) -> Complex64 {
-        Complex64::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex64::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -173,6 +170,7 @@ impl Mul<Complex64> for f64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w ≡ z · w⁻¹
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.inv()
     }

@@ -50,12 +50,7 @@ pub struct LanczosOptions {
 
 impl Default for LanczosOptions {
     fn default() -> Self {
-        LanczosOptions {
-            max_subspace: 80,
-            max_restarts: 40,
-            tolerance: 1e-9,
-            seed: 0x5eed_cafa,
-        }
+        LanczosOptions { max_subspace: 80, max_restarts: 40, tolerance: 1e-9, seed: 0x5eed_cafa }
     }
 }
 

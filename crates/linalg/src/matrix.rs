@@ -72,11 +72,7 @@ pub struct Eigh {
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -459,11 +455,7 @@ mod tests {
 
     #[test]
     fn eigh_orthonormal_vectors() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]);
         let e = a.eigh().unwrap();
         let vtv = &e.vectors.transpose() * &e.vectors;
         assert!((&vtv - &Matrix::identity(3)).frobenius_norm() < 1e-12);

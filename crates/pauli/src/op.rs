@@ -100,7 +100,7 @@ impl PauliOp {
     /// Scales all coefficients.
     pub fn scaled(mut self, s: Complex64) -> Self {
         for c in self.terms.values_mut() {
-            *c = *c * s;
+            *c *= s;
         }
         self
     }
@@ -143,10 +143,7 @@ impl PauliOp {
 
     /// Expectation value on a computational basis state `|b⟩`.
     pub fn expectation_basis(&self, b: u64) -> f64 {
-        self.terms
-            .iter()
-            .map(|(p, c)| c.re * p.expectation_basis(b))
-            .sum()
+        self.terms.iter().map(|(p, c)| c.re * p.expectation_basis(b)).sum()
     }
 
     /// Splits the operator into `(real_factor, x_mask, z_mask)` triples for
@@ -464,9 +461,8 @@ mod tests {
         let h = op("0.3*XZ + 0.7*YI - 0.2*ZZ");
         let dim = 4;
         let m = h.to_dense();
-        let x: Vec<Complex64> = (0..dim)
-            .map(|k| Complex64::new(0.1 * k as f64 + 0.3, 0.05 * k as f64 - 0.1))
-            .collect();
+        let x: Vec<Complex64> =
+            (0..dim).map(|k| Complex64::new(0.1 * k as f64 + 0.3, 0.05 * k as f64 - 0.1)).collect();
         let mut y = vec![Complex64::ZERO; dim];
         h.apply_to_state(&x, &mut y);
         for row in 0..dim {

@@ -218,7 +218,8 @@ impl PauliString {
         let z = self.z ^ other.z;
         // Pure string = i^{#Y} X^x Z^z; moving other's X past self's Z
         // contributes (-1)^{|z1 & x2|}.
-        let k = self.y_count() as i32 + other.y_count() as i32
+        let k = self.y_count() as i32
+            + other.y_count() as i32
             + 2 * (self.z & other.x).count_ones() as i32
             - (x & z).count_ones() as i32;
         (k.rem_euclid(4), PauliString { n: self.n, x, z })
@@ -273,10 +274,7 @@ impl PauliString {
         let had_z = self.z & bit != 0;
         let low = bit - 1;
         let squeeze = |m: u64| (m & low) | ((m >> 1) & !low);
-        (
-            had_z,
-            PauliString { n: self.n - 1, x: squeeze(self.x), z: squeeze(self.z) },
-        )
+        (had_z, PauliString { n: self.n - 1, x: squeeze(self.x), z: squeeze(self.z) })
     }
 
     /// Iterates over the single-qubit Paulis in index order.

@@ -1,0 +1,61 @@
+//! Offline shim for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The CAFQA build environment has no crates.io access. The workspace
+//! derives `Serialize`/`Deserialize` on a handful of types as a
+//! forward-looking marker but never routes data through a serde
+//! serializer (experiment output is hand-rolled CSV/JSON), so the traits
+//! here are empty markers and the derives (from the `serde_derive` shim)
+//! emit empty impls. Swapping the workspace dependency back to real
+//! serde requires no call-site changes.
+
+#![warn(missing_docs)]
+
+// Lets the `::serde::...` paths emitted by the derive shim resolve when
+// the deriving type lives inside this crate (mirrors real serde).
+#[cfg(test)]
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(test)]
+#[allow(dead_code)]
+mod tests {
+    use crate::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct Plain {
+        a: u32,
+        b: String,
+    }
+
+    #[derive(Debug, Serialize, Deserialize)]
+    enum Kind {
+        A,
+        B(u8),
+        C { x: f64 },
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Generic<T> {
+        inner: T,
+    }
+
+    fn assert_serialize<T: serde::Serialize>() {}
+    fn assert_deserialize<T: for<'de> serde::Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_produce_impls() {
+        assert_serialize::<Plain>();
+        assert_deserialize::<Plain>();
+        assert_serialize::<Kind>();
+        assert_deserialize::<Kind>();
+        assert_serialize::<Generic<Plain>>();
+        assert_deserialize::<Generic<Plain>>();
+    }
+}

@@ -1,0 +1,118 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The CAFQA build environment has no crates.io access. The workspace
+//! only uses `#[derive(Serialize, Deserialize)]` as a forward-looking
+//! marker (nothing serializes through serde yet — JSON/CSV emission in
+//! the experiment binaries is hand-rolled), so these derives emit empty
+//! marker-trait impls for the `serde` shim's `Serialize`/`Deserialize`
+//! traits. No `syn`/`quote`: the item name and generics are recovered
+//! with a small hand-rolled token scan.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The name of the deriving type plus the raw tokens of its generic
+/// parameter list (empty when the type is not generic).
+struct Target {
+    name: String,
+    /// Generic parameter names, e.g. `["T", "U"]` for `struct Foo<T, U: Clone>`.
+    params: Vec<String>,
+}
+
+/// Scans the item's tokens for `struct`/`enum`, the type name, and an
+/// optional `<...>` parameter list. Attributes and visibility before the
+/// keyword are skipped naturally because we key on the keyword itself.
+fn parse_target(input: TokenStream) -> Target {
+    let mut iter = input.into_iter().peekable();
+    // Find the `struct` / `enum` keyword at top level.
+    for tt in iter.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                break;
+            }
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    // Optional generic parameter list: `<` ... `>` appears as punct tokens.
+    let mut params = Vec::new();
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        // Parameter names are the idents that appear at depth 1 directly
+        // after `<` or `,` (skipping lifetimes and bounds).
+        let mut at_param_start = true;
+        while let Some(tt) = iter.next() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    at_param_start = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && at_param_start => {
+                    // Lifetime parameter: consume its ident, keep marker.
+                    iter.next();
+                    at_param_start = false;
+                }
+                TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                    let s = id.to_string();
+                    if s == "const" {
+                        // `const N: usize` — the next ident is the name,
+                        // but const params need no trait bound; skip it.
+                        iter.next();
+                    } else {
+                        params.push(s);
+                    }
+                    at_param_start = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    Target { name, params }
+}
+
+fn impl_marker(input: TokenStream, trait_path: &str, lifetime: Option<&str>) -> TokenStream {
+    let t = parse_target(input);
+    let trait_with_lt = match lifetime {
+        Some(lt) => format!("{trait_path}<{lt}>"),
+        None => trait_path.to_string(),
+    };
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(lt) = lifetime {
+        impl_params.push(lt.to_string());
+    }
+    for p in &t.params {
+        impl_params.push(format!("{p}: {trait_with_lt}"));
+    }
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics =
+        if t.params.is_empty() { String::new() } else { format!("<{}>", t.params.join(", ")) };
+    let code = format!("impl{impl_generics} {trait_with_lt} for {}{ty_generics} {{}}", t.name);
+    code.parse().expect("serde_derive shim: generated impl must parse")
+}
+
+/// Derives the `serde` shim's `Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "::serde::Serialize", None)
+}
+
+/// Derives the `serde` shim's `Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    impl_marker(input, "::serde::Deserialize", Some("'de"))
+}

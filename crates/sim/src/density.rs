@@ -95,9 +95,7 @@ impl DensityMatrix {
                 }
             }
             ref g => {
-                let u = g
-                    .single_qubit_unitary()
-                    .expect("all single-qubit gates provide a unitary");
+                let u = g.single_qubit_unitary().expect("all single-qubit gates provide a unitary");
                 let q = g.qubits()[0];
                 self.apply_single_qubit(q, &u);
             }
@@ -155,8 +153,7 @@ impl DensityMatrix {
             for c in 0..self.dim {
                 let (c2, kc) = p.apply_to_basis(c as u64);
                 let phase = Complex64::i_pow(kr - kc);
-                out[r2 as usize * self.dim + c2 as usize] =
-                    phase * self.data[r * self.dim + c];
+                out[r2 as usize * self.dim + c2 as usize] = phase * self.data[r * self.dim + c];
             }
         }
         self.data = out;
@@ -194,9 +191,7 @@ impl DensityMatrix {
                 if pa == I && pb == I {
                     continue;
                 }
-                let ps = PauliString::identity(self.n)
-                    .with_pauli(a, pa)
-                    .with_pauli(b, pb);
+                let ps = PauliString::identity(self.n).with_pauli(a, pa).with_pauli(b, pb);
                 let mut branch = self.clone();
                 branch.apply_pauli(&ps);
                 for (m, q) in mixed.iter_mut().zip(&branch.data) {

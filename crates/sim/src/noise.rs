@@ -36,23 +36,13 @@ impl NoiseModel {
     /// Casablanca-class 7-qubit Falcon device (the "less noisy" machine of
     /// the paper's Fig. 5).
     pub fn casablanca_class() -> Self {
-        NoiseModel {
-            name: "ibmq-casablanca-class".into(),
-            p1: 4e-4,
-            p2: 1.2e-2,
-            readout: 2.2e-2,
-        }
+        NoiseModel { name: "ibmq-casablanca-class".into(), p1: 4e-4, p2: 1.2e-2, readout: 2.2e-2 }
     }
 
     /// Manhattan-class 65-qubit Hummingbird device (the noisier machine of
     /// the paper's Fig. 5).
     pub fn manhattan_class() -> Self {
-        NoiseModel {
-            name: "ibmq-manhattan-class".into(),
-            p1: 9e-4,
-            p2: 3.2e-2,
-            readout: 6.0e-2,
-        }
+        NoiseModel { name: "ibmq-manhattan-class".into(), p1: 9e-4, p2: 3.2e-2, readout: 6.0e-2 }
     }
 
     /// Runs a circuit on `|0…0⟩` with this noise model, inserting a

@@ -108,9 +108,7 @@ impl Statevector {
                 }
             }
             ref g => {
-                let u = g
-                    .single_qubit_unitary()
-                    .expect("all single-qubit gates provide a unitary");
+                let u = g.single_qubit_unitary().expect("all single-qubit gates provide a unitary");
                 let q = g.qubits()[0];
                 let qm = 1usize << q;
                 for b in 0..self.amps.len() {
@@ -140,11 +138,7 @@ impl Statevector {
     /// The inner product `⟨self|other⟩`.
     pub fn inner(&self, other: &Statevector) -> Complex64 {
         assert_eq!(self.n, other.n, "statevector width mismatch");
-        self.amps
-            .iter()
-            .zip(&other.amps)
-            .map(|(a, b)| a.conj() * *b)
-            .sum()
+        self.amps.iter().zip(&other.amps).map(|(a, b)| a.conj() * *b).sum()
     }
 
     /// The squared norm (1 for any circuit output).
@@ -250,10 +244,7 @@ mod tests {
             let mut c = Circuit::new(2);
             c.ry(0, theta).cx(0, 1);
             let s = Statevector::from_circuit(&c);
-            assert!(
-                (s.expectation(&op("XX")).re - theta.sin()).abs() < 1e-12,
-                "theta={theta}"
-            );
+            assert!((s.expectation(&op("XX")).re - theta.sin()).abs() < 1e-12, "theta={theta}");
         }
     }
 

@@ -152,7 +152,12 @@ pub fn run_vqe(
         theta = best_theta;
     }
     let final_energy = eval(&theta);
-    VqeResult { parameters: theta, energy: final_energy, best_energy: best.min(final_energy), trace }
+    VqeResult {
+        parameters: theta,
+        energy: final_energy,
+        best_energy: best.min(final_energy),
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -182,7 +187,7 @@ mod tests {
         good[0] = 3.0 * std::f64::consts::FRAC_PI_2;
         let opts = SpsaOptions { iterations: 60, ..Default::default() };
         let from_good = run_vqe(&ansatz, &xx(), &good, &IdealBackend, &opts);
-        let from_flat = run_vqe(&ansatz, &xx(), &vec![0.0; 8], &IdealBackend, &opts);
+        let from_flat = run_vqe(&ansatz, &xx(), &[0.0; 8], &IdealBackend, &opts);
         let good_hit = from_good.iterations_to_reach(-0.99, 0.05);
         let flat_hit = from_flat.iterations_to_reach(-0.99, 0.05);
         assert_eq!(good_hit, Some(1), "good start is already converged");
@@ -210,7 +215,7 @@ mod tests {
     fn trace_has_one_entry_per_iteration() {
         let ansatz = EfficientSu2::new(2, 0);
         let opts = SpsaOptions { iterations: 25, ..Default::default() };
-        let result = run_vqe(&ansatz, &xx(), &vec![0.3; 4], &IdealBackend, &opts);
+        let result = run_vqe(&ansatz, &xx(), &[0.3; 4], &IdealBackend, &opts);
         assert_eq!(result.trace.len(), 25);
     }
 
@@ -218,7 +223,7 @@ mod tests {
     fn iterations_to_reach_none_when_unreachable() {
         let ansatz = EfficientSu2::new(2, 0);
         let opts = SpsaOptions { iterations: 10, ..Default::default() };
-        let result = run_vqe(&ansatz, &xx(), &vec![0.0; 4], &IdealBackend, &opts);
+        let result = run_vqe(&ansatz, &xx(), &[0.0; 4], &IdealBackend, &opts);
         assert_eq!(result.iterations_to_reach(-5.0, 1e-3), None);
     }
 }

@@ -16,12 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("exact ground energy: {exact:.6}");
 
     let ansatz = EfficientSu2::new(h.num_qubits(), 1);
-    let opts = CafqaOptions {
-        warmup: 200,
-        iterations: 300,
-        number_penalty: 0.0,
-        ..Default::default()
-    };
+    let opts =
+        CafqaOptions { warmup: 200, iterations: 300, number_penalty: 0.0, ..Default::default() };
     let result = run_cafqa(&ansatz, &h, vec![], &[], &opts);
     println!(
         "CAFQA best stabilizer energy: {:.6} (gap to exact: {:.3e})",

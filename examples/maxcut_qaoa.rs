@@ -15,18 +15,12 @@ fn main() {
 
     let h = maxcut_hamiltonian(&graph);
     let ansatz = EfficientSu2::new(graph.n, 1);
-    let opts = CafqaOptions {
-        warmup: 250,
-        iterations: 400,
-        number_penalty: 0.0,
-        ..Default::default()
-    };
+    let opts =
+        CafqaOptions { warmup: 250, iterations: 400, number_penalty: 0.0, ..Default::default() };
     let result = run_cafqa(&ansatz, &h, vec![], &[], &opts);
     println!(
         "CAFQA cut: {} (found at evaluation {} of {})",
-        -result.energy,
-        result.iterations_to_best,
-        result.evaluations
+        -result.energy, result.iterations_to_best, result.evaluations
     );
     // MaxCut optima are computational basis states, hence stabilizer
     // states: CAFQA can represent them exactly.

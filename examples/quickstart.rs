@@ -29,9 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = runner.run(&CafqaOptions::quick());
     let hf = runner.problem().hf_energy;
     let exact = runner.problem().exact_energy.unwrap();
-    println!("  CAFQA initialization: {:.6} Ha after {} evaluations", result.energy, result.evaluations);
+    println!(
+        "  CAFQA initialization: {:.6} Ha after {} evaluations",
+        result.energy, result.evaluations
+    );
     println!("  HF error    = {:.3e} Ha", (hf - exact).abs());
-    println!("  CAFQA error = {:.3e} Ha (chemical accuracy = {CHEMICAL_ACCURACY:.1e})", (result.energy - exact).abs());
+    println!(
+        "  CAFQA error = {:.3e} Ha (chemical accuracy = {CHEMICAL_ACCURACY:.1e})",
+        (result.energy - exact).abs()
+    );
     println!(
         "  correlation energy recovered: {:.2}%",
         correlation_recovered(result.energy, hf, exact)

@@ -8,13 +8,8 @@ use cafqa::clifford::Tableau;
 use cafqa::core::metrics::CHEMICAL_ACCURACY;
 
 /// Catalog entries small enough to FCI-check in a unit test.
-const FCI_CHECKED: [MoleculeKind; 5] = [
-    MoleculeKind::H2,
-    MoleculeKind::LiH,
-    MoleculeKind::H2O,
-    MoleculeKind::H6,
-    MoleculeKind::BeH2,
-];
+const FCI_CHECKED: [MoleculeKind; 5] =
+    [MoleculeKind::H2, MoleculeKind::LiH, MoleculeKind::H2O, MoleculeKind::H6, MoleculeKind::BeH2];
 
 #[test]
 fn every_fci_checked_molecule_builds_with_paper_register() {
@@ -42,11 +37,7 @@ fn every_fci_checked_molecule_builds_with_paper_register() {
         );
         // The Hamiltonian is Hermitian and real in the computational basis.
         assert!(problem.hamiltonian.is_hermitian(1e-9), "{}", kind.name());
-        assert!(
-            problem.hamiltonian.real_basis_terms(1e-9).is_some(),
-            "{}",
-            kind.name()
-        );
+        assert!(problem.hamiltonian.real_basis_terms(1e-9).is_some(), "{}", kind.name());
     }
 }
 
@@ -102,9 +93,7 @@ fn hf_configs_are_tableau_exact_across_catalog() {
         let problem = pipe.problem(na, nb, false).unwrap();
         let ansatz = EfficientSu2::new(problem.n_qubits, 1);
         let circuit = ansatz.bind_clifford(&ansatz.basis_state_config(problem.hf_bits));
-        let energy = Tableau::from_circuit(&circuit)
-            .unwrap()
-            .expectation(&problem.hamiltonian);
+        let energy = Tableau::from_circuit(&circuit).unwrap().expectation(&problem.hamiltonian);
         assert!(
             (energy - problem.hf_energy).abs() < 1e-9,
             "{}: {energy} vs {}",

@@ -18,10 +18,7 @@ fn shot_estimator_agrees_with_exact_on_molecular_circuit() {
     let circuit = runner.circuit(&result);
     let exact = Statevector::from_circuit(&circuit).expectation(&h).re;
     let estimated = ShotEstimator::new(30_000).expectation(&circuit, &h);
-    assert!(
-        (exact - estimated).abs() < 0.02,
-        "exact {exact} vs estimated {estimated}"
-    );
+    assert!((exact - estimated).abs() < 0.02, "exact {exact} vs estimated {estimated}");
     // And the tableau value CAFQA reported is the same number.
     assert!((exact - result.energy).abs() < 1e-9);
 }
@@ -72,12 +69,7 @@ fn s_squared_penalty_respects_sector() {
     let problem = pipe.problem(1, 1, true).unwrap();
     let exact = problem.exact_energy.unwrap();
     let runner = MolecularCafqa::new(problem);
-    let opts = CafqaOptions {
-        warmup: 80,
-        iterations: 120,
-        s2_penalty: 0.5,
-        ..Default::default()
-    };
+    let opts = CafqaOptions { warmup: 80, iterations: 120, s2_penalty: 0.5, ..Default::default() };
     let result = runner.run(&opts);
     // Still lands between exact and HF — penalties never push the raw
     // energy report off the physical branch.
@@ -86,8 +78,6 @@ fn s_squared_penalty_respects_sector() {
     // The winning state is (numerically) a singlet.
     let ansatz = EfficientSu2::new(runner.problem().n_qubits, 1);
     let circuit = ansatz.bind_clifford(&result.best_config);
-    let s2 = Statevector::from_circuit(&circuit)
-        .expectation(&runner.problem().s_squared_op)
-        .re;
+    let s2 = Statevector::from_circuit(&circuit).expectation(&runner.problem().s_squared_op).re;
     assert!(s2.abs() < 0.6, "S² = {s2}");
 }

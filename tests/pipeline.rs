@@ -44,9 +44,7 @@ fn stabilizer_and_dense_agree_on_molecular_ansatz() {
         let config = vec![k; ansatz.num_parameters()];
         let circuit = ansatz.bind_clifford(&config);
         let tab = Tableau::from_circuit(&circuit).unwrap().expectation(&problem.hamiltonian);
-        let dense = Statevector::from_circuit(&circuit)
-            .expectation(&problem.hamiltonian)
-            .re;
+        let dense = Statevector::from_circuit(&circuit).expectation(&problem.hamiltonian).re;
         assert!((tab - dense).abs() < 1e-9, "config {k}: {tab} vs {dense}");
     }
 }
