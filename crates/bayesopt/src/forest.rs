@@ -75,6 +75,41 @@ impl RandomForest {
         self.trees.iter().map(|t| t.predict(config)).sum::<f64>() / self.trees.len() as f64
     }
 
+    /// [`Self::predict`] over a whole candidate pool, sharded across
+    /// worker threads for large pools. Results are in input order and
+    /// identical to per-candidate calls (each prediction is independent).
+    pub fn predict_batch(&self, configs: &[Vec<usize>]) -> Vec<f64> {
+        // Tree traversals are cheap; only pools with substantial total
+        // work amortize the thread spawns.
+        let workers = if configs.len() * self.trees.len() < 8192 {
+            1
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
+        };
+        self.predict_batch_with_workers(configs, workers)
+    }
+
+    /// [`Self::predict_batch`] with an explicit worker count; exposed so
+    /// the sharded path stays testable regardless of the host's cores.
+    pub fn predict_batch_with_workers(&self, configs: &[Vec<usize>], workers: usize) -> Vec<f64> {
+        let workers = workers.min(configs.len());
+        if workers <= 1 {
+            return configs.iter().map(|c| self.predict(c)).collect();
+        }
+        let mut out = vec![0.0f64; configs.len()];
+        let chunk = configs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (config_chunk, out_chunk) in configs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (config, slot) in config_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = self.predict(config);
+                    }
+                });
+            }
+        });
+        out
+    }
+
     /// Mean and standard deviation over the ensemble (a cheap uncertainty
     /// proxy, useful for exploration diagnostics).
     pub fn predict_with_std(&self, config: &[usize]) -> (f64, f64) {
@@ -111,6 +146,25 @@ mod tests {
             sse_mean += (mean_y - y).powi(2);
         }
         assert!(sse_forest < 0.3 * sse_mean, "forest {sse_forest} vs mean {sse_mean}");
+    }
+
+    #[test]
+    fn batch_predictions_match_serial() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let xs: Vec<Vec<usize>> =
+            (0..300).map(|_| (0..8).map(|_| rng.gen_range(0..4usize)).collect()).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<usize>() as f64).collect();
+        let forest = RandomForest::fit(&xs, &ys, &[4; 8], &ForestOptions::default(), &mut rng);
+        let pool: Vec<Vec<usize>> =
+            (0..512).map(|_| (0..8).map(|_| rng.gen_range(0..4usize)).collect()).collect();
+        // Forced worker counts exercise the sharded path on any host.
+        for workers in [1usize, 4, 16] {
+            let batch = forest.predict_batch_with_workers(&pool, workers);
+            for (config, &predicted) in pool.iter().zip(&batch) {
+                assert_eq!(predicted.to_bits(), forest.predict(config).to_bits());
+            }
+        }
+        assert_eq!(forest.predict_batch(&pool).len(), pool.len());
     }
 
     #[test]

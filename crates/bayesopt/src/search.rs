@@ -214,32 +214,49 @@ pub fn minimize(
 
     let mut forest: Option<RandomForest> = None;
     for it in 0..opts.iterations {
-        if forest.is_none() || it % opts.refit_every.max(1) == 0 {
-            forest =
-                Some(RandomForest::fit(&xs, &ys, &space.cardinalities, &opts.forest, &mut rng));
-        }
-        let model = forest.as_ref().expect("fitted above");
-        // Candidate pool: incumbent mutations + uniform samples.
-        let mut pool: Vec<Vec<usize>> = Vec::with_capacity(opts.candidates);
-        let mut order: Vec<usize> = (0..ys.len()).collect();
-        order.sort_by(|&a, &b| ys[a].partial_cmp(&ys[b]).unwrap());
-        let n_mut = (opts.candidates / 2).max(1);
-        for k in 0..n_mut {
-            let base = &xs[order[k % opts.top_k.min(order.len())]];
-            pool.push(space.mutate(base, &mut rng, 3));
-        }
-        while pool.len() < opts.candidates {
-            pool.push(space.sample(&mut rng));
-        }
-        // Greedy acquisition with ε-greedy exploration.
-        let pick = if rng.gen::<f64>() < opts.epsilon {
-            pool[rng.gen_range(0..pool.len())].clone()
+        // With no history at all (`warmup == 0`, no seeds) there is
+        // nothing to fit or mutate: fall back to uniform sampling until
+        // the first evaluation lands.
+        let pick = if xs.is_empty() {
+            space.sample(&mut rng)
         } else {
-            pool.iter()
-                .filter(|c| !seen.contains(*c))
-                .min_by(|a, b| model.predict(a).partial_cmp(&model.predict(b)).unwrap())
-                .cloned()
-                .unwrap_or_else(|| space.sample(&mut rng))
+            if forest.is_none() || it % opts.refit_every.max(1) == 0 {
+                forest =
+                    Some(RandomForest::fit(&xs, &ys, &space.cardinalities, &opts.forest, &mut rng));
+            }
+            let model = forest.as_ref().expect("fitted above");
+            // Candidate pool: incumbent mutations + uniform samples.
+            // NaN objective values (either sign — `0.0/0.0` is −NaN on
+            // x86) are excluded outright so they can never seed the
+            // incumbent mutations; `total_cmp` keeps the remaining
+            // ordering well-defined.
+            let mut pool: Vec<Vec<usize>> = Vec::with_capacity(opts.candidates);
+            let mut order: Vec<usize> = (0..ys.len()).filter(|&i| !ys[i].is_nan()).collect();
+            order.sort_by(|&a, &b| ys[a].total_cmp(&ys[b]));
+            if !order.is_empty() {
+                let n_mut = (opts.candidates / 2).max(1);
+                for k in 0..n_mut {
+                    let base = &xs[order[k % opts.top_k.min(order.len()).max(1)]];
+                    pool.push(space.mutate(base, &mut rng, 3));
+                }
+            }
+            while pool.len() < opts.candidates {
+                pool.push(space.sample(&mut rng));
+            }
+            // Greedy acquisition with ε-greedy exploration; the surrogate
+            // scores the whole pool as one batch. NaN predictions are
+            // never acquired greedily.
+            if rng.gen::<f64>() < opts.epsilon {
+                pool[rng.gen_range(0..pool.len())].clone()
+            } else {
+                let predictions = model.predict_batch(&pool);
+                pool.iter()
+                    .zip(&predictions)
+                    .filter(|(c, p)| !seen.contains(*c) && !p.is_nan())
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(c, _)| c.clone())
+                    .unwrap_or_else(|| space.sample(&mut rng))
+            }
         };
         let prev_best = best;
         evaluate(
@@ -347,6 +364,53 @@ mod tests {
         let opts = BoOptions { warmup: 10, iterations: 500, patience: 20, ..Default::default() };
         let result = minimize(&space, f, &[], &opts);
         assert!(result.history.len() < 100, "stopped after {}", result.history.len());
+    }
+
+    #[test]
+    fn zero_warmup_without_seeds_does_not_panic() {
+        // Regression: an empty history used to hit `k % 0` (and an empty
+        // forest fit) on the first surrogate iteration. The search must
+        // fall back to uniform sampling instead.
+        let space = SearchSpace::uniform(4, 4);
+        let f = |c: &[usize]| c.iter().sum::<usize>() as f64;
+        let opts = BoOptions { warmup: 0, iterations: 30, ..Default::default() };
+        let result = minimize(&space, f, &[], &opts);
+        assert_eq!(result.history.len(), 30);
+        assert!(result.best_value.is_finite());
+        assert_eq!(result.best_config.len(), 4);
+    }
+
+    #[test]
+    fn nan_objective_degrades_instead_of_panicking() {
+        // A NaN objective value must never panic the comparators and must
+        // never be reported as the incumbent. `0.0 / 0.0` produces the
+        // sign-bit-set NaN on x86, which `total_cmp` sorts *first* — the
+        // search must filter it, not merely order it.
+        let space = SearchSpace::uniform(3, 4);
+        let zero = std::hint::black_box(0.0f64);
+        let f = |c: &[usize]| {
+            if c[0] == 2 {
+                zero / zero
+            } else {
+                c.iter().sum::<usize>() as f64
+            }
+        };
+        let opts = BoOptions { warmup: 30, iterations: 60, ..Default::default() };
+        let result = minimize(&space, f, &[], &opts);
+        assert!(result.best_value.is_finite());
+        assert_ne!(result.best_config[0], 2);
+    }
+
+    #[test]
+    fn all_nan_history_falls_back_to_uniform_pool() {
+        // Every evaluation NaN: mutation bases are unavailable, so the
+        // pool must degrade to uniform sampling without panicking.
+        let space = SearchSpace::uniform(3, 4);
+        let zero = std::hint::black_box(0.0f64);
+        let opts = BoOptions { warmup: 5, iterations: 20, ..Default::default() };
+        let result = minimize(&space, |_| zero / zero, &[], &opts);
+        assert_eq!(result.history.len(), 25);
+        assert!(result.best_value.is_nan() || result.best_value.is_infinite());
     }
 
     #[test]

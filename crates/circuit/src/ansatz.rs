@@ -16,7 +16,11 @@ use crate::gate::CliffordAngle;
 /// Implementors define a fixed structure whose tunable rotation angles are
 /// supplied at bind time. All fixed gates must be Clifford for the bound
 /// circuit to be Clifford at Clifford angles.
-pub trait Ansatz {
+///
+/// `Sync` is a supertrait so candidate evaluation can be sharded across
+/// worker threads while borrowing one ansatz (implementors are plain
+/// structural descriptions, so this costs nothing).
+pub trait Ansatz: Sync {
     /// Width of the circuit.
     fn num_qubits(&self) -> usize;
     /// Number of tunable rotation parameters.

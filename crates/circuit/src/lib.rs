@@ -25,7 +25,9 @@
 mod ansatz;
 mod circuit;
 mod gate;
+mod template;
 
 pub use ansatz::{Ansatz, EfficientSu2, Entanglement};
 pub use circuit::Circuit;
 pub use gate::{clifford_rotation, CliffordAngle, Gate, RotationAxis, CLIFFORD_ANGLES};
+pub use template::{CompiledAnsatz, TemplateOp};

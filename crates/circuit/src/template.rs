@@ -1,0 +1,274 @@
+//! Compile-once ansatz templates for the CAFQA hot loop.
+//!
+//! The discrete search evaluates the *same* ansatz structure at millions
+//! of different Clifford configurations. Binding and re-lowering the
+//! circuit per candidate (`bind_clifford` + `to_clifford_gates`) is pure
+//! overhead: the structure never changes, only the rotation angles do.
+//! [`CompiledAnsatz`] lowers the structure once into a sequence of fixed
+//! primitive Clifford gates and parameter *slots*; each candidate then
+//! patches its four-valued angle indices into the slots, with no circuit
+//! construction or gate-list allocation on the hot path.
+
+use crate::ansatz::Ansatz;
+use crate::circuit::Circuit;
+use crate::gate::{clifford_rotation, CliffordAngle, Gate, RotationAxis};
+
+/// One element of a compiled ansatz template.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TemplateOp {
+    /// A fixed primitive Clifford gate, identical for every candidate.
+    Fixed(Gate),
+    /// A tunable rotation slot: the candidate's `config[param]` selects
+    /// one of the four Clifford angles `k·π/2`.
+    Rotation {
+        /// The rotation axis.
+        axis: RotationAxis,
+        /// The target qubit.
+        qubit: usize,
+        /// Index into the configuration vector.
+        param: usize,
+    },
+}
+
+/// Quiet-NaN base for the sentinel angles used to locate parameter slots.
+/// A NaN payload survives `bind` untouched as long as the ansatz stores
+/// parameters verbatim (any arithmetic would destroy the payload, which
+/// compilation detects and rejects).
+const SENTINEL_BASE: u64 = 0x7FF8_CAFA_0000_0000;
+const SENTINEL_PAYLOAD_MASK: u64 = 0x0000_0000_FFFF_FFFF;
+
+/// An [`Ansatz`] lowered once into primitive Clifford gates plus rotation
+/// slots, for allocation-free batched candidate evaluation.
+///
+/// Compilation probes the ansatz with sentinel angles to discover which
+/// rotation belongs to which parameter, then validates the template
+/// against the ordinary `bind_clifford` lowering on a spread of probe
+/// configurations. Ansätze whose *structure* depends on the parameter
+/// values (or that contain non-Clifford fixed gates) fail to compile and
+/// fall back to the per-candidate path.
+///
+/// # Examples
+///
+/// ```
+/// use cafqa_circuit::{Ansatz, CompiledAnsatz, EfficientSu2};
+///
+/// let ansatz = EfficientSu2::new(3, 1);
+/// let template = CompiledAnsatz::compile(&ansatz).unwrap();
+/// assert_eq!(template.num_parameters(), 12);
+/// // The rendered circuit matches the ordinary lowering, gate for gate.
+/// let config = vec![1usize; 12];
+/// let (lowered, _) = ansatz.bind_clifford(&config).to_clifford_gates().unwrap();
+/// assert_eq!(template.to_circuit(&config).gates(), &lowered[..]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledAnsatz {
+    num_qubits: usize,
+    num_parameters: usize,
+    ops: Vec<TemplateOp>,
+}
+
+impl CompiledAnsatz {
+    /// Lowers the ansatz structure into a template, or `None` when the
+    /// ansatz cannot be compiled (parameter-dependent structure, fixed
+    /// non-Clifford gates, or more than `2³²` parameters).
+    pub fn compile(ansatz: &dyn Ansatz) -> Option<CompiledAnsatz> {
+        let d = ansatz.num_parameters();
+        if d as u64 > SENTINEL_PAYLOAD_MASK {
+            return None;
+        }
+        let sentinels: Vec<f64> =
+            (0..d).map(|i| f64::from_bits(SENTINEL_BASE | i as u64)).collect();
+        let probe = ansatz.bind(&sentinels);
+        let mut ops = Vec::with_capacity(probe.num_gates());
+        for g in probe.gates() {
+            match *g {
+                Gate::Rx { qubit, theta } => {
+                    push_rotation(&mut ops, RotationAxis::X, qubit, theta, d)?
+                }
+                Gate::Ry { qubit, theta } => {
+                    push_rotation(&mut ops, RotationAxis::Y, qubit, theta, d)?
+                }
+                Gate::Rz { qubit, theta } => {
+                    push_rotation(&mut ops, RotationAxis::Z, qubit, theta, d)?
+                }
+                Gate::T(_) | Gate::Tdg(_) => return None,
+                fixed => ops.push(TemplateOp::Fixed(fixed)),
+            }
+        }
+        let template = CompiledAnsatz { num_qubits: ansatz.num_qubits(), num_parameters: d, ops };
+        // Validate against the per-candidate lowering on a spread of probe
+        // configurations: the four uniform configs plus a mixed pattern.
+        // An ansatz whose gate *structure* depends on parameter values
+        // (NaN comparisons are all false) is caught here and rejected.
+        let mut probes: Vec<Vec<usize>> = (0..4).map(|k| vec![k; d]).collect();
+        probes.push((0..d).map(|i| (i * 7 + 1) % 4).collect());
+        for config in &probes {
+            let (lowered, _phase) = ansatz.bind_clifford(config).to_clifford_gates()?;
+            if template.to_circuit(config).gates() != &lowered[..] {
+                return None;
+            }
+        }
+        Some(template)
+    }
+
+    /// Width of the compiled circuit.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of tunable parameters (rotation slots may share one).
+    #[inline]
+    pub fn num_parameters(&self) -> usize {
+        self.num_parameters
+    }
+
+    /// The template operations in application order.
+    #[inline]
+    pub fn ops(&self) -> &[TemplateOp] {
+        &self.ops
+    }
+
+    /// Renders the primitive-gate circuit for one configuration — the
+    /// reference (allocating) counterpart of the tableau's direct template
+    /// execution, used for validation and debugging.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` has the wrong length.
+    pub fn to_circuit(&self, config: &[usize]) -> Circuit {
+        assert_eq!(config.len(), self.num_parameters, "config length mismatch");
+        let mut c = Circuit::new(self.num_qubits);
+        for op in &self.ops {
+            match *op {
+                TemplateOp::Fixed(g) => {
+                    c.push(g);
+                }
+                TemplateOp::Rotation { axis, qubit, param } => {
+                    let angle = CliffordAngle::from_index(config[param]);
+                    for g in clifford_rotation(axis, qubit, angle).0 {
+                        c.push(g);
+                    }
+                }
+            }
+        }
+        c
+    }
+}
+
+fn push_rotation(
+    ops: &mut Vec<TemplateOp>,
+    axis: RotationAxis,
+    qubit: usize,
+    theta: f64,
+    num_parameters: usize,
+) -> Option<()> {
+    let bits = theta.to_bits();
+    if bits & !SENTINEL_PAYLOAD_MASK == SENTINEL_BASE {
+        let param = (bits & SENTINEL_PAYLOAD_MASK) as usize;
+        if param >= num_parameters {
+            return None;
+        }
+        ops.push(TemplateOp::Rotation { axis, qubit, param });
+        return Some(());
+    }
+    // A structural rotation with a fixed angle: lower it now. Non-Clifford
+    // fixed angles make the whole ansatz uncompilable (and unsearchable).
+    let angle = CliffordAngle::from_radians(theta)?;
+    for g in clifford_rotation(axis, qubit, angle).0 {
+        ops.push(TemplateOp::Fixed(g));
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::EfficientSu2;
+
+    #[test]
+    fn compiles_efficient_su2() {
+        let ansatz = EfficientSu2::new(4, 2);
+        let t = CompiledAnsatz::compile(&ansatz).unwrap();
+        assert_eq!(t.num_qubits(), 4);
+        assert_eq!(t.num_parameters(), 24);
+        let slots = t.ops().iter().filter(|op| matches!(op, TemplateOp::Rotation { .. })).count();
+        assert_eq!(slots, 24);
+    }
+
+    #[test]
+    fn rendering_matches_lowering_on_all_uniform_configs() {
+        let ansatz = EfficientSu2::new(3, 1);
+        let t = CompiledAnsatz::compile(&ansatz).unwrap();
+        for k in 0..4 {
+            let config = vec![k; 12];
+            let (lowered, _) = ansatz.bind_clifford(&config).to_clifford_gates().unwrap();
+            assert_eq!(t.to_circuit(&config).gates(), &lowered[..], "uniform {k}");
+        }
+    }
+
+    #[test]
+    fn rejects_structure_that_depends_on_parameters() {
+        /// Pathological ansatz: gate structure branches on the angle value.
+        struct Branchy;
+        impl Ansatz for Branchy {
+            fn num_qubits(&self) -> usize {
+                1
+            }
+            fn num_parameters(&self) -> usize {
+                1
+            }
+            fn bind(&self, params: &[f64]) -> Circuit {
+                let mut c = Circuit::new(1);
+                if params[0] > 1.0 {
+                    c.x(0);
+                }
+                c.ry(0, params[0]);
+                c
+            }
+        }
+        assert!(CompiledAnsatz::compile(&Branchy).is_none());
+    }
+
+    #[test]
+    fn rejects_arithmetic_on_parameters() {
+        /// Ansatz that rescales its parameter (destroys the sentinel).
+        struct Scaled;
+        impl Ansatz for Scaled {
+            fn num_qubits(&self) -> usize {
+                1
+            }
+            fn num_parameters(&self) -> usize {
+                1
+            }
+            fn bind(&self, params: &[f64]) -> Circuit {
+                let mut c = Circuit::new(1);
+                c.rz(0, 2.0 * params[0]);
+                c
+            }
+        }
+        assert!(CompiledAnsatz::compile(&Scaled).is_none());
+    }
+
+    #[test]
+    fn fixed_clifford_rotations_are_lowered_into_the_template() {
+        /// A structure with a fixed Ry(π/2) basis change around one slot.
+        struct FixedRot;
+        impl Ansatz for FixedRot {
+            fn num_qubits(&self) -> usize {
+                2
+            }
+            fn num_parameters(&self) -> usize {
+                1
+            }
+            fn bind(&self, params: &[f64]) -> Circuit {
+                let mut c = Circuit::new(2);
+                c.ry(0, std::f64::consts::FRAC_PI_2).rz(0, params[0]).cx(0, 1);
+                c
+            }
+        }
+        let t = CompiledAnsatz::compile(&FixedRot).unwrap();
+        let (lowered, _) = FixedRot.bind_clifford(&[3]).to_clifford_gates().unwrap();
+        assert_eq!(t.to_circuit(&[3]).gates(), &lowered[..]);
+    }
+}

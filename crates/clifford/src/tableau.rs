@@ -8,8 +8,8 @@
 
 use std::fmt;
 
-use cafqa_circuit::{Circuit, Gate};
-use cafqa_pauli::{PauliOp, PauliString};
+use cafqa_circuit::{Circuit, CliffordAngle, CompiledAnsatz, Gate, RotationAxis, TemplateOp};
+use cafqa_pauli::{phase_exponent, PauliOp, PauliString};
 
 /// Error returned when a circuit contains non-Clifford gates.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,6 +186,132 @@ impl Tableau {
             .collect()
     }
 
+    /// The destabilizer generators as signed Pauli strings, paired with
+    /// [`Self::stabilizers`] index-by-index (Aaronson–Gottesman layout).
+    /// Destabilizer sign bits are bookkeeping only and carry no physics.
+    pub fn destabilizers(&self) -> Vec<(bool, PauliString)> {
+        self.rows[..self.n]
+            .iter()
+            .map(|r| (r.sign, PauliString::from_masks(self.n, r.x, r.z)))
+            .collect()
+    }
+
+    /// Resets the state to `|0…0⟩` in place, reusing the row storage —
+    /// the scratch-reuse entry point for batched candidate evaluation.
+    pub fn reset_zero(&mut self) {
+        for i in 0..self.n {
+            self.rows[i] = Row { x: 1 << i, z: 0, sign: false };
+            self.rows[self.n + i] = Row { x: 0, z: 1 << i, sign: false };
+        }
+    }
+
+    /// Applies a Clifford-angle rotation, fused into a single row pass
+    /// (the primitive-gate lowering would sweep the rows up to three
+    /// times). Global phase is ignored, as everywhere in the tableau; each
+    /// fused update equals the [`cafqa_circuit::clifford_rotation`] gate
+    /// sequence exactly (tested against it per axis/angle/qubit).
+    ///
+    /// Derivation: conjugation by a single-qubit Clifford permutes the
+    /// qubit's `(x, z)` bits and flips the row sign on a fixed subset of
+    /// the three non-identity Paulis, so one pass with the right masks
+    /// suffices.
+    pub fn apply_rotation(&mut self, axis: RotationAxis, qubit: usize, angle: CliffordAngle) {
+        let m = 1u64 << qubit;
+        match (axis, angle) {
+            (_, CliffordAngle::Zero) => {}
+            // Rz(π/2) ~ S: X→Y, Y→−X.
+            (RotationAxis::Z, CliffordAngle::Quarter) => {
+                for r in &mut self.rows {
+                    r.sign ^= (r.x & r.z & m) != 0;
+                    r.z ^= r.x & m;
+                }
+            }
+            // Rz(π) ~ Z: X→−X, Y→−Y.
+            (RotationAxis::Z, CliffordAngle::Half) => {
+                for r in &mut self.rows {
+                    r.sign ^= (r.x & m) != 0;
+                }
+            }
+            // Rz(3π/2) ~ S†: X→−Y, Y→X.
+            (RotationAxis::Z, CliffordAngle::ThreeQuarter) => {
+                for r in &mut self.rows {
+                    r.sign ^= (r.x & !r.z & m) != 0;
+                    r.z ^= r.x & m;
+                }
+            }
+            // Ry(π/2) ~ Z·H: X→−Z, Z→X.
+            (RotationAxis::Y, CliffordAngle::Quarter) => {
+                for r in &mut self.rows {
+                    r.sign ^= (r.x & !r.z & m) != 0;
+                    let xq = r.x & m;
+                    let zq = r.z & m;
+                    r.x = (r.x & !m) | zq;
+                    r.z = (r.z & !m) | xq;
+                }
+            }
+            // Ry(π) ~ Y: X→−X, Z→−Z.
+            (RotationAxis::Y, CliffordAngle::Half) => {
+                for r in &mut self.rows {
+                    r.sign ^= ((r.x ^ r.z) & m) != 0;
+                }
+            }
+            // Ry(3π/2) ~ X·H: X→Z, Z→−X.
+            (RotationAxis::Y, CliffordAngle::ThreeQuarter) => {
+                for r in &mut self.rows {
+                    r.sign ^= (!r.x & r.z & m) != 0;
+                    let xq = r.x & m;
+                    let zq = r.z & m;
+                    r.x = (r.x & !m) | zq;
+                    r.z = (r.z & !m) | xq;
+                }
+            }
+            // Rx(π/2) ~ H·S·H: Z→−Y, Y→Z.
+            (RotationAxis::X, CliffordAngle::Quarter) => {
+                for r in &mut self.rows {
+                    r.sign ^= (!r.x & r.z & m) != 0;
+                    r.x ^= r.z & m;
+                }
+            }
+            // Rx(π) ~ X: Z→−Z, Y→−Y.
+            (RotationAxis::X, CliffordAngle::Half) => {
+                for r in &mut self.rows {
+                    r.sign ^= (r.z & m) != 0;
+                }
+            }
+            // Rx(3π/2) ~ H·S†·H: Z→Y, Y→−Z.
+            (RotationAxis::X, CliffordAngle::ThreeQuarter) => {
+                for r in &mut self.rows {
+                    r.sign ^= (r.x & r.z & m) != 0;
+                    r.x ^= r.z & m;
+                }
+            }
+        }
+    }
+
+    /// Re-prepares the state as a compiled ansatz bound to `config`,
+    /// in place: `|0…0⟩`, then the template's fixed primitives and
+    /// per-slot Clifford rotations. Equivalent to
+    /// `Tableau::from_circuit(&ansatz.bind_clifford(config))` but with no
+    /// per-candidate lowering or allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the template width differs from the tableau width or if
+    /// `config` has the wrong length.
+    pub fn run_compiled(&mut self, template: &CompiledAnsatz, config: &[usize]) {
+        assert_eq!(template.num_qubits(), self.n, "template width mismatch");
+        assert_eq!(config.len(), template.num_parameters(), "config length mismatch");
+        self.reset_zero();
+        for op in template.ops() {
+            match *op {
+                TemplateOp::Fixed(ref g) => self.apply_primitive(g),
+                TemplateOp::Rotation { axis, qubit, param } => {
+                    self.apply_rotation(axis, qubit, CliffordAngle::from_index(config[param]));
+                }
+            }
+        }
+    }
+
     /// Expectation value of a single Pauli string on the stabilizer state:
     /// exactly `+1`, `-1`, or `0` (paper §3 step 7).
     ///
@@ -194,31 +320,46 @@ impl Tableau {
     /// destabilizer pairing identifies exactly which product.
     pub fn expectation_pauli(&self, p: &PauliString) -> i8 {
         assert_eq!(p.num_qubits(), self.n, "pauli width mismatch");
-        let px = p.x_mask();
-        let pz = p.z_mask();
+        self.expectation_masks(p.x_mask(), p.z_mask())
+    }
+
+    /// Mask-level [`Self::expectation_pauli`]: the expectation of the
+    /// unsigned Pauli `P(px, pz)` from raw bit masks.
+    ///
+    /// This is the hot kernel of the CAFQA search — pure bitwise phase
+    /// accumulation over the `(x, z, sign)` row words, with no intermediate
+    /// `PauliString` values (see [`cafqa_pauli::phase_exponent`]).
+    ///
+    /// Mask bits at or above [`Self::num_qubits`] are a caller error: the
+    /// register has no such qubits, so the result would be meaningless.
+    /// Checked with a `debug_assert!` only, to keep the release-mode hot
+    /// loop branch-free ([`Self::expectation_pauli`] guarantees the
+    /// invariant structurally via `PauliString`'s own width check).
+    pub fn expectation_masks(&self, px: u64, pz: u64) -> i8 {
+        debug_assert!(
+            self.n == 64 || (px | pz) >> self.n == 0,
+            "mask bits above the register width"
+        );
         let anticommutes = |r: &Row| ((r.x & pz).count_ones() + (r.z & px).count_ones()) % 2 == 1;
+        // Zipped contiguous slices keep the loops free of bounds checks.
+        let (destab, stab) = self.rows.split_at(self.n);
         // Any anticommuting stabilizer ⇒ expectation 0.
-        if self.rows[self.n..].iter().any(anticommutes) {
+        if stab.iter().any(anticommutes) {
             return 0;
         }
         // P = ± Π_{i ∈ I} S_i where I = { i : P anticommutes with D_i }.
-        // Accumulate the product with exact phase via PauliString::mul.
-        let mut acc = PauliString::identity(self.n);
+        // Accumulate the product phase via popcounts on the raw masks.
+        let mut ax = 0u64;
+        let mut az = 0u64;
         let mut k: i32 = 0; // phase exponent of i
-        for i in 0..self.n {
-            if anticommutes(&self.rows[i]) {
-                let s = &self.rows[self.n + i];
-                let sp = PauliString::from_masks(self.n, s.x, s.z);
-                let (dk, prod) = acc.mul(&sp);
-                k += dk + if s.sign { 2 } else { 0 };
-                acc = prod;
+        for (d, s) in destab.iter().zip(stab) {
+            if anticommutes(d) {
+                k += phase_exponent(ax, az, s.x, s.z) + if s.sign { 2 } else { 0 };
+                ax ^= s.x;
+                az ^= s.z;
             }
         }
-        debug_assert_eq!(
-            (acc.x_mask(), acc.z_mask()),
-            (px, pz),
-            "destabilizer decomposition failed"
-        );
+        debug_assert_eq!((ax, az), (px, pz), "destabilizer decomposition failed");
         match k.rem_euclid(4) {
             0 => 1,
             2 => -1,
@@ -260,26 +401,26 @@ impl Tableau {
         } else {
             // Deterministic: ±Z_q is in the stabilizer group; recover its
             // sign through the destabilizer pairing, like expectation_pauli.
-            let sign = self.expectation_pauli(&PauliString::from_masks(self.n, 0, m));
+            let sign = self.expectation_masks(0, m);
             debug_assert!(sign != 0);
             sign < 0
         }
     }
 
-    /// Replaces row `i` by `row_i · row_j`, with exact sign tracking.
+    /// Replaces row `i` by `row_i · row_j`, with exact sign tracking —
+    /// pure bitwise, no intermediate `PauliString`s.
     fn row_mul_into(&mut self, i: usize, j: usize) {
         let a = self.rows[i];
         let b = self.rows[j];
-        let pa = PauliString::from_masks(self.n, a.x, a.z);
-        let pb = PauliString::from_masks(self.n, b.x, b.z);
-        let (k, prod) = pa.mul(&pb);
-        let k = k + if a.sign { 2 } else { 0 } + if b.sign { 2 } else { 0 };
+        let k = phase_exponent(a.x, a.z, b.x, b.z)
+            + if a.sign { 2 } else { 0 }
+            + if b.sign { 2 } else { 0 };
         // Stabilizer rows commute mutually, so a stabilizer×stabilizer
         // product has real phase (±1). Destabilizer rows may anticommute
         // with the multiplier; their sign bit is unused, so an odd power
         // of i there is harmless.
         debug_assert!(i < self.n || j < self.n || k.rem_euclid(2) == 0);
-        self.rows[i] = Row { x: prod.x_mask(), z: prod.z_mask(), sign: k.rem_euclid(4) == 2 };
+        self.rows[i] = Row { x: a.x ^ b.x, z: a.z ^ b.z, sign: k.rem_euclid(4) == 2 };
     }
 }
 
@@ -391,6 +532,72 @@ mod tests {
         let mut flips = || panic!("collapsed qubit must be deterministic");
         let b1 = t.measure(1, &mut flips);
         assert_eq!(b0, b1);
+    }
+
+    #[test]
+    fn apply_rotation_matches_clifford_rotation_lowering() {
+        use cafqa_circuit::{clifford_rotation, RotationAxis, CLIFFORD_ANGLES};
+        // Start from a non-trivial state so sign bookkeeping is exercised.
+        let mut base = Circuit::new(2);
+        base.h(0).cx(0, 1).s(1).x(0);
+        for axis in [RotationAxis::X, RotationAxis::Y, RotationAxis::Z] {
+            for angle in CLIFFORD_ANGLES {
+                for qubit in 0..2 {
+                    let mut direct = Tableau::from_circuit(&base).unwrap();
+                    direct.apply_rotation(axis, qubit, angle);
+                    let mut reference = Tableau::from_circuit(&base).unwrap();
+                    for g in clifford_rotation(axis, qubit, angle).0 {
+                        reference.apply_primitive(&g);
+                    }
+                    assert_eq!(direct, reference, "{axis:?} {angle:?} q{qubit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_zero_restores_the_initial_state() {
+        let mut t = bell();
+        t.reset_zero();
+        assert_eq!(t, Tableau::zero_state(2));
+    }
+
+    #[test]
+    fn run_compiled_matches_from_circuit() {
+        use cafqa_circuit::{Ansatz, CompiledAnsatz, EfficientSu2};
+        let ansatz = EfficientSu2::new(3, 1);
+        let template = CompiledAnsatz::compile(&ansatz).unwrap();
+        let mut scratch = Tableau::zero_state(3);
+        for config in [vec![0usize; 12], vec![3; 12], vec![1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0]] {
+            scratch.run_compiled(&template, &config);
+            let reference = Tableau::from_circuit(&ansatz.bind_clifford(&config)).unwrap();
+            assert_eq!(scratch, reference, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn expectation_masks_equals_expectation_pauli() {
+        let t = bell();
+        for code in 0u64..16 {
+            let (px, pz) = (code & 3, code >> 2);
+            let p = PauliString::from_masks(2, px, pz);
+            assert_eq!(t.expectation_masks(px, pz), t.expectation_pauli(&p));
+        }
+    }
+
+    #[test]
+    fn destabilizers_pair_with_stabilizers() {
+        let t = bell();
+        let stabs = t.stabilizers();
+        let destabs = t.destabilizers();
+        assert_eq!(stabs.len(), 2);
+        assert_eq!(destabs.len(), 2);
+        for (i, (_, d)) in destabs.iter().enumerate() {
+            for (j, (_, s)) in stabs.iter().enumerate() {
+                // D_i anticommutes with S_i and commutes with every other S_j.
+                assert_eq!(d.commutes_with(s), i != j, "D{i} vs S{j}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Randomized old-vs-new kernel equivalence suite.
+//!
+//! The tableau's hot kernel (`expectation_pauli` / the row products inside
+//! `measure`) was rewritten from allocation-based `PauliString::mul`
+//! accumulation to pure bitwise phase accumulation. This suite pins the
+//! rewrite to the old semantics: on random Clifford circuits × random
+//! Pauli strings, the bitwise kernel must match the allocation-based
+//! reference exactly — for expectation values, for mask-level queries, and
+//! for measurement collapse (which exercises the bitwise row products).
+
+use cafqa_circuit::Circuit;
+use cafqa_clifford::Tableau;
+use cafqa_pauli::{Pauli, PauliString};
+use proptest::prelude::*;
+
+/// The pre-rewrite expectation algorithm, reconstructed over the public
+/// generator accessors: decompose the Pauli over stabilizer generators via
+/// the destabilizer pairing, accumulating phase through materialized
+/// `PauliString::mul` products.
+fn reference_expectation(t: &Tableau, p: &PauliString) -> i8 {
+    let stabilizers = t.stabilizers();
+    let destabilizers = t.destabilizers();
+    if stabilizers.iter().any(|(_, s)| !s.commutes_with(p)) {
+        return 0;
+    }
+    let mut acc = PauliString::identity(p.num_qubits());
+    let mut k: i32 = 0;
+    for ((_, d), (sign, s)) in destabilizers.iter().zip(&stabilizers) {
+        if !d.commutes_with(p) {
+            let (dk, prod) = acc.mul(s);
+            k += dk + if *sign { 2 } else { 0 };
+            acc = prod;
+        }
+    }
+    assert_eq!(
+        (acc.x_mask(), acc.z_mask()),
+        (p.x_mask(), p.z_mask()),
+        "destabilizer decomposition failed"
+    );
+    match k.rem_euclid(4) {
+        0 => 1,
+        2 => -1,
+        other => panic!("hermitian pauli product acquired phase i^{other}"),
+    }
+}
+
+/// A random Clifford circuit: primitive Cliffords plus π/2-grid rotations.
+fn clifford_circuit(n: usize, len: usize) -> impl Strategy<Value = Circuit> {
+    let mv = (0usize..11, 0usize..n, 1usize..n.max(2), 0usize..4);
+    proptest::collection::vec(mv, 0..len).prop_map(move |moves| {
+        let mut c = Circuit::new(n);
+        for (kind, q, offset, rot) in moves {
+            let q2 = (q + offset) % n;
+            match kind {
+                0 => c.h(q),
+                1 => c.s(q),
+                2 => c.sdg(q),
+                3 => c.x(q),
+                4 => c.y(q),
+                5 => c.z(q),
+                6 if q != q2 => c.cx(q, q2),
+                7 if q != q2 => c.cz(q, q2),
+                6 | 7 => &mut c,
+                8 => c.ry(q, rot as f64 * std::f64::consts::FRAC_PI_2),
+                9 => c.rz(q, rot as f64 * std::f64::consts::FRAC_PI_2),
+                _ => c.rx(q, rot as f64 * std::f64::consts::FRAC_PI_2),
+            };
+        }
+        c
+    })
+}
+
+fn pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
+    proptest::collection::vec(0u8..4, n).prop_map(move |v| {
+        let mut p = PauliString::identity(n);
+        for (q, &code) in v.iter().enumerate() {
+            p = p.with_pauli(q, Pauli::from_bits(code & 1 == 1, code >> 1 == 1));
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Expectation values: bitwise kernel == allocation-based reference.
+    #[test]
+    fn expectation_matches_reference(c in clifford_circuit(6, 48), p in pauli_string(6)) {
+        let t = Tableau::from_circuit(&c).unwrap();
+        prop_assert_eq!(t.expectation_pauli(&p), reference_expectation(&t, &p));
+    }
+
+    /// The mask-level entry point agrees with the string-level one (and
+    /// therefore with the reference, by the test above).
+    #[test]
+    fn mask_entry_point_matches(c in clifford_circuit(5, 40), p in pauli_string(5)) {
+        let t = Tableau::from_circuit(&c).unwrap();
+        prop_assert_eq!(
+            t.expectation_masks(p.x_mask(), p.z_mask()),
+            t.expectation_pauli(&p)
+        );
+    }
+
+    /// Measurement collapse: after measuring every qubit (exercising the
+    /// bitwise row products on both stabilizer and destabilizer rows), the
+    /// collapsed state must still satisfy the reference kernel on random
+    /// Paulis, report the measured bitstring deterministically, and leave
+    /// a valid ±Z_q stabilizer per qubit.
+    #[test]
+    fn measurement_collapse_matches_reference(
+        c in clifford_circuit(5, 40),
+        p in pauli_string(5),
+        coins in proptest::collection::vec(0u8..2, 5),
+    ) {
+        let mut t = Tableau::from_circuit(&c).unwrap();
+        let mut flips = coins.iter().map(|&b| b == 1);
+        let mut outcomes = [false; 5];
+        for q in 0..5 {
+            let mut coin = || flips.next().unwrap_or(false);
+            outcomes[q] = t.measure(q, &mut coin);
+        }
+        // Post-collapse, the bitwise and reference kernels still agree.
+        prop_assert_eq!(t.expectation_pauli(&p), reference_expectation(&t, &p));
+        // Each qubit is now deterministic with the recorded outcome.
+        for q in 0..5 {
+            let z = PauliString::single(5, q, Pauli::Z);
+            let expected = if outcomes[q] { -1 } else { 1 };
+            prop_assert_eq!(t.expectation_pauli(&z), expected);
+            prop_assert_eq!(reference_expectation(&t, &z), expected);
+            let mut no_coin = || panic!("collapsed qubit must be deterministic");
+            prop_assert_eq!(t.clone().measure(q, &mut no_coin), outcomes[q]);
+        }
+    }
+
+    /// Collapse keeps agreement on states prepared through the compiled
+    /// ansatz template as well (scratch-reuse path).
+    #[test]
+    fn compiled_template_states_match_reference(
+        config in proptest::collection::vec(0usize..4, 12),
+        p in pauli_string(3),
+    ) {
+        use cafqa_circuit::{Ansatz, CompiledAnsatz, EfficientSu2};
+        let ansatz = EfficientSu2::new(3, 1);
+        let template = CompiledAnsatz::compile(&ansatz).unwrap();
+        let mut t = Tableau::zero_state(3);
+        t.run_compiled(&template, &config);
+        prop_assert_eq!(t.expectation_pauli(&p), reference_expectation(&t, &p));
+        let direct = Tableau::from_circuit(&ansatz.bind_clifford(&config)).unwrap();
+        prop_assert_eq!(t, direct);
+    }
+}

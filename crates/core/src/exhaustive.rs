@@ -9,7 +9,7 @@
 use cafqa_circuit::Ansatz;
 use cafqa_pauli::PauliOp;
 
-use crate::objective::{CliffordObjective, Penalty};
+use crate::objective::{CliffordObjective, ObjectiveValue, Penalty};
 
 /// Upper bound on enumerable configurations (4^12).
 pub const MAX_EXHAUSTIVE: u64 = 1 << 24;
@@ -27,8 +27,78 @@ pub struct ExhaustiveResult {
     pub evaluations: u64,
 }
 
+/// Decodes enumeration code `code` into `config` (base-4 little-endian).
+#[inline]
+fn decode(mut code: u64, config: &mut [usize]) {
+    for slot in config.iter_mut() {
+        *slot = (code & 3) as usize;
+        code >>= 2;
+    }
+}
+
+/// The winner of one contiguous code range: `(code, value)` of the
+/// earliest strict minimum of the penalized objective.
+fn scan_range(
+    objective: &CliffordObjective<'_>,
+    d: usize,
+    codes: std::ops::Range<u64>,
+) -> (u64, ObjectiveValue) {
+    let mut scratch = objective.scratch();
+    let mut config = vec![0usize; d];
+    decode(codes.start, &mut config);
+    let mut best_code = codes.start;
+    // Nested evaluation: shards are themselves worker threads, so the
+    // per-candidate term sum must not spawn another thread layer.
+    let mut best = objective.evaluate_with_nested(&config, &mut scratch);
+    for code in codes.start + 1..codes.end {
+        decode(code, &mut config);
+        let value = objective.evaluate_with_nested(&config, &mut scratch);
+        if value.penalized < best.penalized {
+            best = value;
+            best_code = code;
+        }
+    }
+    (best_code, best)
+}
+
+fn guarded_space_size(d: usize) -> Result<u64, u64> {
+    // Gate purely on the (saturating) space size: a 12-parameter ansatz
+    // saturates MAX_EXHAUSTIVE exactly and is enumerable.
+    let total = 4u64.saturating_pow(d as u32);
+    if total > MAX_EXHAUSTIVE {
+        return Err(total);
+    }
+    Ok(total)
+}
+
+fn build_objective<'a>(
+    ansatz: &'a dyn Ansatz,
+    hamiltonian: &'a PauliOp,
+    penalties: Vec<Penalty>,
+) -> CliffordObjective<'a> {
+    let mut objective = CliffordObjective::new(ansatz, hamiltonian);
+    for p in penalties {
+        objective = objective.with_penalty(p);
+    }
+    objective
+}
+
+fn result_from(best_code: u64, best: ObjectiveValue, d: usize, total: u64) -> ExhaustiveResult {
+    let mut best_config = vec![0usize; d];
+    decode(best_code, &mut best_config);
+    ExhaustiveResult {
+        best_config,
+        energy: best.energy,
+        penalized: best.penalized,
+        evaluations: total,
+    }
+}
+
 /// Enumerates every Clifford configuration of the ansatz and returns the
-/// global optimum of the penalized objective.
+/// global optimum of the penalized objective, sharding the enumeration
+/// across worker threads. The result is identical to
+/// [`exhaustive_search_serial`] — ties on the penalized value resolve to
+/// the lowest enumeration code in both.
 ///
 /// # Errors
 ///
@@ -38,39 +108,66 @@ pub fn exhaustive_search(
     hamiltonian: &PauliOp,
     penalties: Vec<Penalty>,
 ) -> Result<ExhaustiveResult, u64> {
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(16) as u64;
+    exhaustive_search_with_workers(ansatz, hamiltonian, penalties, workers)
+}
+
+/// [`exhaustive_search`] with an explicit shard count (normally the
+/// available parallelism); exposed so the shard/merge path stays
+/// testable and benchmarkable regardless of the host's core count.
+///
+/// # Errors
+///
+/// Returns the space size when it exceeds [`MAX_EXHAUSTIVE`].
+pub fn exhaustive_search_with_workers(
+    ansatz: &dyn Ansatz,
+    hamiltonian: &PauliOp,
+    penalties: Vec<Penalty>,
+    workers: u64,
+) -> Result<ExhaustiveResult, u64> {
     let d = ansatz.num_parameters();
-    if d >= 12 {
-        return Err(4u64.saturating_pow(d as u32));
+    let total = guarded_space_size(d)?;
+    let objective = build_objective(ansatz, hamiltonian, penalties);
+    if workers <= 1 || total < 4096 {
+        let (best_code, best) = scan_range(&objective, d, 0..total);
+        return Ok(result_from(best_code, best, d, total));
     }
-    let total = 4u64.pow(d as u32);
-    if total > MAX_EXHAUSTIVE {
-        return Err(total);
-    }
-    let mut objective = CliffordObjective::new(ansatz, hamiltonian);
-    for p in penalties {
-        objective = objective.with_penalty(p);
-    }
-    let mut best_config = vec![0usize; d];
-    let mut best = objective.evaluate(&best_config);
-    let mut config = vec![0usize; d];
-    for code in 1..total {
-        let mut c = code;
-        for slot in config.iter_mut() {
-            *slot = (c & 3) as usize;
-            c >>= 2;
-        }
-        let value = objective.evaluate(&config);
+    let shard = total.div_ceil(workers);
+    let winners: Vec<(u64, ObjectiveValue)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..total)
+            .step_by(shard as usize)
+            .map(|start| {
+                let objective = &objective;
+                scope.spawn(move || scan_range(objective, d, start..(start + shard).min(total)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+    });
+    // Merge in shard order: strictly-better wins, so ties keep the
+    // earliest code — exactly the serial scan's behavior.
+    let (mut best_code, mut best) = winners[0];
+    for &(code, value) in &winners[1..] {
         if value.penalized < best.penalized {
             best = value;
-            best_config.copy_from_slice(&config);
+            best_code = code;
         }
     }
-    Ok(ExhaustiveResult {
-        best_config,
-        energy: best.energy,
-        penalized: best.penalized,
-        evaluations: total,
-    })
+    Ok(result_from(best_code, best, d, total))
+}
+
+/// The single-threaded reference enumeration. Same result as
+/// [`exhaustive_search`]; kept public as the baseline for the
+/// batched-vs-serial benchmarks and equivalence tests.
+///
+/// # Errors
+///
+/// Returns the space size when it exceeds [`MAX_EXHAUSTIVE`].
+pub fn exhaustive_search_serial(
+    ansatz: &dyn Ansatz,
+    hamiltonian: &PauliOp,
+    penalties: Vec<Penalty>,
+) -> Result<ExhaustiveResult, u64> {
+    exhaustive_search_with_workers(ansatz, hamiltonian, penalties, 1)
 }
 
 #[cfg(test)]
@@ -95,6 +192,77 @@ mod tests {
         let ansatz = EfficientSu2::new(4, 1); // 16 parameters → 4^16
         let h = PauliOp::identity(4);
         assert!(exhaustive_search(&ansatz, &h, vec![]).is_err());
+    }
+
+    /// A deliberately cheap wide ansatz: `H` then `d` RZ slots on one
+    /// qubit, so enumerating 4^12 configurations stays fast. The net
+    /// rotation is `(Σ kᵢ)·π/2`, giving `⟨X⟩ = cos(Σ kᵢ · π/2)`.
+    struct ManyRz(usize);
+
+    impl Ansatz for ManyRz {
+        fn num_qubits(&self) -> usize {
+            1
+        }
+        fn num_parameters(&self) -> usize {
+            self.0
+        }
+        fn bind(&self, params: &[f64]) -> cafqa_circuit::Circuit {
+            assert_eq!(params.len(), self.0);
+            let mut c = cafqa_circuit::Circuit::new(1);
+            c.h(0);
+            for &theta in params {
+                c.rz(0, theta);
+            }
+            c
+        }
+    }
+
+    /// Regression for the off-by-one boundary: `MAX_EXHAUSTIVE` is 4^12,
+    /// so a 12-parameter ansatz saturates the bound exactly and must be
+    /// enumerated; 13 parameters must be refused with the true size.
+    #[test]
+    fn twelve_parameter_boundary_is_enumerable() {
+        let h: PauliOp = "X".parse().unwrap();
+        assert_eq!(4u64.pow(12), MAX_EXHAUSTIVE);
+        let result = exhaustive_search(&ManyRz(12), &h, vec![]).unwrap();
+        assert_eq!(result.evaluations, MAX_EXHAUSTIVE);
+        // ⟨X⟩ = −1 needs Σ kᵢ ≡ 2 (mod 4); the earliest code is [2, 0, …].
+        assert_eq!(result.energy, -1.0);
+        let mut expected = vec![0usize; 12];
+        expected[0] = 2;
+        assert_eq!(result.best_config, expected);
+        assert!(exhaustive_search(&ManyRz(13), &h, vec![]).is_err_and(|size| size == 4u64.pow(13)));
+    }
+
+    /// The sharded enumeration must return exactly the serial result,
+    /// including tie resolution toward the lowest enumeration code. Worker
+    /// counts are forced so the shard/merge path runs even on one core.
+    #[test]
+    fn sharded_matches_serial() {
+        let h: PauliOp = "0.5*XX + 0.25*ZZ - 0.1*YI".parse().unwrap();
+        let ansatz = EfficientSu2::new(2, 1); // 8 parameters → 4^8
+        let serial = exhaustive_search_serial(&ansatz, &h, vec![]).unwrap();
+        for workers in [2u64, 5, 8] {
+            let sharded = exhaustive_search_with_workers(&ansatz, &h, vec![], workers).unwrap();
+            assert_eq!(sharded.best_config, serial.best_config, "{workers} workers");
+            assert_eq!(sharded.energy.to_bits(), serial.energy.to_bits());
+            assert_eq!(sharded.penalized.to_bits(), serial.penalized.to_bits());
+            assert_eq!(sharded.evaluations, serial.evaluations);
+        }
+    }
+
+    /// Ties across shard boundaries must resolve to the earliest code:
+    /// with an identity Hamiltonian every configuration ties, so every
+    /// shard count must report the all-zeros configuration.
+    #[test]
+    fn tie_resolution_prefers_lowest_code_across_shards() {
+        let h = PauliOp::identity(2);
+        let ansatz = EfficientSu2::new(2, 1);
+        for workers in [3u64, 7] {
+            let result = exhaustive_search_with_workers(&ansatz, &h, vec![], workers).unwrap();
+            assert_eq!(result.best_config, vec![0; 8], "{workers} workers");
+            assert_eq!(result.energy, 1.0);
+        }
     }
 
     /// The headline oracle test: BO + polish finds the *global* Clifford

@@ -46,7 +46,7 @@ mod objective;
 mod runner;
 
 pub use kt::{run_cafqa_kt, t_count_of, widen_clifford_config, CafqaKtResult};
-pub use objective::{CliffordObjective, ObjectiveValue, Penalty};
+pub use objective::{CliffordObjective, EvalScratch, ObjectiveValue, Penalty};
 pub use runner::{run_cafqa, CafqaOptions, CafqaResult, MolecularCafqa, SearchPoint};
 
 #[cfg(test)]

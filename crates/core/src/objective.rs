@@ -1,7 +1,7 @@
 //! The CAFQA classical objective: stabilizer-state energy plus sector
 //! penalties, evaluated by tableau simulation (paper §3, steps 2–7).
 
-use cafqa_circuit::Ansatz;
+use cafqa_circuit::{Ansatz, CompiledAnsatz};
 use cafqa_clifford::Tableau;
 use cafqa_linalg::Complex64;
 use cafqa_pauli::{PauliOp, PauliString};
@@ -52,10 +52,21 @@ pub struct ObjectiveValue {
 /// Hamiltonians above this term count are evaluated with worker threads.
 const PARALLEL_TERM_THRESHOLD: usize = 4096;
 
+/// Reusable per-thread evaluation state: one stabilizer tableau that is
+/// re-prepared in place for every candidate, so the hot loop never
+/// allocates. Create one per worker with [`CliffordObjective::scratch`]
+/// and pass it to [`CliffordObjective::evaluate_with`].
+pub struct EvalScratch {
+    tableau: Tableau,
+}
+
 /// The CAFQA objective: binds discrete Clifford indices into the ansatz,
 /// simulates the stabilizer state, and returns `⟨H⟩` plus penalties.
 pub struct CliffordObjective<'a> {
     ansatz: &'a dyn Ansatz,
+    /// The ansatz structure lowered once into primitive gates + rotation
+    /// slots; `None` falls back to per-candidate `bind_clifford` lowering.
+    template: Option<CompiledAnsatz>,
     hamiltonian: &'a PauliOp,
     /// Flat copy of the Hamiltonian for chunked parallel evaluation.
     terms: Vec<(PauliString, f64)>,
@@ -63,7 +74,9 @@ pub struct CliffordObjective<'a> {
 }
 
 impl<'a> CliffordObjective<'a> {
-    /// Creates the objective.
+    /// Creates the objective, compiling the ansatz structure into a
+    /// primitive-gate template once (see [`CompiledAnsatz`]); ansätze that
+    /// cannot be compiled transparently use the per-candidate lowering.
     ///
     /// # Panics
     ///
@@ -75,7 +88,31 @@ impl<'a> CliffordObjective<'a> {
             "ansatz/hamiltonian width mismatch"
         );
         let terms = hamiltonian.iter().map(|(p, c)| (*p, c.re)).collect();
-        CliffordObjective { ansatz, hamiltonian, terms, penalties: Vec::new() }
+        let template = CompiledAnsatz::compile(ansatz);
+        CliffordObjective { ansatz, template, hamiltonian, terms, penalties: Vec::new() }
+    }
+
+    /// Whether the ansatz compiled to a template (the fast path).
+    pub fn is_compiled(&self) -> bool {
+        self.template.is_some()
+    }
+
+    /// A fresh evaluation scratch; reuse it across candidates on one
+    /// thread to keep the search loop allocation-free.
+    pub fn scratch(&self) -> EvalScratch {
+        EvalScratch { tableau: Tableau::zero_state(self.ansatz.num_qubits()) }
+    }
+
+    /// Prepares the candidate's stabilizer state into the scratch tableau.
+    fn prepare<'t>(&self, config: &[usize], scratch: &'t mut EvalScratch) -> &'t Tableau {
+        if let Some(template) = &self.template {
+            scratch.tableau.run_compiled(template, config);
+        } else {
+            let circuit = self.ansatz.bind_clifford(config);
+            scratch.tableau = Tableau::from_circuit(&circuit)
+                .expect("clifford-bound ansatz must be a Clifford circuit");
+        }
+        &scratch.tableau
     }
 
     /// `⟨H⟩` on a prepared tableau, chunked over worker threads for the
@@ -88,8 +125,7 @@ impl<'a> CliffordObjective<'a> {
                 .map(|(p, c)| c * f64::from(tableau.expectation_pauli(p)))
                 .sum();
         }
-        let workers = std::thread::available_parallelism().map_or(2, |n| n.get()).min(8);
-        let chunk = self.terms.len().div_ceil(workers);
+        let chunk = self.term_chunk_len();
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .terms
@@ -105,6 +141,35 @@ impl<'a> CliffordObjective<'a> {
                 .collect();
             handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
         })
+    }
+
+    /// The term-chunk length shared by the threaded and the
+    /// nested-serial summation paths, so both associate the floating
+    /// additions identically (bit-identical energies).
+    fn term_chunk_len(&self) -> usize {
+        let workers = std::thread::available_parallelism().map_or(2, |n| n.get()).min(8);
+        self.terms.len().div_ceil(workers)
+    }
+
+    /// [`Self::hamiltonian_expectation`] for callers that already run on
+    /// a sharded worker: no inner thread spawns (which would oversubscribe
+    /// the host), but the same fixed-chunk partial-sum association as the
+    /// threaded path — so energies stay bit-identical either way.
+    fn hamiltonian_expectation_nested(&self, tableau: &Tableau) -> f64 {
+        if self.terms.len() < PARALLEL_TERM_THRESHOLD {
+            return self
+                .terms
+                .iter()
+                .map(|(p, c)| c * f64::from(tableau.expectation_pauli(p)))
+                .sum();
+        }
+        let chunk = self.term_chunk_len();
+        self.terms
+            .chunks(chunk)
+            .map(|terms| {
+                terms.iter().map(|(p, c)| c * f64::from(tableau.expectation_pauli(p))).sum::<f64>()
+            })
+            .sum()
     }
 
     /// Adds a sector penalty.
@@ -131,20 +196,100 @@ impl<'a> CliffordObjective<'a> {
     ///
     /// Panics if `config` has the wrong length (ansatz contract).
     pub fn evaluate(&self, config: &[usize]) -> ObjectiveValue {
-        let circuit = self.ansatz.bind_clifford(config);
-        let tableau = Tableau::from_circuit(&circuit)
-            .expect("clifford-bound ansatz must be a Clifford circuit");
-        let energy = self.hamiltonian_expectation(&tableau);
-        let penalized = energy + self.penalties.iter().map(|p| p.value(&tableau)).sum::<f64>();
+        self.evaluate_with(config, &mut self.scratch())
+    }
+
+    /// [`Self::evaluate`] against a caller-owned scratch — the hot-loop
+    /// entry point: no allocation per candidate when the ansatz compiled.
+    pub fn evaluate_with(&self, config: &[usize], scratch: &mut EvalScratch) -> ObjectiveValue {
+        self.evaluate_impl(config, scratch, false)
+    }
+
+    /// [`Self::evaluate_with`] for callers already running on a sharded
+    /// worker thread (batch evaluation, exhaustive shards): identical
+    /// results, but the per-candidate term sum never spawns inner threads.
+    pub(crate) fn evaluate_with_nested(
+        &self,
+        config: &[usize],
+        scratch: &mut EvalScratch,
+    ) -> ObjectiveValue {
+        self.evaluate_impl(config, scratch, true)
+    }
+
+    fn evaluate_impl(
+        &self,
+        config: &[usize],
+        scratch: &mut EvalScratch,
+        nested: bool,
+    ) -> ObjectiveValue {
+        let tableau = self.prepare(config, scratch);
+        let energy = if nested {
+            self.hamiltonian_expectation_nested(tableau)
+        } else {
+            self.hamiltonian_expectation(tableau)
+        };
+        let penalized = energy + self.penalties.iter().map(|p| p.value(tableau)).sum::<f64>();
         ObjectiveValue { energy, penalized }
+    }
+
+    /// Evaluates a batch of candidates, sharded across worker threads.
+    ///
+    /// Results are in input order and bit-identical to calling
+    /// [`Self::evaluate`] per candidate serially (each candidate's term
+    /// sum runs in the same order either way). Small batches stay on the
+    /// calling thread; each worker reuses one scratch tableau.
+    pub fn evaluate_batch(&self, configs: &[Vec<usize>]) -> Vec<ObjectiveValue> {
+        // Rough per-candidate cost in row-update units; spawning threads
+        // costs ~tens of µs, so tiny workloads stay on the calling thread.
+        let per_eval = self.terms.len().max(1) * self.ansatz.num_qubits().max(1);
+        let workers = if configs.len() * per_eval < 8192 {
+            1
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
+        };
+        self.evaluate_batch_with_workers(configs, workers)
+    }
+
+    /// [`Self::evaluate_batch`] with an explicit worker count (normally
+    /// the available parallelism, gated by batch size); exposed so the
+    /// sharded path stays testable and benchmarkable regardless of the
+    /// host's core count.
+    pub fn evaluate_batch_with_workers(
+        &self,
+        configs: &[Vec<usize>],
+        workers: usize,
+    ) -> Vec<ObjectiveValue> {
+        let zero = ObjectiveValue { energy: 0.0, penalized: 0.0 };
+        let mut out = vec![zero; configs.len()];
+        let workers = workers.min(configs.len());
+        if workers <= 1 {
+            let mut scratch = self.scratch();
+            for (config, slot) in configs.iter().zip(out.iter_mut()) {
+                *slot = self.evaluate_with(config, &mut scratch);
+            }
+            return out;
+        }
+        let chunk = configs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (config_chunk, out_chunk) in configs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    let mut scratch = self.scratch();
+                    for (config, slot) in config_chunk.iter().zip(out_chunk.iter_mut()) {
+                        // Nested: the batch is already sharded, so the
+                        // term sum must not spawn a second thread layer.
+                        *slot = self.evaluate_with_nested(config, &mut scratch);
+                    }
+                });
+            }
+        });
+        out
     }
 
     /// Per-Pauli-term expectations of the Hamiltonian on a configuration,
     /// in deterministic term order — the data behind the paper's Fig. 6.
     pub fn term_expectations(&self, config: &[usize]) -> Vec<(PauliString, f64, i8)> {
-        let circuit = self.ansatz.bind_clifford(config);
-        let tableau = Tableau::from_circuit(&circuit)
-            .expect("clifford-bound ansatz must be a Clifford circuit");
+        let mut scratch = self.scratch();
+        let tableau = self.prepare(config, &mut scratch);
         self.hamiltonian.iter().map(|(p, c)| (*p, c.re, tableau.expectation_pauli(p))).collect()
     }
 }
@@ -186,6 +331,49 @@ mod tests {
         assert!(stay.penalized.abs() < 1e-12);
         // Raw energy is untouched by penalties.
         assert_eq!(flipped.energy, 0.0);
+    }
+
+    #[test]
+    fn compiled_template_matches_fallback_lowering() {
+        // The same objective evaluated through the compiled template and
+        // through per-candidate lowering must agree bit-for-bit.
+        let h: PauliOp = "0.5*XXII + 0.25*ZZZZ - 0.1*YIYI + 0.7*IZIZ".parse().unwrap();
+        let ansatz = EfficientSu2::new(4, 1);
+        let compiled = CliffordObjective::new(&ansatz, &h);
+        assert!(compiled.is_compiled());
+        let mut fallback = CliffordObjective::new(&ansatz, &h);
+        fallback.template = None;
+        for seed in 0u64..32 {
+            let config: Vec<usize> =
+                (0..16).map(|i| ((seed.wrapping_mul(0x9E37_79B9) >> i) & 3) as usize).collect();
+            let a = compiled.evaluate(&config);
+            let b = fallback.evaluate(&config);
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits(), "{config:?}");
+            assert_eq!(a.penalized.to_bits(), b.penalized.to_bits(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn batch_evaluation_matches_serial_bitwise() {
+        let h: PauliOp = "0.5*XX + 0.25*ZZ - 0.1*YI".parse().unwrap();
+        let z: PauliOp = "ZI".parse().unwrap();
+        let ansatz = EfficientSu2::new(2, 1);
+        let objective =
+            CliffordObjective::new(&ansatz, &h).with_penalty(Penalty::new("z", &z, 1.0, 0.3));
+        let configs: Vec<Vec<usize>> = (0..64u64)
+            .map(|code| (0..8).map(|i| ((code.wrapping_mul(31) >> (2 * i)) & 3) as usize).collect())
+            .collect();
+        // Force multi-worker sharding so the threaded path is exercised
+        // even on a single-core host (evaluate_batch would stay serial).
+        for workers in [1usize, 3, 8] {
+            let batch = objective.evaluate_batch_with_workers(&configs, workers);
+            assert_eq!(batch.len(), configs.len());
+            for (config, value) in configs.iter().zip(&batch) {
+                let serial = objective.evaluate(config);
+                assert_eq!(value.energy.to_bits(), serial.energy.to_bits(), "{workers} workers");
+                assert_eq!(value.penalized.to_bits(), serial.penalized.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -147,21 +147,28 @@ pub fn run_cafqa(
         &bo_opts,
     );
     // Coordinate-descent polish: greedily walk each parameter through its
-    // alternative angles until a full sweep yields no improvement.
+    // alternative angles until a full sweep yields no improvement. The
+    // three alternatives per coordinate are independent of one another, so
+    // they evaluate as one parallel batch; the acceptance fold below then
+    // replays the greedy chain in candidate order, which keeps the trace
+    // and the chosen optimum identical to a one-at-a-time sweep.
     let mut best_config = result.best_config;
     let mut best_value = objective.evaluate(&best_config);
     let mut iterations_to_best = result.iterations_to_best;
     for _sweep in 0..opts.polish_sweeps {
         let mut improved = false;
         for i in 0..best_config.len() {
-            let original = best_config[i];
-            for v in 0..4 {
-                if v == original || v == best_config[i] {
-                    continue;
-                }
-                let mut candidate = best_config.clone();
-                candidate[i] = v;
-                let value = objective.evaluate(&candidate);
+            let current = best_config[i];
+            let candidates: Vec<Vec<usize>> = (0..4)
+                .filter(|&v| v != current)
+                .map(|v| {
+                    let mut candidate = best_config.clone();
+                    candidate[i] = v;
+                    candidate
+                })
+                .collect();
+            let values = objective.evaluate_batch(&candidates);
+            for (candidate, value) in candidates.into_iter().zip(values) {
                 raw_trace.push((value.energy, value.penalized));
                 if value.penalized < best_value.penalized - 1e-12 {
                     best_config = candidate;
@@ -206,22 +213,30 @@ pub fn run_cafqa(
         for _sweep in 0..sweeps {
             let mut improved = false;
             for &(i, j) in &pairs {
-                for vi in 0..4 {
-                    for vj in 0..4 {
-                        if vi == best_config[i] && vj == best_config[j] {
-                            continue;
-                        }
+                // All 16 (vi, vj) joint moves are independent: evaluate as
+                // one batch, then replay the greedy acceptance chain in
+                // (vi, vj) order. The skip of the incumbent pair happens in
+                // the fold (it can shift mid-pair when a move is accepted),
+                // so trace and outcome match the serial sweep exactly.
+                let candidates: Vec<Vec<usize>> = (0..16)
+                    .map(|code| {
                         let mut candidate = best_config.clone();
-                        candidate[i] = vi;
-                        candidate[j] = vj;
-                        let value = objective.evaluate(&candidate);
-                        raw_trace.push((value.energy, value.penalized));
-                        if value.penalized < best_value.penalized - 1e-12 {
-                            best_config = candidate;
-                            best_value = value;
-                            iterations_to_best = raw_trace.len();
-                            improved = true;
-                        }
+                        candidate[i] = code / 4;
+                        candidate[j] = code % 4;
+                        candidate
+                    })
+                    .collect();
+                let values = objective.evaluate_batch(&candidates);
+                for (candidate, value) in candidates.into_iter().zip(values) {
+                    if candidate[i] == best_config[i] && candidate[j] == best_config[j] {
+                        continue;
+                    }
+                    raw_trace.push((value.energy, value.penalized));
+                    if value.penalized < best_value.penalized - 1e-12 {
+                        best_config = candidate;
+                        best_value = value;
+                        iterations_to_best = raw_trace.len();
+                        improved = true;
                     }
                 }
             }

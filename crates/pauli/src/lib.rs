@@ -25,7 +25,7 @@ mod op;
 mod string;
 
 pub use op::PauliOp;
-pub use string::{ParsePauliError, Pauli, PauliString, MAX_QUBITS};
+pub use string::{phase_exponent, ParsePauliError, Pauli, PauliString, MAX_QUBITS};
 
 #[cfg(test)]
 mod proptests {
