@@ -3,8 +3,11 @@
 //! The paper (§5) picks a random forest "as it is flexible enough to model
 //! the discrete space and scales well", following HyperMapper.
 
+use std::sync::Arc;
+
 use rand::Rng;
 
+use crate::exec::{map_jobs, Executor};
 use crate::tree::{RegressionTree, TreeOptions};
 
 /// Random-forest options.
@@ -75,39 +78,45 @@ impl RandomForest {
         self.trees.iter().map(|t| t.predict(config)).sum::<f64>() / self.trees.len() as f64
     }
 
-    /// [`Self::predict`] over a whole candidate pool, sharded across
-    /// worker threads for large pools. Results are in input order and
-    /// identical to per-candidate calls (each prediction is independent).
+    /// [`Self::predict`] over a whole candidate pool, in input order.
+    /// The serial convenience path; the search loop shards large pools
+    /// over the runner's execution engine via [`Self::predict_batch_on`].
     pub fn predict_batch(&self, configs: &[Vec<usize>]) -> Vec<f64> {
-        // Tree traversals are cheap; only pools with substantial total
-        // work amortize the thread spawns.
-        let workers = if configs.len() * self.trees.len() < 8192 {
-            1
-        } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
-        };
-        self.predict_batch_with_workers(configs, workers)
+        configs.iter().map(|c| self.predict(c)).collect()
     }
 
-    /// [`Self::predict_batch`] with an explicit worker count; exposed so
-    /// the sharded path stays testable regardless of the host's cores.
-    pub fn predict_batch_with_workers(&self, configs: &[Vec<usize>], workers: usize) -> Vec<f64> {
-        let workers = workers.min(configs.len());
-        if workers <= 1 {
-            return configs.iter().map(|c| self.predict(c)).collect();
+    /// [`Self::predict_batch`] sharded across an [`Executor`] (the
+    /// CAFQA runner passes its persistent worker-pool engine). Results
+    /// are in input order and bit-identical to per-candidate calls at
+    /// any worker count — each prediction is independent, and shard
+    /// results are reassembled by index. Small pools (where tree
+    /// traversal is cheaper than dispatch) stay on the calling thread.
+    ///
+    /// Takes `Arc<Self>` because the executor's workers outlive this
+    /// call frame: shards carry an owned handle to the forest.
+    pub fn predict_batch_on(
+        self: &Arc<Self>,
+        configs: &[Vec<usize>],
+        exec: &dyn Executor,
+    ) -> Vec<f64> {
+        // Tree traversals are cheap; only pools with substantial total
+        // work amortize the dispatch.
+        let shards = if configs.len() * self.trees.len() < 8192 { 1 } else { exec.workers() };
+        let shards = shards.min(configs.len());
+        if shards <= 1 {
+            return self.predict_batch(configs);
         }
-        let mut out = vec![0.0f64; configs.len()];
-        let chunk = configs.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            for (config_chunk, out_chunk) in configs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (config, slot) in config_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *slot = self.predict(config);
-                    }
-                });
-            }
-        });
-        out
+        let chunk = configs.len().div_ceil(shards);
+        let tasks: Vec<Box<dyn FnOnce() -> Vec<f64> + Send>> = configs
+            .chunks(chunk)
+            .map(|chunk_configs| {
+                let forest = Arc::clone(self);
+                let chunk_configs: Vec<Vec<usize>> = chunk_configs.to_vec();
+                Box::new(move || forest.predict_batch(&chunk_configs))
+                    as Box<dyn FnOnce() -> Vec<f64> + Send>
+            })
+            .collect();
+        map_jobs(exec, tasks).into_iter().flatten().collect()
     }
 
     /// Mean and standard deviation over the ensemble (a cheap uncertainty
@@ -123,6 +132,7 @@ impl RandomForest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Job;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -148,23 +158,67 @@ mod tests {
         assert!(sse_forest < 0.3 * sse_mean, "forest {sse_forest} vs mean {sse_mean}");
     }
 
+    /// A deliberately unfair test double: runs jobs in *reverse*
+    /// submission order on freshly spawned threads, so any ordering
+    /// assumption in the shard/merge logic fails loudly.
+    struct ReversedThreadExec(usize);
+
+    impl Executor for ReversedThreadExec {
+        fn workers(&self) -> usize {
+            self.0
+        }
+        fn execute(&self, mut jobs: Vec<Job>) {
+            jobs.reverse();
+            let handles: Vec<_> = jobs.into_iter().map(std::thread::spawn).collect();
+            for h in handles {
+                h.join().expect("exec test worker panicked");
+            }
+        }
+    }
+
     #[test]
     fn batch_predictions_match_serial() {
         let mut rng = StdRng::seed_from_u64(23);
         let xs: Vec<Vec<usize>> =
             (0..300).map(|_| (0..8).map(|_| rng.gen_range(0..4usize)).collect()).collect();
         let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<usize>() as f64).collect();
-        let forest = RandomForest::fit(&xs, &ys, &[4; 8], &ForestOptions::default(), &mut rng);
+        let forest =
+            Arc::new(RandomForest::fit(&xs, &ys, &[4; 8], &ForestOptions::default(), &mut rng));
         let pool: Vec<Vec<usize>> =
             (0..512).map(|_| (0..8).map(|_| rng.gen_range(0..4usize)).collect()).collect();
-        // Forced worker counts exercise the sharded path on any host.
-        for workers in [1usize, 4, 16] {
-            let batch = forest.predict_batch_with_workers(&pool, workers);
+        // Forced executor widths exercise the sharded path on any host;
+        // the reversed executor proves order-independence of the merge.
+        for workers in [4usize, 16] {
+            let batch = forest.predict_batch_on(&pool, &ReversedThreadExec(workers));
             for (config, &predicted) in pool.iter().zip(&batch) {
                 assert_eq!(predicted.to_bits(), forest.predict(config).to_bits());
             }
         }
-        assert_eq!(forest.predict_batch(&pool).len(), pool.len());
+        let serial = forest.predict_batch_on(&pool, &crate::SerialExec);
+        assert_eq!(serial.len(), pool.len());
+        assert_eq!(forest.predict_batch(&pool), serial);
+    }
+
+    #[test]
+    fn tiny_pools_stay_on_the_calling_thread() {
+        // Below the dispatch threshold the sharded entry point must not
+        // submit jobs at all (the executor would panic if used).
+        struct PanicExec;
+        impl Executor for PanicExec {
+            fn workers(&self) -> usize {
+                8
+            }
+            fn execute(&self, _jobs: Vec<Job>) {
+                panic!("tiny pool must not dispatch");
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<Vec<usize>> = (0..50).map(|i| vec![i % 4, (i / 4) % 4]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] as f64).collect();
+        let forest =
+            Arc::new(RandomForest::fit(&xs, &ys, &[4, 4], &ForestOptions::default(), &mut rng));
+        let pool: Vec<Vec<usize>> = (0..16).map(|i| vec![i % 4, (i / 4) % 4]).collect();
+        assert_eq!(forest.predict_batch_on(&pool, &PanicExec), forest.predict_batch(&pool));
     }
 
     #[test]

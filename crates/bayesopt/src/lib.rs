@@ -7,6 +7,14 @@
 //! mutations and uniform samples, after a random warm-up phase — the
 //! HyperMapper recipe the paper follows.
 //!
+//! The objective is a **batch** function (`&[Vec<usize>] → Vec<f64>`):
+//! warm-up arrives as one embarrassingly-parallel batch and the
+//! acquisition proposes the top-B predicted candidates per surrogate
+//! refit ([`BoOptions::proposals_per_refit`]), so callers can shard
+//! evaluation over a worker pool. Surrogate scoring itself shards over
+//! the [`Executor`] seam — `cafqa_core`'s persistent engine implements
+//! it, [`SerialExec`] is the dependency-free default.
+//!
 //! # Examples
 //!
 //! ```
@@ -14,15 +22,22 @@
 //!
 //! let space = SearchSpace::uniform(4, 4);
 //! let opts = BoOptions { warmup: 20, iterations: 40, ..Default::default() };
-//! let result = minimize(&space, |c| c.iter().sum::<usize>() as f64, &[], &opts);
+//! let result = minimize(
+//!     &space,
+//!     |batch| batch.iter().map(|c| c.iter().sum::<usize>() as f64).collect(),
+//!     &[],
+//!     &opts,
+//! );
 //! assert_eq!(result.best_value, 0.0); // all-zeros config
 //! ```
 #![warn(missing_docs)]
 
+mod exec;
 mod forest;
 mod search;
 mod tree;
 
+pub use exec::{map_jobs, Executor, Job, SerialExec};
 pub use forest::{ForestOptions, RandomForest};
-pub use search::{minimize, BoOptions, BoResult, Evaluation, SearchSpace};
+pub use search::{minimize, minimize_with, BoOptions, BoResult, Evaluation, SearchSpace};
 pub use tree::{RegressionTree, TreeOptions};

@@ -1,17 +1,24 @@
 //! The Bayesian-optimization minimization loop (paper §5 / Fig. 7).
 //!
 //! Warm-up: uniform random sampling of the discrete space (the paper uses
-//! 1000 warm-up iterations for H2O). Search: fit the random-forest
-//! surrogate on everything evaluated so far, score a candidate pool
-//! (uniform samples + coordinate mutations of the incumbents), and
-//! greedily evaluate the best predicted candidate (ε-greedy for
-//! exploration).
+//! 1000 warm-up iterations for H2O), evaluated as **one batch** — warm-up
+//! samples are independent given the seed, so they parallelize perfectly.
+//! Search: fit the random-forest surrogate on everything evaluated so
+//! far, score a candidate pool (uniform samples + coordinate mutations of
+//! the incumbents), and evaluate the **top-B** predicted candidates per
+//! refit (ε-greedy per proposal for exploration). `B` is
+//! [`BoOptions::proposals_per_refit`]; at `B = 1` the trajectory is
+//! exactly the classic one-candidate-per-refit loop, while larger `B`
+//! amortizes the surrogate refit — the dominant cost at H2O/Cr2 scale —
+//! over several objective evaluations.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::exec::{Executor, SerialExec};
 use crate::forest::{ForestOptions, RandomForest};
 
 /// The discrete search space: parameter `i` takes values
@@ -58,22 +65,30 @@ impl SearchSpace {
 pub struct BoOptions {
     /// Random warm-up evaluations before the surrogate turns on.
     pub warmup: usize,
-    /// Surrogate-guided iterations after warm-up.
+    /// Surrogate-guided iterations (objective evaluations) after warm-up.
     pub iterations: usize,
-    /// Candidate-pool size per iteration.
+    /// Candidate-pool size per acquisition cycle.
     pub candidates: usize,
     /// Number of incumbent configurations to mutate into the pool.
     pub top_k: usize,
-    /// ε-greedy exploration probability.
+    /// ε-greedy exploration probability (drawn per proposal).
     pub epsilon: f64,
-    /// Refit the surrogate every `refit_every` iterations (1 = always).
+    /// Refit the surrogate every `refit_every` acquisition cycles
+    /// (1 = every cycle). Stale cycles still rebuild and score the
+    /// *current* candidate pool — only the forest is reused.
     pub refit_every: usize,
+    /// Proposals evaluated per acquisition cycle (the paper-scale knob):
+    /// the acquisition ranks the pool once and takes the best `B` unseen
+    /// candidates, so one surrogate refit amortizes over `B` objective
+    /// evaluations. `1` reproduces the classic loop exactly; the default
+    /// of 4 keeps refit cost under ~25 % of the loop at H2O scale.
+    pub proposals_per_refit: usize,
     /// Random-forest options.
     pub forest: ForestOptions,
     /// RNG seed (runs are fully deterministic given the seed).
     pub seed: u64,
     /// Stop early when the best value has not improved by more than
-    /// `patience_tol` for `patience` consecutive iterations (0 disables).
+    /// `patience_tol` for `patience` consecutive evaluations (0 disables).
     pub patience: usize,
     /// Improvement tolerance for the patience counter.
     pub patience_tol: f64,
@@ -88,6 +103,7 @@ impl Default for BoOptions {
             top_k: 5,
             epsilon: 0.05,
             refit_every: 1,
+            proposals_per_refit: 4,
             forest: ForestOptions::default(),
             seed: 0xCAF9A,
             patience: 0,
@@ -122,10 +138,54 @@ pub struct BoResult {
     pub iterations_to_best: usize,
 }
 
-/// Minimizes a black-box objective over a discrete space.
+/// Bookkeeping shared by the warm-up and acquisition phases: evaluation
+/// results are folded in **submission order**, so the trace is identical
+/// however the batch was computed.
+struct SearchState {
+    xs: Vec<Vec<usize>>,
+    ys: Vec<f64>,
+    history: Vec<Evaluation>,
+    seen: HashSet<Vec<usize>>,
+    best: f64,
+    best_config: Vec<usize>,
+    iterations_to_best: usize,
+}
+
+impl SearchState {
+    fn new() -> Self {
+        SearchState {
+            xs: Vec::new(),
+            ys: Vec::new(),
+            history: Vec::new(),
+            seen: HashSet::new(),
+            best: f64::INFINITY,
+            best_config: Vec::new(),
+            iterations_to_best: 0,
+        }
+    }
+
+    fn record(&mut self, config: Vec<usize>, value: f64) {
+        if value < self.best - 1e-15 {
+            self.best = value;
+            self.best_config = config.clone();
+            self.iterations_to_best = self.history.len() + 1;
+        }
+        self.seen.insert(config.clone());
+        self.history.push(Evaluation { config: config.clone(), value, best_so_far: self.best });
+        self.xs.push(config);
+        self.ys.push(value);
+    }
+}
+
+/// Minimizes a black-box **batch** objective over a discrete space.
 ///
-/// `seeds` are evaluated first (CAFQA seeds the Hartree-Fock
-/// configuration, guaranteeing the result is never worse than HF).
+/// The objective receives a slice of configurations and must return one
+/// value per configuration, in order — the seam that lets the CAFQA
+/// runner evaluate whole warm-up phases and acquisition batches on its
+/// worker-pool engine. `seeds` are evaluated first (CAFQA seeds the
+/// Hartree-Fock configuration, guaranteeing the result is never worse
+/// than HF). Surrogate scoring runs serially; use [`minimize_with`] to
+/// shard it over an [`Executor`].
 ///
 /// # Examples
 ///
@@ -138,7 +198,12 @@ pub struct BoResult {
 /// let opts = BoOptions { warmup: 40, iterations: 120, ..Default::default() };
 /// let result = minimize(
 ///     &space,
-///     |c| c.iter().zip(&target).filter(|(a, b)| a != b).count() as f64,
+///     |batch| {
+///         batch
+///             .iter()
+///             .map(|c| c.iter().zip(&target).filter(|(a, b)| a != b).count() as f64)
+///             .collect()
+///     },
 ///     &[],
 ///     &opts,
 /// );
@@ -146,148 +211,187 @@ pub struct BoResult {
 /// ```
 pub fn minimize(
     space: &SearchSpace,
-    mut objective: impl FnMut(&[usize]) -> f64,
+    objective: impl FnMut(&[Vec<usize>]) -> Vec<f64>,
     seeds: &[Vec<usize>],
     opts: &BoOptions,
 ) -> BoResult {
+    minimize_with(space, objective, seeds, opts, &SerialExec)
+}
+
+/// [`minimize`] with surrogate scoring sharded over `exec` (the CAFQA
+/// runner passes its persistent worker-pool engine). The trajectory is
+/// bit-identical to [`minimize`] at any executor width: predictions are
+/// independent per candidate and reassembled in pool order.
+pub fn minimize_with(
+    space: &SearchSpace,
+    mut objective: impl FnMut(&[Vec<usize>]) -> Vec<f64>,
+    seeds: &[Vec<usize>],
+    opts: &BoOptions,
+    exec: &dyn Executor,
+) -> BoResult {
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut xs: Vec<Vec<usize>> = Vec::new();
-    let mut ys: Vec<f64> = Vec::new();
-    let mut history: Vec<Evaluation> = Vec::new();
-    let mut seen: HashSet<Vec<usize>> = HashSet::new();
-    let mut best = f64::INFINITY;
-    let mut best_config: Vec<usize> = Vec::new();
-    let mut iterations_to_best = 0usize;
-    let mut stale = 0usize;
+    let mut state = SearchState::new();
 
-    let evaluate = |config: Vec<usize>,
-                    xs: &mut Vec<Vec<usize>>,
-                    ys: &mut Vec<f64>,
-                    history: &mut Vec<Evaluation>,
-                    seen: &mut HashSet<Vec<usize>>,
-                    best: &mut f64,
-                    best_config: &mut Vec<usize>,
-                    iterations_to_best: &mut usize,
-                    objective: &mut dyn FnMut(&[usize]) -> f64| {
-        let value = objective(&config);
-        if value < *best - 1e-15 {
-            *best = value;
-            *best_config = config.clone();
-            *iterations_to_best = history.len() + 1;
-        }
-        seen.insert(config.clone());
-        history.push(Evaluation { config: config.clone(), value, best_so_far: *best });
-        xs.push(config);
-        ys.push(value);
-        value
-    };
-
-    // Seeds (e.g. the HF configuration) and warm-up random sampling.
+    // Seeds (e.g. the HF configuration) and warm-up random sampling:
+    // sampling touches the RNG, evaluation does not, so drawing the whole
+    // phase up front consumes the same RNG stream as the classic
+    // interleaved loop — and the evaluation becomes one (embarrassingly
+    // parallel) batch.
+    let mut warmup_batch: Vec<Vec<usize>> = Vec::with_capacity(seeds.len() + opts.warmup);
     for seed in seeds {
         assert_eq!(seed.len(), space.dims(), "seed dimensionality mismatch");
-        evaluate(
-            seed.clone(),
-            &mut xs,
-            &mut ys,
-            &mut history,
-            &mut seen,
-            &mut best,
-            &mut best_config,
-            &mut iterations_to_best,
-            &mut objective,
-        );
+        warmup_batch.push(seed.clone());
     }
     for _ in 0..opts.warmup {
-        let c = space.sample(&mut rng);
-        evaluate(
-            c,
-            &mut xs,
-            &mut ys,
-            &mut history,
-            &mut seen,
-            &mut best,
-            &mut best_config,
-            &mut iterations_to_best,
-            &mut objective,
-        );
+        warmup_batch.push(space.sample(&mut rng));
     }
+    evaluate_batch(&mut objective, warmup_batch, &mut state);
 
-    let mut forest: Option<RandomForest> = None;
-    for it in 0..opts.iterations {
+    let proposals = opts.proposals_per_refit.max(1);
+    let mut forest: Option<Arc<RandomForest>> = None;
+    let mut evaluated = 0usize;
+    let mut cycle = 0usize;
+    let mut stale = 0usize;
+    'cycles: while evaluated < opts.iterations {
+        let batch_size = proposals.min(opts.iterations - evaluated);
         // With no history at all (`warmup == 0`, no seeds) there is
         // nothing to fit or mutate: fall back to uniform sampling until
-        // the first evaluation lands.
-        let pick = if xs.is_empty() {
-            space.sample(&mut rng)
+        // the first evaluations land.
+        let picks: Vec<Vec<usize>> = if state.xs.is_empty() {
+            (0..batch_size).map(|_| space.sample(&mut rng)).collect()
         } else {
-            if forest.is_none() || it % opts.refit_every.max(1) == 0 {
-                forest =
-                    Some(RandomForest::fit(&xs, &ys, &space.cardinalities, &opts.forest, &mut rng));
+            if forest.is_none() || cycle % opts.refit_every.max(1) == 0 {
+                forest = Some(Arc::new(RandomForest::fit(
+                    &state.xs,
+                    &state.ys,
+                    &space.cardinalities,
+                    &opts.forest,
+                    &mut rng,
+                )));
             }
             let model = forest.as_ref().expect("fitted above");
-            // Candidate pool: incumbent mutations + uniform samples.
-            // NaN objective values (either sign — `0.0/0.0` is −NaN on
-            // x86) are excluded outright so they can never seed the
-            // incumbent mutations; `total_cmp` keeps the remaining
-            // ordering well-defined.
-            let mut pool: Vec<Vec<usize>> = Vec::with_capacity(opts.candidates);
-            let mut order: Vec<usize> = (0..ys.len()).filter(|&i| !ys[i].is_nan()).collect();
-            order.sort_by(|&a, &b| ys[a].total_cmp(&ys[b]));
+            // Candidate pool: incumbent mutations + uniform samples. The
+            // pool scales with the batch size — `candidates` is a
+            // *per-proposal* budget, so a B-proposal cycle explores the
+            // same diversity per evaluation as B classic iterations (and
+            // at B = 1 this is exactly the classic pool). NaN objective
+            // values (either sign — `0.0/0.0` is −NaN on x86) are
+            // excluded outright so they can never seed the incumbent
+            // mutations; `total_cmp` keeps the remaining ordering
+            // well-defined.
+            let pool_size = opts.candidates.saturating_mul(batch_size).max(1);
+            let mut pool: Vec<Vec<usize>> = Vec::with_capacity(pool_size);
+            let mut order: Vec<usize> =
+                (0..state.ys.len()).filter(|&i| !state.ys[i].is_nan()).collect();
+            order.sort_by(|&a, &b| state.ys[a].total_cmp(&state.ys[b]));
             if !order.is_empty() {
-                let n_mut = (opts.candidates / 2).max(1);
+                let n_mut = (pool_size / 2).max(1);
                 for k in 0..n_mut {
-                    let base = &xs[order[k % opts.top_k.min(order.len()).max(1)]];
+                    let base = &state.xs[order[k % opts.top_k.min(order.len()).max(1)]];
                     pool.push(space.mutate(base, &mut rng, 3));
                 }
             }
-            while pool.len() < opts.candidates {
+            while pool.len() < pool_size {
                 pool.push(space.sample(&mut rng));
             }
-            // Greedy acquisition with ε-greedy exploration; the surrogate
-            // scores the whole pool as one batch. NaN predictions are
-            // never acquired greedily.
-            if rng.gen::<f64>() < opts.epsilon {
-                pool[rng.gen_range(0..pool.len())].clone()
-            } else {
-                let predictions = model.predict_batch(&pool);
-                pool.iter()
-                    .zip(&predictions)
-                    .filter(|(c, p)| !seen.contains(*c) && !p.is_nan())
-                    .min_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(c, _)| c.clone())
-                    .unwrap_or_else(|| space.sample(&mut rng))
+            // Acquisition: the surrogate ranks the whole pool once (a
+            // stale forest still scores the *current* pool), then each of
+            // the `batch_size` proposal slots draws ε-greedy: explore →
+            // uniform pool member, exploit → next-best unseen prediction.
+            // Ranking is lazy so an all-explore cycle never pays for it;
+            // it consumes no RNG either way, keeping `B = 1` draws
+            // identical to the classic loop.
+            let mut ranked: Option<Vec<usize>> = None;
+            let mut picks: Vec<Vec<usize>> = Vec::with_capacity(batch_size);
+            let mut picked: HashSet<Vec<usize>> = HashSet::new();
+            for _ in 0..batch_size {
+                let pick = if rng.gen::<f64>() < opts.epsilon {
+                    pool[rng.gen_range(0..pool.len())].clone()
+                } else {
+                    let ranked = ranked.get_or_insert_with(|| {
+                        let predictions = model.predict_batch_on(&pool, exec);
+                        // Stable ascending sort: among equal predictions
+                        // the earliest pool entry ranks first, matching
+                        // the classic `min_by` tie-break.
+                        let mut indices: Vec<usize> =
+                            (0..pool.len()).filter(|&i| !predictions[i].is_nan()).collect();
+                        indices.sort_by(|&a, &b| predictions[a].total_cmp(&predictions[b]));
+                        indices
+                    });
+                    ranked
+                        .iter()
+                        .map(|&i| &pool[i])
+                        .find(|c| !state.seen.contains(*c) && !picked.contains(*c))
+                        .cloned()
+                        .unwrap_or_else(|| space.sample(&mut rng))
+                };
+                picked.insert(pick.clone());
+                picks.push(pick);
             }
+            picks
         };
-        let prev_best = best;
-        evaluate(
-            pick,
-            &mut xs,
-            &mut ys,
-            &mut history,
-            &mut seen,
-            &mut best,
-            &mut best_config,
-            &mut iterations_to_best,
-            &mut objective,
-        );
+
+        let batch_len = picks.len();
+        let best_transitions = evaluate_batch(&mut objective, picks, &mut state);
+        evaluated += batch_len;
+        cycle += 1;
         if opts.patience > 0 {
-            if prev_best - best > opts.patience_tol {
-                stale = 0;
-            } else {
-                stale += 1;
-                if stale >= opts.patience {
-                    break;
+            for (before, after) in best_transitions {
+                if before - after > opts.patience_tol {
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= opts.patience {
+                        break 'cycles;
+                    }
                 }
             }
         }
     }
 
-    BoResult { best_config, best_value: best, history, iterations_to_best }
+    BoResult {
+        best_config: state.best_config,
+        best_value: state.best,
+        history: state.history,
+        iterations_to_best: state.iterations_to_best,
+    }
+}
+
+/// Evaluates `batch` through the objective and folds the results into
+/// the state in submission order. Returns the `(before, after)`
+/// best-so-far transition of each evaluation — the patience counter
+/// replays them exactly as the classic per-evaluation loop would.
+fn evaluate_batch(
+    objective: &mut impl FnMut(&[Vec<usize>]) -> Vec<f64>,
+    batch: Vec<Vec<usize>>,
+    state: &mut SearchState,
+) -> Vec<(f64, f64)> {
+    if batch.is_empty() {
+        return Vec::new();
+    }
+    let values = objective(&batch);
+    assert_eq!(
+        values.len(),
+        batch.len(),
+        "batch objective must return one value per configuration"
+    );
+    let mut transitions = Vec::with_capacity(batch.len());
+    for (config, value) in batch.into_iter().zip(values) {
+        let before = state.best;
+        state.record(config, value);
+        transitions.push((before, state.best));
+    }
+    transitions
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Lifts a per-configuration objective into the batch API.
+    fn batched<'f>(f: impl Fn(&[usize]) -> f64 + 'f) -> impl FnMut(&[Vec<usize>]) -> Vec<f64> + 'f {
+        move |batch: &[Vec<usize>]| batch.iter().map(|c| f(c)).collect()
+    }
 
     fn quadratic(target: &[usize]) -> impl Fn(&[usize]) -> f64 + '_ {
         move |c: &[usize]| c.iter().zip(target).map(|(&a, &t)| (a as f64 - t as f64).powi(2)).sum()
@@ -298,8 +402,7 @@ mod tests {
         let target = vec![2usize, 0, 3, 1, 2, 3, 0, 1];
         let space = SearchSpace::uniform(8, 4);
         let opts = BoOptions { warmup: 60, iterations: 250, ..Default::default() };
-        let f = quadratic(&target);
-        let result = minimize(&space, |c| f(c), &[], &opts);
+        let result = minimize(&space, batched(quadratic(&target)), &[], &opts);
         assert_eq!(result.best_value, 0.0, "best config {:?}", result.best_config);
         assert_eq!(result.best_config, target);
     }
@@ -314,9 +417,9 @@ mod tests {
             s + if c[0] == c[9] { 0.0 } else { 2.0 }
         };
         let opts = BoOptions { warmup: 50, iterations: 200, seed: 3, ..Default::default() };
-        let bo = minimize(&space, f, &[], &opts);
+        let bo = minimize(&space, batched(f), &[], &opts);
         let random_opts = BoOptions { warmup: 250, iterations: 0, seed: 3, ..Default::default() };
-        let random = minimize(&space, f, &[], &random_opts);
+        let random = minimize(&space, batched(f), &[], &random_opts);
         assert!(bo.best_value <= random.best_value, "{} vs {}", bo.best_value, random.best_value);
     }
 
@@ -325,9 +428,9 @@ mod tests {
         // A seed at the optimum can never be lost.
         let target = vec![1usize, 1, 1, 1];
         let space = SearchSpace::uniform(4, 4);
-        let f = quadratic(&target);
         let opts = BoOptions { warmup: 5, iterations: 10, ..Default::default() };
-        let result = minimize(&space, |c| f(c), std::slice::from_ref(&target), &opts);
+        let result =
+            minimize(&space, batched(quadratic(&target)), std::slice::from_ref(&target), &opts);
         assert_eq!(result.best_value, 0.0);
         assert_eq!(result.iterations_to_best, 1);
     }
@@ -337,8 +440,8 @@ mod tests {
         let space = SearchSpace::uniform(6, 4);
         let f = |c: &[usize]| c.iter().map(|&v| (v as f64 - 1.7).powi(2)).sum::<f64>();
         let opts = BoOptions { warmup: 30, iterations: 50, seed: 42, ..Default::default() };
-        let a = minimize(&space, f, &[], &opts);
-        let b = minimize(&space, f, &[], &opts);
+        let a = minimize(&space, batched(f), &[], &opts);
+        let b = minimize(&space, batched(f), &[], &opts);
         assert_eq!(a.best_config, b.best_config);
         assert_eq!(a.history.len(), b.history.len());
         for (x, y) in a.history.iter().zip(&b.history) {
@@ -351,7 +454,7 @@ mod tests {
         let space = SearchSpace::uniform(5, 4);
         let f = |c: &[usize]| c.iter().map(|&v| v as f64).sum::<f64>();
         let opts = BoOptions { warmup: 40, iterations: 40, ..Default::default() };
-        let result = minimize(&space, f, &[], &opts);
+        let result = minimize(&space, batched(f), &[], &opts);
         for w in result.history.windows(2) {
             assert!(w[1].best_so_far <= w[0].best_so_far + 1e-15);
         }
@@ -362,7 +465,7 @@ mod tests {
         let space = SearchSpace::uniform(3, 4);
         let f = |_: &[usize]| 1.0; // flat: nothing to improve
         let opts = BoOptions { warmup: 10, iterations: 500, patience: 20, ..Default::default() };
-        let result = minimize(&space, f, &[], &opts);
+        let result = minimize(&space, batched(f), &[], &opts);
         assert!(result.history.len() < 100, "stopped after {}", result.history.len());
     }
 
@@ -374,7 +477,7 @@ mod tests {
         let space = SearchSpace::uniform(4, 4);
         let f = |c: &[usize]| c.iter().sum::<usize>() as f64;
         let opts = BoOptions { warmup: 0, iterations: 30, ..Default::default() };
-        let result = minimize(&space, f, &[], &opts);
+        let result = minimize(&space, batched(f), &[], &opts);
         assert_eq!(result.history.len(), 30);
         assert!(result.best_value.is_finite());
         assert_eq!(result.best_config.len(), 4);
@@ -396,7 +499,7 @@ mod tests {
             }
         };
         let opts = BoOptions { warmup: 30, iterations: 60, ..Default::default() };
-        let result = minimize(&space, f, &[], &opts);
+        let result = minimize(&space, batched(f), &[], &opts);
         assert!(result.best_value.is_finite());
         assert_ne!(result.best_config[0], 2);
     }
@@ -408,9 +511,115 @@ mod tests {
         let space = SearchSpace::uniform(3, 4);
         let zero = std::hint::black_box(0.0f64);
         let opts = BoOptions { warmup: 5, iterations: 20, ..Default::default() };
-        let result = minimize(&space, |_| zero / zero, &[], &opts);
+        let result = minimize(&space, batched(move |_| zero / zero), &[], &opts);
         assert_eq!(result.history.len(), 25);
         assert!(result.best_value.is_nan() || result.best_value.is_infinite());
+    }
+
+    #[test]
+    fn warmup_arrives_as_one_batch_and_proposals_as_cycles() {
+        // The batch seam itself: seeds + warm-up come in a single call,
+        // then every acquisition cycle hands over at most B proposals.
+        let space = SearchSpace::uniform(4, 4);
+        let mut batch_sizes: Vec<usize> = Vec::new();
+        let seeds = vec![vec![0usize; 4]];
+        let opts =
+            BoOptions { warmup: 17, iterations: 10, proposals_per_refit: 4, ..Default::default() };
+        let result = minimize(
+            &space,
+            |batch: &[Vec<usize>]| {
+                batch_sizes.push(batch.len());
+                batch.iter().map(|c| c.iter().sum::<usize>() as f64).collect()
+            },
+            &seeds,
+            &opts,
+        );
+        assert_eq!(result.history.len(), 1 + 17 + 10);
+        assert_eq!(batch_sizes[0], 18, "seeds + warm-up in one batch");
+        assert_eq!(&batch_sizes[1..], &[4, 4, 2], "B-sized cycles, truncated at the budget");
+    }
+
+    #[test]
+    fn proposals_within_a_cycle_are_distinct_unless_exploring() {
+        // With ε = 0 every proposal is greedy, and greedy picks must not
+        // repeat within a cycle (the pool is ranked once, the batch walks
+        // down distinct unseen candidates).
+        let space = SearchSpace::uniform(5, 4);
+        let f = |c: &[usize]| c.iter().map(|&v| (v as f64 - 2.0).powi(2)).sum::<f64>();
+        let opts = BoOptions {
+            warmup: 20,
+            iterations: 40,
+            epsilon: 0.0,
+            proposals_per_refit: 8,
+            ..Default::default()
+        };
+        let mut cycles: Vec<Vec<Vec<usize>>> = Vec::new();
+        minimize(
+            &space,
+            |batch: &[Vec<usize>]| {
+                cycles.push(batch.to_vec());
+                batch.iter().map(|c| f(c)).collect()
+            },
+            &[],
+            &opts,
+        );
+        for cycle in &cycles[1..] {
+            let unique: std::collections::HashSet<_> = cycle.iter().collect();
+            assert_eq!(unique.len(), cycle.len(), "duplicate proposal in {cycle:?}");
+        }
+    }
+
+    #[test]
+    fn stale_forest_still_scores_fresh_pools() {
+        // refit_every > 1: the forest is reused across cycles, but the
+        // candidate pool must be rebuilt and re-scored every cycle — a
+        // search that cached scored candidates alongside the stale forest
+        // would stop discovering new incumbent mutations and stall. The
+        // quadratic must still be solved exactly.
+        let target = vec![2usize, 0, 3, 1, 2, 0];
+        let space = SearchSpace::uniform(6, 4);
+        for refit_every in [3usize, 7] {
+            let opts = BoOptions { warmup: 40, iterations: 220, refit_every, ..Default::default() };
+            let result = minimize(&space, batched(quadratic(&target)), &[], &opts);
+            assert_eq!(result.best_value, 0.0, "refit_every = {refit_every}");
+            assert_eq!(result.best_config, target, "refit_every = {refit_every}");
+        }
+    }
+
+    #[test]
+    fn batched_acquisition_matches_single_proposal_budget() {
+        // B > 1 changes the trajectory but not the evaluation budget or
+        // the trace bookkeeping invariants.
+        let target = vec![1usize, 3, 0, 2, 1, 3];
+        let space = SearchSpace::uniform(6, 4);
+        for b in [1usize, 4, 16] {
+            let opts = BoOptions {
+                warmup: 50,
+                iterations: 150,
+                proposals_per_refit: b,
+                ..Default::default()
+            };
+            let result = minimize(&space, batched(quadratic(&target)), &[], &opts);
+            assert_eq!(result.history.len(), 200, "B = {b}");
+            assert_eq!(result.best_value, 0.0, "B = {b}");
+            for w in result.history.windows(2) {
+                assert!(w[1].best_so_far <= w[0].best_so_far + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_with_serial_exec_is_the_default_path() {
+        let space = SearchSpace::uniform(5, 4);
+        let f = |c: &[usize]| c.iter().map(|&v| v as f64).sum::<f64>();
+        let opts = BoOptions { warmup: 25, iterations: 40, ..Default::default() };
+        let a = minimize(&space, batched(f), &[], &opts);
+        let b = minimize_with(&space, batched(f), &[], &opts, &SerialExec);
+        assert_eq!(a.history.len(), b.history.len());
+        for (x, y) in a.history.iter().zip(&b.history) {
+            assert_eq!(x.value.to_bits(), y.value.to_bits());
+            assert_eq!(x.config, y.config);
+        }
     }
 
     #[test]

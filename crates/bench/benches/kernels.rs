@@ -78,8 +78,16 @@ fn bench_tableau_34q(c: &mut Criterion) {
 /// (DESIGN §5 ablation: the value of the RF surrogate).
 fn bench_bo_vs_random(c: &mut Criterion) {
     let space = SearchSpace::uniform(16, 4);
-    let objective = |cfg: &[usize]| {
-        cfg.iter().enumerate().map(|(i, &k)| (k as f64 - (i % 4) as f64).powi(2)).sum::<f64>()
+    let objective = |batch: &[Vec<usize>]| {
+        batch
+            .iter()
+            .map(|cfg| {
+                cfg.iter()
+                    .enumerate()
+                    .map(|(i, &k)| (k as f64 - (i % 4) as f64).powi(2))
+                    .sum::<f64>()
+            })
+            .collect::<Vec<f64>>()
     };
     let mut group = c.benchmark_group("bo_vs_random_160_evals");
     group.bench_function("bo_surrogate", |b| {

@@ -82,7 +82,12 @@ fn bench_fig07(c: &mut Criterion) {
             let opts = BoOptions { warmup: 30, iterations: 5, ..Default::default() };
             black_box(minimize(
                 &space,
-                |cfg| cfg.iter().map(|&k| (k as f64 - 1.3).powi(2)).sum(),
+                |batch: &[Vec<usize>]| {
+                    batch
+                        .iter()
+                        .map(|cfg| cfg.iter().map(|&k| (k as f64 - 1.3).powi(2)).sum())
+                        .collect()
+                },
                 &[],
                 &opts,
             ))

@@ -1,5 +1,12 @@
 //! Criterion benchmark crate (see benches/), plus the frozen reference
-//! kernels the A/B benchmarks compare against.
+//! kernels and search loops the A/B benchmarks and equivalence tests
+//! compare against.
+
+mod reference_search;
+
+pub use reference_search::{
+    reference_evaluate_batch_spawn, reference_minimize, reference_run_cafqa,
+};
 
 use cafqa_clifford::Tableau;
 use cafqa_pauli::{PauliOp, PauliString};

@@ -1,0 +1,383 @@
+//! The persistent execution engine behind every parallel code path.
+//!
+//! PR 2 made candidate evaluation allocation-free and sharded, but each
+//! batch still paid a `std::thread::scope` spawn (tens of microseconds
+//! per worker) and three call sites carried their own
+//! `available_parallelism()` heuristics. For the paper's H2O/Cr2-scale
+//! runs — hundreds of thousands of small batches — thread churn, not the
+//! tableau kernel, becomes the pacing item. This module replaces all of
+//! that with one [`ExecEngine`]: a pool of long-lived worker threads fed
+//! self-contained jobs over a channel, shared by
+//! [`CliffordObjective::evaluate_batch`](crate::CliffordObjective::evaluate_batch),
+//! [`exhaustive_search`](crate::exhaustive::exhaustive_search), the
+//! polish sweeps in [`run_cafqa`](crate::run_cafqa), and (through the
+//! [`cafqa_bayesopt::Executor`] seam) the random-forest surrogate's
+//! batched scoring.
+//!
+//! # Determinism
+//!
+//! Jobs complete in arbitrary order, so every dispatch API here keys
+//! results by shard index and reassembles them in submission order:
+//! [`ExecEngine::map`] returns results positionally, exactly as the
+//! serial fallback would produce them. Combined with the fixed
+//! partial-sum association in the objective kernel, a search trace is
+//! bit-identical at any worker count — including 1 — and across hosts.
+//!
+//! # Worker-count policy
+//!
+//! [`default_workers`] is the single source of truth (previously three
+//! scattered `min(8)`/`min(16)` heuristics): the host parallelism capped
+//! at 16, overridable with the `CAFQA_WORKERS` environment variable.
+//! [`ExecEngine::global`] exposes one process-wide engine built from it,
+//! so independent searches in one process share a single pool instead of
+//! oversubscribing the host.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A self-contained unit of work: owns its inputs and reports through a
+/// channel captured at build time (the one definition, shared with the
+/// [`cafqa_bayesopt::Executor`] seam).
+pub use cafqa_bayesopt::Job;
+
+/// Upper bound on the auto-detected worker count: beyond this the
+/// shard-merge overhead outweighs the parallelism for CAFQA's batch
+/// sizes. `CAFQA_WORKERS` overrides it.
+const MAX_AUTO_WORKERS: usize = 16;
+
+/// Parses a `CAFQA_WORKERS` value: a positive thread count.
+fn parse_workers(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// The process-wide worker-count policy, replacing the per-call-site
+/// heuristics that PR 2 left scattered over the objective, exhaustive
+/// and forest layers: the `CAFQA_WORKERS` environment variable when set
+/// to a positive integer, otherwise the available parallelism capped at
+/// 16. Always at least 1.
+pub fn default_workers() -> usize {
+    if let Some(n) = std::env::var("CAFQA_WORKERS").ok().as_deref().and_then(parse_workers) {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(MAX_AUTO_WORKERS)
+}
+
+thread_local! {
+    /// Set once in every pool worker. Dispatching from inside a worker
+    /// would deadlock a saturated pool (the outer job blocks waiting for
+    /// inner jobs no idle worker can take), so nested dispatch degrades
+    /// to the serial path — which is bit-identical anyway.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The long-lived worker threads and the channel that feeds them.
+struct WorkerPool {
+    /// `None` only transiently during drop (taking it hangs up the
+    /// channel so workers drain and exit).
+    sender: Option<mpsc::Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(workers: usize) -> WorkerPool {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("cafqa-worker-{i}"))
+                    .spawn(move || {
+                        IN_WORKER.with(|flag| flag.set(true));
+                        loop {
+                            // Hold the queue lock only for the dequeue,
+                            // never while running the job.
+                            let job = receiver.lock().expect("worker queue poisoned").recv();
+                            match job {
+                                Ok(job) => job(),
+                                Err(_) => break, // engine dropped: drain and exit
+                            }
+                        }
+                    })
+                    .expect("worker thread spawn failed")
+            })
+            .collect();
+        WorkerPool { sender: Some(sender), handles }
+    }
+
+    fn send(&self, job: Job) {
+        self.sender
+            .as_ref()
+            .expect("pool sender alive until drop")
+            .send(job)
+            .expect("worker pool hung up");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Hang up the job channel first so idle workers see the
+        // disconnect, then wait for in-flight jobs to finish.
+        self.sender.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct Inner {
+    workers: usize,
+    /// `None` for a serial engine (1 worker): no threads at all.
+    pool: Option<WorkerPool>,
+}
+
+/// A persistent worker-pool execution engine.
+///
+/// Cloning is cheap (an `Arc` handle) and clones share the same pool;
+/// the threads shut down when the last handle drops. An engine with one
+/// worker spawns no threads and runs everything on the calling thread —
+/// the reference semantics every pooled dispatch reproduces exactly.
+///
+/// # Examples
+///
+/// ```
+/// use cafqa_core::engine::ExecEngine;
+///
+/// let engine = ExecEngine::new(4);
+/// let tasks: Vec<_> = (0..8u64).map(|i| move || i * i).collect();
+/// // Results come back in submission order regardless of scheduling.
+/// assert_eq!(engine.map(tasks), vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+#[derive(Clone)]
+pub struct ExecEngine {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for ExecEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecEngine").field("workers", &self.inner.workers).finish()
+    }
+}
+
+impl ExecEngine {
+    /// An engine with exactly `workers` threads (clamped to ≥ 1; one
+    /// worker means no threads and pure calling-thread execution).
+    pub fn new(workers: usize) -> ExecEngine {
+        let workers = workers.max(1);
+        let pool = (workers > 1).then(|| WorkerPool::spawn(workers));
+        ExecEngine { inner: Arc::new(Inner { workers, pool }) }
+    }
+
+    /// An engine sized by [`default_workers`] (`CAFQA_WORKERS` honored).
+    pub fn from_env() -> ExecEngine {
+        ExecEngine::new(default_workers())
+    }
+
+    /// A single-threaded engine (no worker threads).
+    pub fn serial() -> ExecEngine {
+        ExecEngine::new(1)
+    }
+
+    /// The process-wide shared engine, created on first use via
+    /// [`ExecEngine::from_env`]. This is what the public entry points
+    /// ([`run_cafqa`](crate::run_cafqa),
+    /// [`exhaustive_search`](crate::exhaustive::exhaustive_search),
+    /// [`CliffordObjective::new`](crate::CliffordObjective::new)) use
+    /// unless handed an explicit engine; its threads live for the rest
+    /// of the process.
+    pub fn global() -> &'static ExecEngine {
+        static GLOBAL: OnceLock<ExecEngine> = OnceLock::new();
+        GLOBAL.get_or_init(ExecEngine::from_env)
+    }
+
+    /// The engine's worker count (1 for a serial engine).
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Whether dispatch would actually use pool threads right now (false
+    /// for serial engines and when called from inside a worker, where
+    /// nested dispatch degrades to serial execution).
+    pub fn is_pooled(&self) -> bool {
+        self.inner.pool.is_some() && !IN_WORKER.with(|flag| flag.get())
+    }
+
+    /// Runs every job to completion before returning. Panics inside
+    /// jobs are collected and re-raised on the calling thread after the
+    /// whole batch has finished (so no job is silently dropped).
+    pub fn execute(&self, jobs: Vec<Job>) {
+        let pool = match &self.inner.pool {
+            Some(pool) if jobs.len() > 1 && self.is_pooled() => pool,
+            _ => {
+                for job in jobs {
+                    job();
+                }
+                return;
+            }
+        };
+        let pending = jobs.len();
+        let (done_tx, done_rx) = mpsc::channel::<std::thread::Result<()>>();
+        for job in jobs {
+            let done = done_tx.clone();
+            pool.send(Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                let _ = done.send(outcome);
+            }));
+        }
+        drop(done_tx);
+        let mut panic_payload = None;
+        for _ in 0..pending {
+            match done_rx.recv().expect("worker pool hung up mid-batch") {
+                Ok(()) => {}
+                Err(payload) => panic_payload = Some(payload),
+            }
+        }
+        if let Some(payload) = panic_payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Runs `tasks` across the pool and returns their results **in
+    /// submission order** — the deterministic shard→result contract the
+    /// whole search stack builds on. Serial engines (and nested calls
+    /// from inside a worker) run the tasks in order on the calling
+    /// thread, producing identical results. Delegates to the shared
+    /// [`cafqa_bayesopt::map_jobs`] shard/merge implementation.
+    pub fn map<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        if !self.is_pooled() || tasks.len() <= 1 {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
+        let tasks: Vec<Box<dyn FnOnce() -> T + Send>> =
+            tasks.into_iter().map(|task| Box::new(task) as Box<dyn FnOnce() -> T + Send>).collect();
+        cafqa_bayesopt::map_jobs(self, tasks)
+    }
+}
+
+impl cafqa_bayesopt::Executor for ExecEngine {
+    fn workers(&self) -> usize {
+        self.workers()
+    }
+
+    fn execute(&self, jobs: Vec<cafqa_bayesopt::Job>) {
+        ExecEngine::execute(self, jobs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_submission_order() {
+        for workers in [1usize, 2, 8] {
+            let engine = ExecEngine::new(workers);
+            let tasks: Vec<_> = (0..64u64).map(|i| move || i.wrapping_mul(0x9E37_79B9)).collect();
+            let expected: Vec<u64> = (0..64).map(|i: u64| i.wrapping_mul(0x9E37_79B9)).collect();
+            assert_eq!(engine.map(tasks), expected, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        // The whole point: one spawn, thousands of dispatches.
+        let engine = ExecEngine::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..500 {
+            let tasks: Vec<_> = (0..4)
+                .map(|_| {
+                    let counter = Arc::clone(&counter);
+                    move || counter.fetch_add(1, Ordering::Relaxed)
+                })
+                .collect();
+            engine.map(tasks);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2000);
+    }
+
+    #[test]
+    fn panics_propagate_after_batch_completes() {
+        let engine = ExecEngine::new(2);
+        let completed = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<Job> = (0..4)
+            .map(|i| {
+                let completed = Arc::clone(&completed);
+                Box::new(move || {
+                    if i == 1 {
+                        panic!("job {i} exploded");
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        let result = catch_unwind(AssertUnwindSafe(|| engine.execute(jobs)));
+        assert!(result.is_err(), "panic must propagate");
+        // Every non-panicking job still ran before the re-raise.
+        assert_eq!(completed.load(Ordering::SeqCst), 3);
+        // The pool is still serviceable after a panicking batch.
+        assert_eq!(engine.map(vec![|| 7usize]), vec![7]);
+    }
+
+    #[test]
+    fn nested_dispatch_degrades_to_serial() {
+        let engine = ExecEngine::new(2);
+        // Jobs that dispatch through the same engine: must not deadlock
+        // even though every pool worker may be busy.
+        let tasks: Vec<_> = (0..2u64)
+            .map(|offset| {
+                let inner = engine.clone();
+                move || inner.map((0..8u64).map(|i| move || i + offset).collect::<Vec<_>>())
+            })
+            .collect();
+        let results = engine.map(tasks);
+        assert_eq!(results[0], vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(results[1], vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    /// The override logic is tested through the pure parser —
+    /// `default_workers` is a one-line composition of it with
+    /// `env::var`, and mutating the process environment from a test
+    /// would race other tests reading it concurrently (`getenv` during
+    /// `setenv` is UB in glibc).
+    #[test]
+    fn workers_env_parse_rules() {
+        assert_eq!(parse_workers("4"), Some(4));
+        assert_eq!(parse_workers(" 12 "), Some(12));
+        assert_eq!(parse_workers("0"), None, "zero workers is meaningless");
+        assert_eq!(parse_workers("-3"), None);
+        assert_eq!(parse_workers("many"), None);
+        assert_eq!(parse_workers(""), None);
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn serial_engine_spawns_no_threads() {
+        let engine = ExecEngine::serial();
+        assert_eq!(engine.workers(), 1);
+        assert!(!engine.is_pooled());
+        assert_eq!(engine.map(vec![|| 1, || 2, || 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn executor_trait_runs_jobs_to_completion() {
+        let engine = ExecEngine::new(2);
+        let (tx, rx) = mpsc::channel();
+        let jobs: Vec<Job> = (0..16)
+            .map(|i| {
+                let tx = tx.clone();
+                Box::new(move || tx.send(i).unwrap()) as Job
+            })
+            .collect();
+        cafqa_bayesopt::Executor::execute(&engine, jobs);
+        drop(tx);
+        let mut got: Vec<i32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+}

@@ -6,9 +6,12 @@
 //! that CAFQA's H2 points reach the global minimum of the Clifford
 //! space).
 
+use std::sync::Arc;
+
 use cafqa_circuit::Ansatz;
 use cafqa_pauli::PauliOp;
 
+use crate::engine::ExecEngine;
 use crate::objective::{CliffordObjective, ObjectiveValue, Penalty};
 
 /// Upper bound on enumerable configurations (4^12).
@@ -37,22 +40,22 @@ fn decode(mut code: u64, config: &mut [usize]) {
 }
 
 /// The winner of one contiguous code range: `(code, value)` of the
-/// earliest strict minimum of the penalized objective.
+/// earliest strict minimum of the penalized objective. Generic over the
+/// evaluation closure so the engine-sharded (owned `EvalCore`) and the
+/// serial fallback (borrowed ansatz) paths share one scan, guaranteeing
+/// identical fold semantics.
 fn scan_range(
-    objective: &CliffordObjective<'_>,
+    mut eval: impl FnMut(&[usize]) -> ObjectiveValue,
     d: usize,
     codes: std::ops::Range<u64>,
 ) -> (u64, ObjectiveValue) {
-    let mut scratch = objective.scratch();
     let mut config = vec![0usize; d];
     decode(codes.start, &mut config);
     let mut best_code = codes.start;
-    // Nested evaluation: shards are themselves worker threads, so the
-    // per-candidate term sum must not spawn another thread layer.
-    let mut best = objective.evaluate_with_nested(&config, &mut scratch);
+    let mut best = eval(&config);
     for code in codes.start + 1..codes.end {
         decode(code, &mut config);
-        let value = objective.evaluate_with_nested(&config, &mut scratch);
+        let value = eval(&config);
         if value.penalized < best.penalized {
             best = value;
             best_code = code;
@@ -96,7 +99,7 @@ fn result_from(best_code: u64, best: ObjectiveValue, d: usize, total: u64) -> Ex
 
 /// Enumerates every Clifford configuration of the ansatz and returns the
 /// global optimum of the penalized objective, sharding the enumeration
-/// across worker threads. The result is identical to
+/// across the process-global [`ExecEngine`]. The result is identical to
 /// [`exhaustive_search_serial`] — ties on the penalized value resolve to
 /// the lowest enumeration code in both.
 ///
@@ -108,41 +111,47 @@ pub fn exhaustive_search(
     hamiltonian: &PauliOp,
     penalties: Vec<Penalty>,
 ) -> Result<ExhaustiveResult, u64> {
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(16) as u64;
-    exhaustive_search_with_workers(ansatz, hamiltonian, penalties, workers)
+    exhaustive_search_on(ExecEngine::global(), ansatz, hamiltonian, penalties)
 }
 
-/// [`exhaustive_search`] with an explicit shard count (normally the
-/// available parallelism); exposed so the shard/merge path stays
-/// testable and benchmarkable regardless of the host's core count.
+/// [`exhaustive_search`] on an explicit engine — the entry point for
+/// callers that own a persistent pool (one engine for a whole
+/// experiment run, not one per search).
 ///
 /// # Errors
 ///
 /// Returns the space size when it exceeds [`MAX_EXHAUSTIVE`].
-pub fn exhaustive_search_with_workers(
+pub fn exhaustive_search_on(
+    engine: &ExecEngine,
     ansatz: &dyn Ansatz,
     hamiltonian: &PauliOp,
     penalties: Vec<Penalty>,
-    workers: u64,
 ) -> Result<ExhaustiveResult, u64> {
     let d = ansatz.num_parameters();
     let total = guarded_space_size(d)?;
     let objective = build_objective(ansatz, hamiltonian, penalties);
-    if workers <= 1 || total < 4096 {
-        let (best_code, best) = scan_range(&objective, d, 0..total);
+    let shards = engine.workers() as u64;
+    if shards <= 1 || total < 4096 || !objective.is_compiled() || !engine.is_pooled() {
+        // Serial scan through the objective (handles non-compiled
+        // ansätze via per-candidate lowering) — the reference fold.
+        let mut scratch = objective.scratch();
+        let (best_code, best) =
+            scan_range(|config| objective.evaluate_with(config, &mut scratch), d, 0..total);
         return Ok(result_from(best_code, best, d, total));
     }
-    let shard = total.div_ceil(workers);
-    let winners: Vec<(u64, ObjectiveValue)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..total)
-            .step_by(shard as usize)
-            .map(|start| {
-                let objective = &objective;
-                scope.spawn(move || scan_range(objective, d, start..(start + shard).min(total)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
-    });
+    let shard = total.div_ceil(shards);
+    let tasks: Vec<_> = (0..total)
+        .step_by(shard as usize)
+        .map(|start| {
+            let core = Arc::clone(objective.core());
+            let codes = start..(start + shard).min(total);
+            move || {
+                let mut scratch = core.scratch();
+                scan_range(|config| core.evaluate(config, &mut scratch), d, codes)
+            }
+        })
+        .collect();
+    let winners: Vec<(u64, ObjectiveValue)> = engine.map(tasks);
     // Merge in shard order: strictly-better wins, so ties keep the
     // earliest code — exactly the serial scan's behavior.
     let (mut best_code, mut best) = winners[0];
@@ -153,6 +162,23 @@ pub fn exhaustive_search_with_workers(
         }
     }
     Ok(result_from(best_code, best, d, total))
+}
+
+/// [`exhaustive_search`] with an explicit shard count on a private,
+/// temporary engine; exposed so the shard/merge path stays testable and
+/// benchmarkable regardless of the host's core count.
+///
+/// # Errors
+///
+/// Returns the space size when it exceeds [`MAX_EXHAUSTIVE`].
+pub fn exhaustive_search_with_workers(
+    ansatz: &dyn Ansatz,
+    hamiltonian: &PauliOp,
+    penalties: Vec<Penalty>,
+    workers: u64,
+) -> Result<ExhaustiveResult, u64> {
+    let engine = ExecEngine::new(workers as usize);
+    exhaustive_search_on(&engine, ansatz, hamiltonian, penalties)
 }
 
 /// The single-threaded reference enumeration. Same result as

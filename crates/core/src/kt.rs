@@ -74,9 +74,18 @@ pub fn run_cafqa_kt(
         iterations: opts.iterations,
         seed: opts.seed,
         patience: opts.patience,
+        proposals_per_refit: opts.proposals_per_refit,
         ..Default::default()
     };
-    let result = minimize(&space, evaluate, seeds, &bo_opts);
+    // Stabilizer-rank branch simulation borrows the ansatz per candidate,
+    // so the batch objective maps serially; batched acquisition still
+    // amortizes the surrogate refits.
+    let result = minimize(
+        &space,
+        |batch: &[Vec<usize>]| batch.iter().map(|config| evaluate(config)).collect(),
+        seeds,
+        &bo_opts,
+    );
     let best_config = result.best_config;
     let circuit = ansatz.bind_eighth(&best_config);
     let state = CliffordTState::from_circuit(&circuit).expect("feasible best configuration");

@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod exhaustive;
 mod kt;
 pub mod maxcut;
@@ -45,9 +46,10 @@ pub mod microbench;
 mod objective;
 mod runner;
 
+pub use engine::{default_workers, ExecEngine};
 pub use kt::{run_cafqa_kt, t_count_of, widen_clifford_config, CafqaKtResult};
 pub use objective::{CliffordObjective, EvalScratch, ObjectiveValue, Penalty};
-pub use runner::{run_cafqa, CafqaOptions, CafqaResult, MolecularCafqa, SearchPoint};
+pub use runner::{run_cafqa, run_cafqa_on, CafqaOptions, CafqaResult, MolecularCafqa, SearchPoint};
 
 #[cfg(test)]
 mod integration_tests {

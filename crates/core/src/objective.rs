@@ -1,10 +1,14 @@
 //! The CAFQA classical objective: stabilizer-state energy plus sector
 //! penalties, evaluated by tableau simulation (paper §3, steps 2–7).
 
+use std::sync::Arc;
+
 use cafqa_circuit::{Ansatz, CompiledAnsatz};
 use cafqa_clifford::Tableau;
 use cafqa_linalg::Complex64;
 use cafqa_pauli::{PauliOp, PauliString};
+
+use crate::engine::ExecEngine;
 
 /// A quadratic sector penalty `weight · ⟨(O − target)²⟩`, the paper's
 /// mechanism for imposing electron-count (and spin) preservation directly
@@ -49,8 +53,20 @@ pub struct ObjectiveValue {
     pub penalized: f64,
 }
 
-/// Hamiltonians above this term count are evaluated with worker threads.
-const PARALLEL_TERM_THRESHOLD: usize = 4096;
+/// Hamiltonians at or above this term count sum their terms in fixed
+/// chunks (see [`EvalCore::hamiltonian_expectation`]).
+const CHUNKED_TERM_THRESHOLD: usize = 4096;
+
+/// Fixed partial-sum count for large Hamiltonians. A *constant* (rather
+/// than the host parallelism PR 2 used) makes the floating-point
+/// association — and therefore every energy — identical across hosts and
+/// worker counts, which the engine's determinism contract requires.
+const TERM_CHUNKS: usize = 8;
+
+/// Batches below this many row-update units stay on the calling thread:
+/// dispatching to the pool costs a few microseconds per shard, so tiny
+/// workloads are faster serial.
+const BATCH_DISPATCH_THRESHOLD: usize = 8192;
 
 /// Reusable per-thread evaluation state: one stabilizer tableau that is
 /// re-prepared in place for every candidate, so the hot loop never
@@ -60,17 +76,95 @@ pub struct EvalScratch {
     tableau: Tableau,
 }
 
-/// The CAFQA objective: binds discrete Clifford indices into the ansatz,
-/// simulates the stabilizer state, and returns `⟨H⟩` plus penalties.
-pub struct CliffordObjective<'a> {
-    ansatz: &'a dyn Ansatz,
+/// The owned, shareable evaluation state behind [`CliffordObjective`]:
+/// the compiled ansatz template plus the flattened Hamiltonian terms and
+/// penalties. It borrows nothing, so batch shards can carry an
+/// `Arc<EvalCore>` into the persistent worker pool as fully `'static`
+/// jobs — the trick that keeps the engine free of scoped threads (and
+/// the workspace free of `unsafe`).
+#[derive(Clone)]
+pub(crate) struct EvalCore {
+    num_qubits: usize,
     /// The ansatz structure lowered once into primitive gates + rotation
-    /// slots; `None` falls back to per-candidate `bind_clifford` lowering.
+    /// slots; `None` falls back to per-candidate `bind_clifford` lowering
+    /// through the borrowed ansatz (serial only).
     template: Option<CompiledAnsatz>,
-    hamiltonian: &'a PauliOp,
-    /// Flat copy of the Hamiltonian for chunked parallel evaluation.
+    /// Flat copy of the Hamiltonian for the expectation kernel.
     terms: Vec<(PauliString, f64)>,
     penalties: Vec<Penalty>,
+}
+
+impl EvalCore {
+    /// A fresh per-worker scratch tableau.
+    pub(crate) fn scratch(&self) -> EvalScratch {
+        EvalScratch { tableau: Tableau::zero_state(self.num_qubits) }
+    }
+
+    pub(crate) fn is_compiled(&self) -> bool {
+        self.template.is_some()
+    }
+
+    /// `⟨H⟩` on a prepared tableau. Small Hamiltonians sum straight
+    /// through; large ones (18/34-qubit systems) accumulate
+    /// [`TERM_CHUNKS`] partial sums combined in chunk order — one fixed
+    /// association shared by every evaluation path, so energies are
+    /// bit-identical serial vs. batched, at any worker count, on any
+    /// host.
+    fn hamiltonian_expectation(&self, tableau: &Tableau) -> f64 {
+        if self.terms.len() < CHUNKED_TERM_THRESHOLD {
+            return self
+                .terms
+                .iter()
+                .map(|(p, c)| c * f64::from(tableau.expectation_pauli(p)))
+                .sum();
+        }
+        let chunk = self.terms.len().div_ceil(TERM_CHUNKS);
+        self.terms
+            .chunks(chunk)
+            .map(|terms| {
+                terms.iter().map(|(p, c)| c * f64::from(tableau.expectation_pauli(p))).sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Energy + penalties on a prepared tableau.
+    fn value_on(&self, tableau: &Tableau) -> ObjectiveValue {
+        let energy = self.hamiltonian_expectation(tableau);
+        let penalized = energy + self.penalties.iter().map(|p| p.value(tableau)).sum::<f64>();
+        ObjectiveValue { energy, penalized }
+    }
+
+    /// Evaluates one configuration through the compiled template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ansatz did not compile — engine shards are only
+    /// built for compiled objectives (see
+    /// [`CliffordObjective::evaluate_batch`]).
+    pub(crate) fn evaluate(&self, config: &[usize], scratch: &mut EvalScratch) -> ObjectiveValue {
+        let template = self.template.as_ref().expect("engine shards require a compiled template");
+        scratch.tableau.run_compiled(template, config);
+        self.value_on(&scratch.tableau)
+    }
+}
+
+/// The CAFQA objective: binds discrete Clifford indices into the ansatz,
+/// simulates the stabilizer state, and returns `⟨H⟩` plus penalties.
+///
+/// Batch evaluation runs on a persistent [`ExecEngine`] — the process
+/// global one by default, or the engine handed in with
+/// [`CliffordObjective::with_engine`] (what
+/// [`run_cafqa_on`](crate::run_cafqa_on) does, so one pool serves the
+/// whole search).
+pub struct CliffordObjective<'a> {
+    ansatz: &'a dyn Ansatz,
+    hamiltonian: &'a PauliOp,
+    core: Arc<EvalCore>,
+    /// `None` resolves to [`ExecEngine::global`] lazily, at the first
+    /// batch large enough to dispatch — so objectives that only ever
+    /// evaluate serially (or are handed an explicit engine) never spawn
+    /// the process-wide pool as a side effect.
+    engine: Option<ExecEngine>,
 }
 
 impl<'a> CliffordObjective<'a> {
@@ -89,23 +183,47 @@ impl<'a> CliffordObjective<'a> {
         );
         let terms = hamiltonian.iter().map(|(p, c)| (*p, c.re)).collect();
         let template = CompiledAnsatz::compile(ansatz);
-        CliffordObjective { ansatz, template, hamiltonian, terms, penalties: Vec::new() }
+        let core = Arc::new(EvalCore {
+            num_qubits: ansatz.num_qubits(),
+            template,
+            terms,
+            penalties: Vec::new(),
+        });
+        CliffordObjective { ansatz, hamiltonian, core, engine: None }
+    }
+
+    /// Routes this objective's batch evaluation through `engine` instead
+    /// of the process-global pool.
+    pub fn with_engine(mut self, engine: ExecEngine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// The engine batch evaluation dispatches on (the process-global one
+    /// unless [`Self::with_engine`] overrode it).
+    pub fn engine(&self) -> &ExecEngine {
+        self.engine.as_ref().unwrap_or_else(|| ExecEngine::global())
     }
 
     /// Whether the ansatz compiled to a template (the fast path).
     pub fn is_compiled(&self) -> bool {
-        self.template.is_some()
+        self.core.is_compiled()
+    }
+
+    /// The shared evaluation core (for in-crate engine call sites).
+    pub(crate) fn core(&self) -> &Arc<EvalCore> {
+        &self.core
     }
 
     /// A fresh evaluation scratch; reuse it across candidates on one
     /// thread to keep the search loop allocation-free.
     pub fn scratch(&self) -> EvalScratch {
-        EvalScratch { tableau: Tableau::zero_state(self.ansatz.num_qubits()) }
+        self.core.scratch()
     }
 
     /// Prepares the candidate's stabilizer state into the scratch tableau.
     fn prepare<'t>(&self, config: &[usize], scratch: &'t mut EvalScratch) -> &'t Tableau {
-        if let Some(template) = &self.template {
+        if let Some(template) = &self.core.template {
             scratch.tableau.run_compiled(template, config);
         } else {
             let circuit = self.ansatz.bind_clifford(config);
@@ -115,63 +233,6 @@ impl<'a> CliffordObjective<'a> {
         &scratch.tableau
     }
 
-    /// `⟨H⟩` on a prepared tableau, chunked over worker threads for the
-    /// large Hamiltonians of the 18/34-qubit systems (DESIGN.md §5).
-    fn hamiltonian_expectation(&self, tableau: &Tableau) -> f64 {
-        if self.terms.len() < PARALLEL_TERM_THRESHOLD {
-            return self
-                .terms
-                .iter()
-                .map(|(p, c)| c * f64::from(tableau.expectation_pauli(p)))
-                .sum();
-        }
-        let chunk = self.term_chunk_len();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .terms
-                .chunks(chunk)
-                .map(|terms| {
-                    scope.spawn(move || {
-                        terms
-                            .iter()
-                            .map(|(p, c)| c * f64::from(tableau.expectation_pauli(p)))
-                            .sum::<f64>()
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
-        })
-    }
-
-    /// The term-chunk length shared by the threaded and the
-    /// nested-serial summation paths, so both associate the floating
-    /// additions identically (bit-identical energies).
-    fn term_chunk_len(&self) -> usize {
-        let workers = std::thread::available_parallelism().map_or(2, |n| n.get()).min(8);
-        self.terms.len().div_ceil(workers)
-    }
-
-    /// [`Self::hamiltonian_expectation`] for callers that already run on
-    /// a sharded worker: no inner thread spawns (which would oversubscribe
-    /// the host), but the same fixed-chunk partial-sum association as the
-    /// threaded path — so energies stay bit-identical either way.
-    fn hamiltonian_expectation_nested(&self, tableau: &Tableau) -> f64 {
-        if self.terms.len() < PARALLEL_TERM_THRESHOLD {
-            return self
-                .terms
-                .iter()
-                .map(|(p, c)| c * f64::from(tableau.expectation_pauli(p)))
-                .sum();
-        }
-        let chunk = self.term_chunk_len();
-        self.terms
-            .chunks(chunk)
-            .map(|terms| {
-                terms.iter().map(|(p, c)| c * f64::from(tableau.expectation_pauli(p))).sum::<f64>()
-            })
-            .sum()
-    }
-
     /// Adds a sector penalty.
     pub fn with_penalty(mut self, penalty: Penalty) -> Self {
         assert_eq!(
@@ -179,7 +240,9 @@ impl<'a> CliffordObjective<'a> {
             self.hamiltonian.num_qubits(),
             "penalty width mismatch"
         );
-        self.penalties.push(penalty);
+        // The core is not shared yet (penalties are added at build time),
+        // so this never copies in practice.
+        Arc::make_mut(&mut self.core).penalties.push(penalty);
         self
     }
 
@@ -202,87 +265,73 @@ impl<'a> CliffordObjective<'a> {
     /// [`Self::evaluate`] against a caller-owned scratch — the hot-loop
     /// entry point: no allocation per candidate when the ansatz compiled.
     pub fn evaluate_with(&self, config: &[usize], scratch: &mut EvalScratch) -> ObjectiveValue {
-        self.evaluate_impl(config, scratch, false)
-    }
-
-    /// [`Self::evaluate_with`] for callers already running on a sharded
-    /// worker thread (batch evaluation, exhaustive shards): identical
-    /// results, but the per-candidate term sum never spawns inner threads.
-    pub(crate) fn evaluate_with_nested(
-        &self,
-        config: &[usize],
-        scratch: &mut EvalScratch,
-    ) -> ObjectiveValue {
-        self.evaluate_impl(config, scratch, true)
-    }
-
-    fn evaluate_impl(
-        &self,
-        config: &[usize],
-        scratch: &mut EvalScratch,
-        nested: bool,
-    ) -> ObjectiveValue {
         let tableau = self.prepare(config, scratch);
-        let energy = if nested {
-            self.hamiltonian_expectation_nested(tableau)
-        } else {
-            self.hamiltonian_expectation(tableau)
-        };
-        let penalized = energy + self.penalties.iter().map(|p| p.value(tableau)).sum::<f64>();
-        ObjectiveValue { energy, penalized }
+        self.core.value_on(tableau)
     }
 
-    /// Evaluates a batch of candidates, sharded across worker threads.
+    /// Evaluates a batch of candidates, sharded across the engine's
+    /// persistent workers.
     ///
     /// Results are in input order and bit-identical to calling
     /// [`Self::evaluate`] per candidate serially (each candidate's term
-    /// sum runs in the same order either way). Small batches stay on the
-    /// calling thread; each worker reuses one scratch tableau.
+    /// sum runs in the same fixed association either way). Small batches
+    /// stay on the calling thread; each worker reuses one scratch
+    /// tableau. Non-compiled ansätze (no template to ship to the pool)
+    /// evaluate serially with identical results.
     pub fn evaluate_batch(&self, configs: &[Vec<usize>]) -> Vec<ObjectiveValue> {
-        // Rough per-candidate cost in row-update units; spawning threads
-        // costs ~tens of µs, so tiny workloads stay on the calling thread.
-        let per_eval = self.terms.len().max(1) * self.ansatz.num_qubits().max(1);
-        let workers = if configs.len() * per_eval < 8192 {
-            1
-        } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
-        };
-        self.evaluate_batch_with_workers(configs, workers)
+        // Rough per-candidate cost in row-update units; engine dispatch
+        // costs a few µs per shard, so tiny workloads stay serial (and
+        // never force the global pool into existence).
+        let per_eval = self.core.terms.len().max(1) * self.core.num_qubits.max(1);
+        if configs.len() * per_eval < BATCH_DISPATCH_THRESHOLD {
+            let mut scratch = self.scratch();
+            return configs.iter().map(|c| self.evaluate_with(c, &mut scratch)).collect();
+        }
+        let engine = self.engine();
+        self.evaluate_batch_sharded(configs, engine.workers(), engine)
     }
 
-    /// [`Self::evaluate_batch`] with an explicit worker count (normally
-    /// the available parallelism, gated by batch size); exposed so the
-    /// sharded path stays testable and benchmarkable regardless of the
-    /// host's core count.
+    /// [`Self::evaluate_batch`] with an explicit worker count on a
+    /// private, temporary engine; exposed so the sharded path stays
+    /// testable and benchmarkable regardless of the host's core count.
+    /// (Production paths use [`Self::evaluate_batch`] and the persistent
+    /// engine — this spawns and tears down a pool per call.)
     pub fn evaluate_batch_with_workers(
         &self,
         configs: &[Vec<usize>],
         workers: usize,
     ) -> Vec<ObjectiveValue> {
-        let zero = ObjectiveValue { energy: 0.0, penalized: 0.0 };
-        let mut out = vec![zero; configs.len()];
-        let workers = workers.min(configs.len());
-        if workers <= 1 {
+        let engine = ExecEngine::new(workers);
+        self.evaluate_batch_sharded(configs, workers, &engine)
+    }
+
+    fn evaluate_batch_sharded(
+        &self,
+        configs: &[Vec<usize>],
+        shards: usize,
+        engine: &ExecEngine,
+    ) -> Vec<ObjectiveValue> {
+        let shards = shards.min(configs.len());
+        if shards <= 1 || !self.core.is_compiled() || !engine.is_pooled() {
             let mut scratch = self.scratch();
-            for (config, slot) in configs.iter().zip(out.iter_mut()) {
-                *slot = self.evaluate_with(config, &mut scratch);
-            }
-            return out;
+            return configs.iter().map(|c| self.evaluate_with(c, &mut scratch)).collect();
         }
-        let chunk = configs.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            for (config_chunk, out_chunk) in configs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    let mut scratch = self.scratch();
-                    for (config, slot) in config_chunk.iter().zip(out_chunk.iter_mut()) {
-                        // Nested: the batch is already sharded, so the
-                        // term sum must not spawn a second thread layer.
-                        *slot = self.evaluate_with_nested(config, &mut scratch);
-                    }
-                });
-            }
-        });
-        out
+        let chunk = configs.len().div_ceil(shards);
+        let tasks: Vec<_> = configs
+            .chunks(chunk)
+            .map(|chunk_configs| {
+                let core = Arc::clone(&self.core);
+                let chunk_configs: Vec<Vec<usize>> = chunk_configs.to_vec();
+                move || {
+                    let mut scratch = core.scratch();
+                    chunk_configs
+                        .iter()
+                        .map(|config| core.evaluate(config, &mut scratch))
+                        .collect::<Vec<ObjectiveValue>>()
+                }
+            })
+            .collect();
+        engine.map(tasks).into_iter().flatten().collect()
     }
 
     /// Per-Pauli-term expectations of the Hamiltonian on a configuration,
@@ -342,7 +391,7 @@ mod tests {
         let compiled = CliffordObjective::new(&ansatz, &h);
         assert!(compiled.is_compiled());
         let mut fallback = CliffordObjective::new(&ansatz, &h);
-        fallback.template = None;
+        Arc::make_mut(&mut fallback.core).template = None;
         for seed in 0u64..32 {
             let config: Vec<usize> =
                 (0..16).map(|i| ((seed.wrapping_mul(0x9E37_79B9) >> i) & 3) as usize).collect();
@@ -363,7 +412,7 @@ mod tests {
         let configs: Vec<Vec<usize>> = (0..64u64)
             .map(|code| (0..8).map(|i| ((code.wrapping_mul(31) >> (2 * i)) & 3) as usize).collect())
             .collect();
-        // Force multi-worker sharding so the threaded path is exercised
+        // Force multi-worker sharding so the pooled path is exercised
         // even on a single-core host (evaluate_batch would stay serial).
         for workers in [1usize, 3, 8] {
             let batch = objective.evaluate_batch_with_workers(&configs, workers);
@@ -373,6 +422,58 @@ mod tests {
                 assert_eq!(value.energy.to_bits(), serial.energy.to_bits(), "{workers} workers");
                 assert_eq!(value.penalized.to_bits(), serial.penalized.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn batch_through_persistent_engine_matches_serial() {
+        // The production path: one engine, many batches, no fresh pools.
+        let h: PauliOp = "0.5*XX + 0.25*ZZ - 0.1*YI + 0.3*ZY".parse().unwrap();
+        let ansatz = EfficientSu2::new(2, 1);
+        let engine = ExecEngine::new(4);
+        let objective = CliffordObjective::new(&ansatz, &h).with_engine(engine);
+        assert_eq!(objective.engine().workers(), 4);
+        for round in 0..8u64 {
+            let configs: Vec<Vec<usize>> = (0..96u64)
+                .map(|code| {
+                    (0..8)
+                        .map(|i| ((code.wrapping_mul(97 + round) >> (2 * i)) & 3) as usize)
+                        .collect()
+                })
+                .collect();
+            let batch = objective.evaluate_batch(&configs);
+            for (config, value) in configs.iter().zip(&batch) {
+                assert_eq!(value.energy.to_bits(), objective.evaluate(config).energy.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn uncompiled_ansatz_batch_falls_back_to_serial_path() {
+        struct Scaled;
+        impl Ansatz for Scaled {
+            fn num_qubits(&self) -> usize {
+                1
+            }
+            fn num_parameters(&self) -> usize {
+                1
+            }
+            fn bind(&self, params: &[f64]) -> cafqa_circuit::Circuit {
+                let mut c = cafqa_circuit::Circuit::new(1);
+                // Arithmetic destroys the compile-probe sentinel, so this
+                // ansatz never compiles; Clifford grid points still land
+                // on multiples of π/2 (2·k·π/2 = k·π).
+                c.ry(0, 2.0 * params[0]);
+                c
+            }
+        }
+        let h: PauliOp = "Z".parse().unwrap();
+        let objective = CliffordObjective::new(&Scaled, &h);
+        assert!(!objective.is_compiled());
+        let configs: Vec<Vec<usize>> = (0..4).map(|k| vec![k]).collect();
+        let batch = objective.evaluate_batch_with_workers(&configs, 4);
+        for (config, value) in configs.iter().zip(&batch) {
+            assert_eq!(value.energy.to_bits(), objective.evaluate(config).energy.to_bits());
         }
     }
 

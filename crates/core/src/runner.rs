@@ -1,11 +1,19 @@
 //! The CAFQA driver: discrete Bayesian search over the Clifford space of
 //! a hardware-efficient ansatz (the paper's red box, Fig. 4).
+//!
+//! The runner owns the execution engine for the whole search: warm-up,
+//! acquisition batches, and the polish sweeps all evaluate through one
+//! persistent worker pool ([`ExecEngine`]), and the BO layer's surrogate
+//! scoring shards over the same pool via the
+//! [`cafqa_bayesopt::Executor`] seam. Results are bit-identical at any
+//! worker count, including 1.
 
-use cafqa_bayesopt::{minimize, BoOptions, BoResult, SearchSpace};
+use cafqa_bayesopt::{minimize_with, BoOptions, BoResult, SearchSpace};
 use cafqa_chem::MolecularProblem;
 use cafqa_circuit::{Ansatz, Circuit, EfficientSu2};
 use cafqa_pauli::PauliOp;
 
+use crate::engine::ExecEngine;
 use crate::objective::{CliffordObjective, Penalty};
 
 /// Configuration for a CAFQA run.
@@ -32,6 +40,11 @@ pub struct CafqaOptions {
     /// keeps improvements; this is the greedy endgame of the discrete
     /// search and costs `3 · #params` evaluations per sweep.
     pub polish_sweeps: usize,
+    /// Candidates proposed (and evaluated as one batch) per surrogate
+    /// refit in the BO phase — forwarded to
+    /// [`BoOptions::proposals_per_refit`]. `1` reproduces the classic
+    /// one-candidate-per-refit loop exactly.
+    pub proposals_per_refit: usize,
 }
 
 impl Default for CafqaOptions {
@@ -46,6 +59,7 @@ impl Default for CafqaOptions {
             seed: 0xCAF9A,
             patience: 0,
             polish_sweeps: 6,
+            proposals_per_refit: BoOptions::default().proposals_per_refit,
         }
     }
 }
@@ -113,7 +127,8 @@ impl CafqaResult {
 }
 
 /// Runs the CAFQA discrete search for an arbitrary Hamiltonian/ansatz
-/// pair with optional penalties and seed configurations.
+/// pair with optional penalties and seed configurations, on the
+/// process-global execution engine.
 pub fn run_cafqa(
     ansatz: &dyn Ansatz,
     hamiltonian: &PauliOp,
@@ -121,7 +136,22 @@ pub fn run_cafqa(
     seeds: &[Vec<usize>],
     opts: &CafqaOptions,
 ) -> CafqaResult {
-    let mut objective = CliffordObjective::new(ansatz, hamiltonian);
+    run_cafqa_on(ExecEngine::global(), ansatz, hamiltonian, penalties, seeds, opts)
+}
+
+/// [`run_cafqa`] on an explicit [`ExecEngine`]: every parallel step of
+/// the search — warm-up, acquisition batches, surrogate scoring, polish
+/// sweeps — dispatches through this one engine, and the result is
+/// bit-identical at any worker count (including a serial engine).
+pub fn run_cafqa_on(
+    engine: &ExecEngine,
+    ansatz: &dyn Ansatz,
+    hamiltonian: &PauliOp,
+    penalties: Vec<Penalty>,
+    seeds: &[Vec<usize>],
+    opts: &CafqaOptions,
+) -> CafqaResult {
+    let mut objective = CliffordObjective::new(ansatz, hamiltonian).with_engine(engine.clone());
     for p in penalties {
         objective = objective.with_penalty(p);
     }
@@ -134,17 +164,27 @@ pub fn run_cafqa(
         iterations: opts.iterations,
         seed: opts.seed,
         patience: opts.patience,
+        proposals_per_refit: opts.proposals_per_refit,
         ..Default::default()
     };
-    let result: BoResult = minimize(
+    let result: BoResult = minimize_with(
         &space,
-        |config| {
-            let v = objective.evaluate(config);
-            raw_trace.push((v.energy, v.penalized));
-            v.penalized
+        |batch: &[Vec<usize>]| {
+            // One engine-sharded evaluation for the whole batch (the
+            // entire warm-up phase arrives as a single batch); the trace
+            // is folded in batch order, identical to per-candidate calls.
+            let values = objective.evaluate_batch(batch);
+            values
+                .iter()
+                .map(|v| {
+                    raw_trace.push((v.energy, v.penalized));
+                    v.penalized
+                })
+                .collect()
         },
         seeds,
         &bo_opts,
+        engine,
     );
     // Coordinate-descent polish: greedily walk each parameter through its
     // alternative angles until a full sweep yields no improvement. The

@@ -21,9 +21,15 @@ pub struct RunCfg {
     pub quick: bool,
 }
 
-/// Parses the command line (`--quick` is the only flag).
+/// Parses the command line (`--quick` is the only flag) and logs the
+/// execution-engine width once, so every figure run documents the
+/// parallelism it was produced with (pin it with `CAFQA_WORKERS`).
 pub fn run_cfg() -> RunCfg {
     let quick = std::env::args().any(|a| a == "--quick" || a == "-q");
+    eprintln!(
+        "[cafqa] execution engine: {} worker(s) (override with CAFQA_WORKERS)",
+        cafqa_core::default_workers()
+    );
     RunCfg { quick }
 }
 

@@ -8,9 +8,11 @@
 //! - [`clifford`] — stabilizer tableau + Clifford+T branch simulation
 //! - [`circuit`] — circuit IR and the hardware-efficient SU2 ansatz
 //! - [`sim`] — statevector / density-matrix simulators and noise models
-//! - [`bayesopt`] — random-forest Bayesian optimization
+//! - [`bayesopt`] — random-forest Bayesian optimization (batch
+//!   objectives, top-B acquisition per surrogate refit)
 //! - [`vqe`] — SPSA tuning loop
-//! - [`core`] — the CAFQA search itself
+//! - [`core`] — the CAFQA search itself, including the persistent
+//!   worker-pool engine ([`core::engine`]) every parallel path runs on
 //!
 //! # Examples
 //!

@@ -68,11 +68,12 @@ fn sector_reduction_constants_differ() {
 fn bo_degenerate_spaces() {
     let space = SearchSpace::uniform(1, 4);
     let opts = BoOptions { warmup: 10, iterations: 20, ..Default::default() };
-    let r = minimize(&space, |c| c[0] as f64, &[], &opts);
+    let objective = |batch: &[Vec<usize>]| batch.iter().map(|c| c[0] as f64).collect::<Vec<f64>>();
+    let r = minimize(&space, objective, &[], &opts);
     assert_eq!(r.best_value, 0.0);
     // Seeding every point of the space up front still terminates.
     let seeds: Vec<Vec<usize>> = (0..4).map(|k| vec![k]).collect();
-    let r = minimize(&space, |c| c[0] as f64, &seeds, &opts);
+    let r = minimize(&space, objective, &seeds, &opts);
     assert_eq!(r.best_value, 0.0);
     assert_eq!(r.iterations_to_best, 1);
 }
