@@ -19,6 +19,20 @@ pub struct ForestOptions {
     pub bootstrap: usize,
     /// Per-split feature subsample (`0` = `√d + 1`).
     pub feature_subsample: usize,
+    /// Windowed refits: fit on only the `window` most recent samples —
+    /// plus the **incumbent** (the earliest minimum of `ys`), which is
+    /// kept in the training set even after it slides out of the window,
+    /// so the surrogate never forgets the best point found. `0` (the
+    /// default) fits on the full history.
+    ///
+    /// This is what makes refit cost `O(window·log window)` instead of
+    /// growing with the evaluation count (the pacing item of Cr2-scale
+    /// searches). Index selection is pure — it draws nothing from the
+    /// RNG — so `window == 0` *and* any `window >= ys.len()` reproduce
+    /// the classic full-history fit bit-for-bit on the same RNG stream;
+    /// see the determinism notes on
+    /// [`BoOptions`](crate::BoOptions#determinism-and-refit-cadence).
+    pub window: usize,
     /// Tree growth options.
     pub tree: TreeOptions,
 }
@@ -29,9 +43,38 @@ impl Default for ForestOptions {
             n_trees: 24,
             bootstrap: 0,
             feature_subsample: 0,
+            window: 0,
             tree: TreeOptions::default(),
         }
     }
+}
+
+/// The training indices of a windowed fit: the `window` most recent
+/// samples plus the incumbent (earliest index achieving the minimum of
+/// `ys`, NaN excluded) when it precedes the window. Returns all indices
+/// for `window == 0` or `window >= ys.len()` — and consumes no
+/// randomness in any case, which is what keeps the no-op configurations
+/// bit-identical to the classic full-history fit.
+fn window_indices(ys: &[f64], window: usize) -> Vec<usize> {
+    let n = ys.len();
+    if window == 0 || window >= n {
+        return (0..n).collect();
+    }
+    let start = n - window;
+    let incumbent = ys
+        .iter()
+        .enumerate()
+        .filter(|(_, y)| !y.is_nan())
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i);
+    let mut selected = Vec::with_capacity(window + 1);
+    if let Some(best) = incumbent {
+        if best < start {
+            selected.push(best);
+        }
+    }
+    selected.extend(start..n);
+    selected
 }
 
 /// A bagged ensemble of [`RegressionTree`]s.
@@ -41,7 +84,12 @@ pub struct RandomForest {
 }
 
 impl RandomForest {
-    /// Fits the forest on all `(xs, ys)` pairs.
+    /// Fits the forest on the `(xs, ys)` pairs selected by
+    /// [`ForestOptions::window`]: the whole history when `window` is `0`
+    /// (or at least `ys.len()`), otherwise the most recent `window`
+    /// samples plus the incumbent. Bootstrap resampling draws only from
+    /// the selected indices, so the fit costs `O(n_trees · w log w)` in
+    /// the window size `w`, not in the history length.
     ///
     /// # Panics
     ///
@@ -55,8 +103,12 @@ impl RandomForest {
     ) -> Self {
         assert!(!xs.is_empty(), "cannot fit a forest on no samples");
         assert_eq!(xs.len(), ys.len());
-        let n = xs.len();
-        let boot = if opts.bootstrap == 0 { n } else { opts.bootstrap.min(n) };
+        // `selected[j] == j` in the full-history case, so the bootstrap
+        // below draws the same values from the same RNG stream as the
+        // pre-window implementation — bit-for-bit the classic fit.
+        let selected = window_indices(ys, opts.window);
+        let m = selected.len();
+        let boot = if opts.bootstrap == 0 { m } else { opts.bootstrap.min(m) };
         let d = cardinalities.len();
         let feature_subsample = if opts.feature_subsample == 0 {
             ((d as f64).sqrt() as usize + 1).min(d)
@@ -66,7 +118,7 @@ impl RandomForest {
         let tree_opts = TreeOptions { feature_subsample, ..opts.tree.clone() };
         let trees = (0..opts.n_trees)
             .map(|_| {
-                let idx: Vec<usize> = (0..boot).map(|_| rng.gen_range(0..n)).collect();
+                let idx: Vec<usize> = (0..boot).map(|_| selected[rng.gen_range(0..m)]).collect();
                 RegressionTree::fit(xs, ys, &idx, cardinalities, &tree_opts, rng)
             })
             .collect();
@@ -219,6 +271,53 @@ mod tests {
             Arc::new(RandomForest::fit(&xs, &ys, &[4, 4], &ForestOptions::default(), &mut rng));
         let pool: Vec<Vec<usize>> = (0..16).map(|i| vec![i % 4, (i / 4) % 4]).collect();
         assert_eq!(forest.predict_batch_on(&pool, &PanicExec), forest.predict_batch(&pool));
+    }
+
+    #[test]
+    fn window_selection_keeps_the_incumbent() {
+        let ys = [5.0, 1.0, 7.0, 9.0, 8.0, 6.0];
+        // Window of 2 → most recent two indices, plus incumbent 1.
+        assert_eq!(window_indices(&ys, 2), vec![1, 4, 5]);
+        // Incumbent already inside the window → no duplicate.
+        assert_eq!(window_indices(&ys, 5), vec![1, 2, 3, 4, 5]);
+        // No-op configurations return the identity selection.
+        assert_eq!(window_indices(&ys, 0), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(window_indices(&ys, 6), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(window_indices(&ys, 100), vec![0, 1, 2, 3, 4, 5]);
+        // Ties resolve to the earliest index (stable incumbent identity).
+        assert_eq!(window_indices(&[3.0, 1.0, 1.0, 2.0, 4.0], 1), vec![1, 4]);
+        // NaN values can never be the incumbent; an all-NaN history
+        // degrades to the bare window.
+        let nan = f64::NAN;
+        assert_eq!(window_indices(&[nan, 1.0, 5.0, 6.0], 1), vec![1, 3]);
+        assert_eq!(window_indices(&[nan, nan, nan], 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn windowed_fit_trains_only_on_window_and_incumbent() {
+        // History where the early (incumbent) region and the recent
+        // window disagree wildly with the middle: a windowed forest must
+        // reflect window + incumbent, not the middle.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        xs.push(vec![0usize, 0]);
+        ys.push(-10.0); // the incumbent, far before the window
+        for _ in 0..50 {
+            xs.push(vec![3usize, 3]);
+            ys.push(100.0); // stale middle, must be forgotten
+        }
+        for _ in 0..20 {
+            xs.push(vec![1usize, 1]);
+            ys.push(5.0); // the live window
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let opts = ForestOptions { window: 20, ..Default::default() };
+        let forest = RandomForest::fit(&xs, &ys, &[4, 4], &opts, &mut rng);
+        // Every training target is either −10 or 5, so no prediction can
+        // come anywhere near the forgotten 100.0 plateau.
+        for probe in [[3usize, 3], [1, 1], [0, 0]] {
+            assert!(forest.predict(&probe) <= 5.0 + 1e-9, "probe {probe:?}");
+        }
     }
 
     #[test]

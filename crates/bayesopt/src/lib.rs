@@ -13,7 +13,11 @@
 //! refit ([`BoOptions::proposals_per_refit`]), so callers can shard
 //! evaluation over a worker pool. Surrogate scoring itself shards over
 //! the [`Executor`] seam — `cafqa_core`'s persistent engine implements
-//! it, [`SerialExec`] is the dependency-free default.
+//! it, [`SerialExec`] is the dependency-free default. At Cr2 scale the
+//! refit *itself* is bounded by [`ForestOptions::window`] (fit on a
+//! recent window plus the incumbent instead of the whole history); the
+//! knobs and their determinism contract are documented on
+//! [`BoOptions`](BoOptions#determinism-and-refit-cadence).
 //!
 //! # Examples
 //!

@@ -61,6 +61,43 @@ impl SearchSpace {
 }
 
 /// Options for [`minimize`].
+///
+/// # Determinism and refit cadence
+///
+/// Three knobs govern how often (and on how much data) the surrogate is
+/// refit, and they compose — this section is the single source of truth
+/// for their interaction:
+///
+/// - [`refit_every`](Self::refit_every): a refit happens every
+///   `refit_every` acquisition **cycles**; stale cycles reuse the forest
+///   but still rebuild and re-score a fresh candidate pool.
+/// - [`proposals_per_refit`](Self::proposals_per_refit) (`B`): each
+///   cycle proposes and evaluates the top-`B` unseen candidates, so one
+///   fit amortizes over `refit_every · B` objective evaluations.
+/// - [`ForestOptions::window`](crate::ForestOptions::window) (via
+///   [`forest`](Self::forest)): each fit trains on only the `window`
+///   most recent evaluations plus the incumbent, capping the fit cost
+///   itself — without it, refits grow `O(history)` no matter how rarely
+///   they happen.
+///
+/// The determinism contract, in decreasing strictness:
+///
+/// 1. **Every** configuration is deterministic given
+///    [`seed`](Self::seed): the same options and objective produce the
+///    same trace, bit for bit, on any host — and executor width never
+///    matters ([`minimize_with`] shards only independent per-candidate
+///    work, reassembled in submission order).
+/// 2. `B = 1` reproduces the classic one-candidate-per-refit loop
+///    exactly (same RNG draws, same `min_by` tie-breaks, same
+///    `refit_every` staleness).
+/// 3. `window = 0` — or any `window >=` the current history length —
+///    reproduces the full-history fit bit-for-bit on the same RNG
+///    stream (window selection draws no randomness).
+///
+/// Changing `B`, `refit_every` or a *binding* `window` changes which
+/// candidates are proposed (a different-but-still-deterministic
+/// trajectory); they trade surrogate freshness for refit cost, they do
+/// not trade away reproducibility.
 #[derive(Debug, Clone)]
 pub struct BoOptions {
     /// Random warm-up evaluations before the surrogate turns on.
@@ -83,7 +120,9 @@ pub struct BoOptions {
     /// evaluations. `1` reproduces the classic loop exactly; the default
     /// of 4 keeps refit cost under ~25 % of the loop at H2O scale.
     pub proposals_per_refit: usize,
-    /// Random-forest options.
+    /// Random-forest options, including the refit
+    /// [`window`](ForestOptions::window) (see the [determinism and refit
+    /// cadence](Self#determinism-and-refit-cadence) notes).
     pub forest: ForestOptions,
     /// RNG seed (runs are fully deterministic given the seed).
     pub seed: u64,

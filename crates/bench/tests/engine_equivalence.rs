@@ -172,6 +172,53 @@ fn run_cafqa_trace_invariant_across_worker_counts() {
     }
 }
 
+/// Layer 2 (term sharding): a full search over a ≥ 4096-term Hamiltonian
+/// — where every candidate's term sum shards across the pool from inside
+/// the batch workers ([`cafqa_core::ExecEngine::map_nested`]) — is
+/// bit-identical at 1/2/8 workers.
+#[test]
+fn run_cafqa_term_sharded_trace_invariant_across_worker_counts() {
+    let mut seed = 0xC12_u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    // 4300 distinct terms on 10 qubits: over the sharding threshold, and
+    // distinct by construction (code packed into the masks).
+    let hamiltonian = PauliOp::from_terms(
+        10,
+        (0..4300u64).map(|code| {
+            let x = code & 0x3FF;
+            let z = (code >> 10) & 0x3FF;
+            (
+                Complex64::from(1e-3 * ((next() % 89) as f64 + 1.0)),
+                PauliString::from_masks(10, x, z),
+            )
+        }),
+    );
+    assert!(hamiltonian.num_terms() >= 4096);
+    let ansatz = EfficientSu2::new(10, 1);
+    let opts = CafqaOptions {
+        warmup: 24,
+        iterations: 16,
+        polish_sweeps: 0,
+        forest_window: 12, // windowed refits must not break invariance either
+        ..Default::default()
+    };
+    let reference = run_cafqa_on(&ExecEngine::serial(), &ansatz, &hamiltonian, vec![], &[], &opts);
+    for workers in [2usize, 8] {
+        let engine = ExecEngine::new(workers);
+        let result = run_cafqa_on(&engine, &ansatz, &hamiltonian, vec![], &[], &opts);
+        assert_cafqa_results_identical(
+            &result,
+            &reference,
+            &format!("term-sharded {workers} vs serial"),
+        );
+    }
+}
+
 /// Layer 3: pooled batch evaluation equals the frozen spawn-per-batch
 /// path (and the plain serial loop) on every candidate, bit for bit.
 #[test]

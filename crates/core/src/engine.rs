@@ -23,6 +23,17 @@
 //! partial-sum association in the objective kernel, a search trace is
 //! bit-identical at any worker count — including 1 — and across hosts.
 //!
+//! # Two-level dispatch
+//!
+//! [`ExecEngine::map`] called from inside a pool worker degrades to
+//! serial (a saturated pool would deadlock otherwise).
+//! [`ExecEngine::map_nested`] is the second dispatch level that does
+//! *not*: the caller drains a shared claim queue itself while idle
+//! workers opportunistically steal from it, so a worker evaluating one
+//! huge candidate can shard its term sum across the rest of the pool —
+//! the seam behind the 34-qubit Cr2-surrogate expectation path in
+//! [`CliffordObjective`](crate::CliffordObjective).
+//!
 //! # Worker-count policy
 //!
 //! [`default_workers`] is the single source of truth (previously three
@@ -32,9 +43,10 @@
 //! so independent searches in one process share a single pool instead of
 //! oversubscribing the host.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// A self-contained unit of work: owns its inputs and reports through a
@@ -65,11 +77,87 @@ pub fn default_workers() -> usize {
 }
 
 thread_local! {
-    /// Set once in every pool worker. Dispatching from inside a worker
-    /// would deadlock a saturated pool (the outer job blocks waiting for
-    /// inner jobs no idle worker can take), so nested dispatch degrades
-    /// to the serial path — which is bit-identical anyway.
+    /// Set once in every pool worker. Dispatching through [`ExecEngine::map`]
+    /// from inside a worker would deadlock a saturated pool (the outer job
+    /// blocks waiting for inner jobs no idle worker can take), so that
+    /// level of nested dispatch degrades to the serial path — which is
+    /// bit-identical anyway. [`ExecEngine::map_nested`] is the dispatch
+    /// API that *is* safe from inside a worker.
     static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+
+    /// Set while a thread runs a task claimed from a [`NestedBatch`].
+    /// Dispatch nests exactly two levels deep: a `map_nested` issued from
+    /// inside a nested task runs serially inline, which bounds the chain
+    /// of threads blocked on one another and keeps the claim/wait scheme
+    /// trivially deadlock-free.
+    static IN_NESTED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// One intra-candidate work batch shared between the caller of
+/// [`ExecEngine::map_nested`] and the opportunistic helper jobs it posts
+/// to the pool. Tasks are *claimed* (dequeued under the lock) before they
+/// run, so a task is either pending, or actively executing on some
+/// thread — the caller can therefore safely block once the queue is
+/// drained: everything it waits on is guaranteed to be making progress.
+struct NestedBatch<T> {
+    state: Mutex<NestedState<T>>,
+    all_done: Condvar,
+}
+
+struct NestedState<T> {
+    /// Unclaimed `(submission index, task)` pairs, in submission order.
+    pending: VecDeque<(usize, Box<dyn FnOnce() -> T + Send>)>,
+    /// Results keyed by submission index (the determinism contract).
+    results: Vec<Option<T>>,
+    completed: usize,
+    /// First panic payload observed; re-raised by the caller after the
+    /// whole batch has finished, matching [`ExecEngine::execute`].
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl<T> NestedBatch<T> {
+    fn new(tasks: Vec<Box<dyn FnOnce() -> T + Send>>) -> Self {
+        let total = tasks.len();
+        NestedBatch {
+            state: Mutex::new(NestedState {
+                pending: tasks.into_iter().enumerate().collect(),
+                results: (0..total).map(|_| None).collect(),
+                completed: 0,
+                panic: None,
+            }),
+            all_done: Condvar::new(),
+        }
+    }
+
+    /// Claims and runs one pending task; returns `false` once none are
+    /// left to claim. The queue lock is held only for the claim and the
+    /// result store, never while the task runs.
+    fn run_one(&self) -> bool {
+        let (index, task) = {
+            let mut state = self.state.lock().expect("nested batch poisoned");
+            match state.pending.pop_front() {
+                Some(entry) => entry,
+                None => return false,
+            }
+        };
+        let was_nested = IN_NESTED.with(|flag| flag.replace(true));
+        let outcome = catch_unwind(AssertUnwindSafe(task));
+        IN_NESTED.with(|flag| flag.set(was_nested));
+        let mut state = self.state.lock().expect("nested batch poisoned");
+        match outcome {
+            Ok(value) => state.results[index] = Some(value),
+            Err(payload) => {
+                if state.panic.is_none() {
+                    state.panic = Some(payload);
+                }
+            }
+        }
+        state.completed += 1;
+        if state.completed == state.results.len() {
+            self.all_done.notify_all();
+        }
+        true
+    }
 }
 
 /// The long-lived worker threads and the channel that feeds them.
@@ -77,6 +165,12 @@ struct WorkerPool {
     /// `None` only transiently during drop (taking it hangs up the
     /// channel so workers drain and exit).
     sender: Option<mpsc::Sender<Job>>,
+    /// Workers currently parked on (or about to take) the job queue —
+    /// an *advisory* count: [`ExecEngine::map_nested`] posts helper jobs
+    /// only up to it, so a saturated pool is not flooded with no-op
+    /// helpers. Raciness is harmless; helpers are opportunistic either
+    /// way.
+    idle: Arc<std::sync::atomic::AtomicUsize>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -84,9 +178,11 @@ impl WorkerPool {
     fn spawn(workers: usize) -> WorkerPool {
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
+        let idle = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let handles = (0..workers)
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
+                let idle = Arc::clone(&idle);
                 std::thread::Builder::new()
                     .name(format!("cafqa-worker-{i}"))
                     .spawn(move || {
@@ -94,7 +190,9 @@ impl WorkerPool {
                         loop {
                             // Hold the queue lock only for the dequeue,
                             // never while running the job.
+                            idle.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             let job = receiver.lock().expect("worker queue poisoned").recv();
+                            idle.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
                             match job {
                                 Ok(job) => job(),
                                 Err(_) => break, // engine dropped: drain and exit
@@ -104,7 +202,11 @@ impl WorkerPool {
                     .expect("worker thread spawn failed")
             })
             .collect();
-        WorkerPool { sender: Some(sender), handles }
+        WorkerPool { sender: Some(sender), idle, handles }
+    }
+
+    fn idle_workers(&self) -> usize {
+        self.idle.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     fn send(&self, job: Job) {
@@ -257,6 +359,69 @@ impl ExecEngine {
             tasks.into_iter().map(|task| Box::new(task) as Box<dyn FnOnce() -> T + Send>).collect();
         cafqa_bayesopt::map_jobs(self, tasks)
     }
+
+    /// Two-level dispatch: runs `tasks` with the help of whatever pool
+    /// workers happen to be idle, and returns results **in submission
+    /// order** — the intra-candidate counterpart of [`ExecEngine::map`].
+    ///
+    /// Unlike `map`, this is safe to call *from inside a pool worker*
+    /// (the seam that lets one worker split a large Hamiltonian term sum
+    /// across the rest of the pool instead of degrading to serial): the
+    /// calling thread claims and runs tasks itself, and only posts
+    /// *opportunistic* helper jobs — an idle worker that picks one up
+    /// steals pending tasks until the batch is drained, while on a
+    /// saturated pool the helpers simply no-op later and the caller has
+    /// already done all the work serially. The caller blocks only on
+    /// tasks that were claimed by (and are actively running on) other
+    /// workers, so the scheme cannot deadlock; a `map_nested` issued from
+    /// within a nested task runs serially inline (dispatch nests exactly
+    /// two levels).
+    ///
+    /// Panics inside tasks are re-raised on the calling thread after the
+    /// whole batch has finished, and results are keyed by submission
+    /// index — both exactly as in [`ExecEngine::map`], so serial, pooled
+    /// and helper-assisted execution are indistinguishable result-wise.
+    pub fn map_nested<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let pool = match &self.inner.pool {
+            Some(pool) if tasks.len() > 1 && !IN_NESTED.with(|flag| flag.get()) => pool,
+            _ => return tasks.into_iter().map(|task| task()).collect(),
+        };
+        let total = tasks.len();
+        let tasks: Vec<Box<dyn FnOnce() -> T + Send>> =
+            tasks.into_iter().map(|task| Box::new(task) as Box<dyn FnOnce() -> T + Send>).collect();
+        let batch = Arc::new(NestedBatch::new(tasks));
+        // Helper jobs capture only the batch (never the engine handle, so
+        // a helper outliving this call can never be the last owner of the
+        // pool and join a worker into itself). Only currently-idle
+        // workers get one: on a saturated pool — every worker busy with
+        // an outer shard that nests per candidate — posting blindly would
+        // grow the queue by O(candidates × workers) no-op jobs. The count
+        // is advisory; a worker going idle a moment later just misses
+        // this batch, which helpers may anyway.
+        let helpers = pool.idle_workers().min(self.inner.workers - 1).min(total - 1);
+        for _ in 0..helpers {
+            let batch = Arc::clone(&batch);
+            pool.send(Box::new(move || while batch.run_one() {}));
+        }
+        while batch.run_one() {}
+        let mut state = batch.state.lock().expect("nested batch poisoned");
+        while state.completed < total {
+            state = batch.all_done.wait(state).expect("nested batch poisoned");
+        }
+        if let Some(payload) = state.panic.take() {
+            drop(state);
+            resume_unwind(payload);
+        }
+        state
+            .results
+            .iter_mut()
+            .map(|slot| slot.take().expect("every nested task completes exactly once"))
+            .collect()
+    }
 }
 
 impl cafqa_bayesopt::Executor for ExecEngine {
@@ -322,6 +487,98 @@ mod tests {
         assert_eq!(completed.load(Ordering::SeqCst), 3);
         // The pool is still serviceable after a panicking batch.
         assert_eq!(engine.map(vec![|| 7usize]), vec![7]);
+    }
+
+    #[test]
+    fn map_nested_preserves_submission_order() {
+        for workers in [1usize, 2, 8] {
+            let engine = ExecEngine::new(workers);
+            let tasks: Vec<_> = (0..37u64).map(|i| move || i.wrapping_mul(0x85EB_CA6B)).collect();
+            let expected: Vec<u64> = (0..37).map(|i: u64| i.wrapping_mul(0x85EB_CA6B)).collect();
+            assert_eq!(engine.map_nested(tasks), expected, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn map_nested_from_inside_workers_uses_the_pool() {
+        // The tentpole shape: every outer job splits its own work through
+        // map_nested while the pool is partially idle. Results must be
+        // identical to the serial nesting, and nothing may deadlock.
+        let engine = ExecEngine::new(4);
+        let tasks: Vec<_> = (0..2u64)
+            .map(|offset| {
+                let inner = engine.clone();
+                move || {
+                    let sub: Vec<_> =
+                        (0..16u64).map(|i| move || (i + offset).wrapping_mul(3)).collect();
+                    inner.map_nested(sub).into_iter().sum::<u64>()
+                }
+            })
+            .collect();
+        let results = engine.map(tasks);
+        let expect = |offset: u64| (0..16u64).map(|i| (i + offset).wrapping_mul(3)).sum::<u64>();
+        assert_eq!(results, vec![expect(0), expect(1)]);
+    }
+
+    #[test]
+    fn map_nested_saturated_pool_does_not_deadlock() {
+        // More outer jobs than workers, every one of them nesting: the
+        // helpers never get an idle worker, so each caller must drain its
+        // own queue serially — and still merge deterministically.
+        let engine = ExecEngine::new(2);
+        let tasks: Vec<_> = (0..8u64)
+            .map(|offset| {
+                let inner = engine.clone();
+                move || inner.map_nested((0..8u64).map(|i| move || i ^ offset).collect::<Vec<_>>())
+            })
+            .collect();
+        let results = engine.map(tasks);
+        for (offset, row) in results.into_iter().enumerate() {
+            let expected: Vec<u64> = (0..8u64).map(|i| i ^ offset as u64).collect();
+            assert_eq!(row, expected);
+        }
+    }
+
+    #[test]
+    fn map_nested_third_level_runs_serially_inline() {
+        let engine = ExecEngine::new(4);
+        let outer = engine.clone();
+        let results = engine.map_nested(
+            (0..4u64)
+                .map(|k| {
+                    let inner = outer.clone();
+                    move || {
+                        // From inside a nested task, a further map_nested
+                        // must run inline (and therefore never block).
+                        inner.map_nested((0..2u64).map(|j| move || k * 10 + j).collect::<Vec<_>>())
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(results, vec![vec![0, 1], vec![10, 11], vec![20, 21], vec![30, 31]]);
+    }
+
+    #[test]
+    fn map_nested_panics_propagate_after_batch_completes() {
+        let engine = ExecEngine::new(2);
+        let completed = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..6usize)
+            .map(|i| {
+                let completed = Arc::clone(&completed);
+                move || {
+                    if i == 2 {
+                        panic!("nested task {i} exploded");
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                    i
+                }
+            })
+            .collect();
+        let result = catch_unwind(AssertUnwindSafe(|| engine.map_nested(tasks)));
+        assert!(result.is_err(), "panic must propagate");
+        assert_eq!(completed.load(Ordering::SeqCst), 5, "non-panicking tasks all ran");
+        // The engine stays serviceable afterwards.
+        assert_eq!(engine.map_nested(vec![|| 1, || 2]), vec![1, 2]);
     }
 
     #[test]

@@ -54,8 +54,10 @@ pub struct ObjectiveValue {
 }
 
 /// Hamiltonians at or above this term count sum their terms in fixed
-/// chunks (see [`EvalCore::hamiltonian_expectation`]).
-const CHUNKED_TERM_THRESHOLD: usize = 4096;
+/// chunks (see [`EvalCore::hamiltonian_expectation`]) — and, when an
+/// engine is at hand, shard those chunks across idle pool workers
+/// ([`EvalCore::hamiltonian_expectation_on`]).
+pub(crate) const CHUNKED_TERM_THRESHOLD: usize = 4096;
 
 /// Fixed partial-sum count for large Hamiltonians. A *constant* (rather
 /// than the host parallelism PR 2 used) makes the floating-point
@@ -72,8 +74,24 @@ const BATCH_DISPATCH_THRESHOLD: usize = 8192;
 /// re-prepared in place for every candidate, so the hot loop never
 /// allocates. Create one per worker with [`CliffordObjective::scratch`]
 /// and pass it to [`CliffordObjective::evaluate_with`].
+///
+/// The tableau sits behind an `Arc` so the term-sharded expectation path
+/// can hand read-only clones of the handle to helper workers without
+/// copying the tableau; between candidates the `Arc` is uniquely owned
+/// again (every nested task drops its clone before the batch completes)
+/// and the state is re-prepared in place.
 pub struct EvalScratch {
-    tableau: Tableau,
+    tableau: Arc<Tableau>,
+}
+
+impl EvalScratch {
+    /// The tableau, uniquely borrowed for in-place re-preparation. Falls
+    /// back to clone-on-write if a handle were ever still shared — it
+    /// never is in practice (see the `Arc` note on the type), so this
+    /// stays allocation-free.
+    fn tableau_mut(&mut self) -> &mut Tableau {
+        Arc::make_mut(&mut self.tableau)
+    }
 }
 
 /// The owned, shareable evaluation state behind [`CliffordObjective`]:
@@ -97,7 +115,7 @@ pub(crate) struct EvalCore {
 impl EvalCore {
     /// A fresh per-worker scratch tableau.
     pub(crate) fn scratch(&self) -> EvalScratch {
-        EvalScratch { tableau: Tableau::zero_state(self.num_qubits) }
+        EvalScratch { tableau: Arc::new(Tableau::zero_state(self.num_qubits)) }
     }
 
     pub(crate) fn is_compiled(&self) -> bool {
@@ -108,8 +126,8 @@ impl EvalCore {
     /// through; large ones (18/34-qubit systems) accumulate
     /// [`TERM_CHUNKS`] partial sums combined in chunk order — one fixed
     /// association shared by every evaluation path, so energies are
-    /// bit-identical serial vs. batched, at any worker count, on any
-    /// host.
+    /// bit-identical serial vs. batched vs. term-sharded, at any worker
+    /// count, on any host.
     fn hamiltonian_expectation(&self, tableau: &Tableau) -> f64 {
         if self.terms.len() < CHUNKED_TERM_THRESHOLD {
             return self
@@ -118,18 +136,71 @@ impl EvalCore {
                 .map(|(p, c)| c * f64::from(tableau.expectation_pauli(p)))
                 .sum();
         }
-        let chunk = self.terms.len().div_ceil(TERM_CHUNKS);
-        self.terms
-            .chunks(chunk)
-            .map(|terms| {
-                terms.iter().map(|(p, c)| c * f64::from(tableau.expectation_pauli(p))).sum::<f64>()
+        self.term_chunk_ranges().map(|range| self.term_chunk_sum(tableau, range)).sum()
+    }
+
+    /// One fixed-association chunk of the large-Hamiltonian term sum.
+    fn term_chunk_sum(&self, tableau: &Tableau, range: std::ops::Range<usize>) -> f64 {
+        self.terms[range].iter().map(|(p, c)| c * f64::from(tableau.expectation_pauli(p))).sum()
+    }
+
+    /// The fixed chunk boundaries of the large-Hamiltonian association —
+    /// exactly the ranges `terms.chunks(len.div_ceil(TERM_CHUNKS))`
+    /// visits, as one definition shared by every sharded path (so the
+    /// bit-identity contract cannot drift between them).
+    fn term_chunk_ranges(&self) -> impl Iterator<Item = std::ops::Range<usize>> {
+        let len = self.terms.len();
+        let chunk = len.div_ceil(TERM_CHUNKS);
+        (0..len).step_by(chunk).map(move |start| start..(start + chunk).min(len))
+    }
+
+    /// [`Self::hamiltonian_expectation`] with the [`TERM_CHUNKS`] partial
+    /// sums sharded across the engine via
+    /// [`ExecEngine::map_nested`] — safe to call from inside a pool
+    /// worker, where idle workers pick up chunks and a saturated pool
+    /// computes them inline. The chunk boundaries and the chunk-order
+    /// combination are exactly the serial path's, so the energy is
+    /// bit-identical at any worker count; engines without a pool take
+    /// the serial path directly (keeping the classic hot loop
+    /// allocation-free).
+    fn hamiltonian_expectation_on(
+        self: &Arc<Self>,
+        tableau: &Arc<Tableau>,
+        engine: &ExecEngine,
+    ) -> f64 {
+        if self.terms.len() < CHUNKED_TERM_THRESHOLD || engine.workers() <= 1 {
+            return self.hamiltonian_expectation(tableau);
+        }
+        let tasks: Vec<_> = self
+            .term_chunk_ranges()
+            .map(|range| {
+                let core = Arc::clone(self);
+                let tableau = Arc::clone(tableau);
+                move || core.term_chunk_sum(&tableau, range)
             })
-            .sum()
+            .collect();
+        engine.map_nested(tasks).into_iter().sum()
     }
 
     /// Energy + penalties on a prepared tableau.
     fn value_on(&self, tableau: &Tableau) -> ObjectiveValue {
         let energy = self.hamiltonian_expectation(tableau);
+        self.penalize(energy, tableau)
+    }
+
+    /// [`Self::value_on`] with the term sum engine-sharded. Penalty
+    /// operators are small (squared sector operators), so they stay on
+    /// the calling thread.
+    fn value_on_engine(
+        self: &Arc<Self>,
+        tableau: &Arc<Tableau>,
+        engine: &ExecEngine,
+    ) -> ObjectiveValue {
+        let energy = self.hamiltonian_expectation_on(tableau, engine);
+        self.penalize(energy, tableau)
+    }
+
+    fn penalize(&self, energy: f64, tableau: &Tableau) -> ObjectiveValue {
         let penalized = energy + self.penalties.iter().map(|p| p.value(tableau)).sum::<f64>();
         ObjectiveValue { energy, penalized }
     }
@@ -143,8 +214,26 @@ impl EvalCore {
     /// [`CliffordObjective::evaluate_batch`]).
     pub(crate) fn evaluate(&self, config: &[usize], scratch: &mut EvalScratch) -> ObjectiveValue {
         let template = self.template.as_ref().expect("engine shards require a compiled template");
-        scratch.tableau.run_compiled(template, config);
+        scratch.tableau_mut().run_compiled(template, config);
         self.value_on(&scratch.tableau)
+    }
+
+    /// [`Self::evaluate`] with the large-Hamiltonian term sum sharded
+    /// over `engine` — what batch shards running *on* the pool call, so
+    /// a few huge candidates can still occupy the whole pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ansatz did not compile (see [`Self::evaluate`]).
+    pub(crate) fn evaluate_on(
+        self: &Arc<Self>,
+        config: &[usize],
+        scratch: &mut EvalScratch,
+        engine: &ExecEngine,
+    ) -> ObjectiveValue {
+        let template = self.template.as_ref().expect("engine shards require a compiled template");
+        scratch.tableau_mut().run_compiled(template, config);
+        self.value_on_engine(&scratch.tableau, engine)
     }
 }
 
@@ -162,8 +251,9 @@ pub struct CliffordObjective<'a> {
     core: Arc<EvalCore>,
     /// `None` resolves to [`ExecEngine::global`] lazily, at the first
     /// batch large enough to dispatch — so objectives that only ever
-    /// evaluate serially (or are handed an explicit engine) never spawn
-    /// the process-wide pool as a side effect.
+    /// evaluate serially never spawn the process-wide pool as a side
+    /// effect. Single-candidate term sharding (≥ 4096 terms) engages
+    /// only when an engine was attached explicitly.
     engine: Option<ExecEngine>,
 }
 
@@ -222,15 +312,16 @@ impl<'a> CliffordObjective<'a> {
     }
 
     /// Prepares the candidate's stabilizer state into the scratch tableau.
-    fn prepare<'t>(&self, config: &[usize], scratch: &'t mut EvalScratch) -> &'t Tableau {
+    fn prepare(&self, config: &[usize], scratch: &mut EvalScratch) {
         if let Some(template) = &self.core.template {
-            scratch.tableau.run_compiled(template, config);
+            scratch.tableau_mut().run_compiled(template, config);
         } else {
             let circuit = self.ansatz.bind_clifford(config);
-            scratch.tableau = Tableau::from_circuit(&circuit)
-                .expect("clifford-bound ansatz must be a Clifford circuit");
+            scratch.tableau = Arc::new(
+                Tableau::from_circuit(&circuit)
+                    .expect("clifford-bound ansatz must be a Clifford circuit"),
+            );
         }
-        &scratch.tableau
     }
 
     /// Adds a sector penalty.
@@ -264,9 +355,23 @@ impl<'a> CliffordObjective<'a> {
 
     /// [`Self::evaluate`] against a caller-owned scratch — the hot-loop
     /// entry point: no allocation per candidate when the ansatz compiled.
+    ///
+    /// When an engine was attached with [`Self::with_engine`] (as
+    /// [`run_cafqa_on`](crate::run_cafqa_on) does), candidates with at
+    /// least 4096 Hamiltonian terms route the term sum through it
+    /// ([`ExecEngine::map_nested`]), so even a *single* Cr2-scale
+    /// evaluation uses the pool; the energy is bit-identical to the
+    /// serial chunked sum at any worker count. Objectives without an
+    /// attached engine keep the allocation-free serial chunked sum —
+    /// a bare `evaluate()` never spawns the process-global pool.
     pub fn evaluate_with(&self, config: &[usize], scratch: &mut EvalScratch) -> ObjectiveValue {
-        let tableau = self.prepare(config, scratch);
-        self.core.value_on(tableau)
+        self.prepare(config, scratch);
+        if self.core.terms.len() >= CHUNKED_TERM_THRESHOLD {
+            if let Some(engine) = &self.engine {
+                return self.core.value_on_engine(&scratch.tableau, engine);
+            }
+        }
+        self.core.value_on(&scratch.tableau)
     }
 
     /// Evaluates a batch of candidates, sharded across the engine's
@@ -321,12 +426,18 @@ impl<'a> CliffordObjective<'a> {
             .chunks(chunk)
             .map(|chunk_configs| {
                 let core = Arc::clone(&self.core);
+                // Each shard carries an engine handle so huge candidates
+                // can term-shard across idle workers from *inside* the
+                // pool (nested dispatch); `map` below awaits every shard
+                // before returning, so the handles never outlive the
+                // dispatch.
+                let engine = engine.clone();
                 let chunk_configs: Vec<Vec<usize>> = chunk_configs.to_vec();
                 move || {
                     let mut scratch = core.scratch();
                     chunk_configs
                         .iter()
-                        .map(|config| core.evaluate(config, &mut scratch))
+                        .map(|config| core.evaluate_on(config, &mut scratch, &engine))
                         .collect::<Vec<ObjectiveValue>>()
                 }
             })
@@ -336,10 +447,36 @@ impl<'a> CliffordObjective<'a> {
 
     /// Per-Pauli-term expectations of the Hamiltonian on a configuration,
     /// in deterministic term order — the data behind the paper's Fig. 6.
+    ///
+    /// Large Hamiltonians (≥ 4096 terms) shard the per-term sweep across
+    /// an engine attached with [`Self::with_engine`]; expectations are
+    /// exact integers (±1, 0), so sharding cannot perturb them, and
+    /// results are reassembled in term order regardless of scheduling.
     pub fn term_expectations(&self, config: &[usize]) -> Vec<(PauliString, f64, i8)> {
         let mut scratch = self.scratch();
-        let tableau = self.prepare(config, &mut scratch);
-        self.hamiltonian.iter().map(|(p, c)| (*p, c.re, tableau.expectation_pauli(p))).collect()
+        self.prepare(config, &mut scratch);
+        let attached = self.engine.as_ref().filter(|engine| engine.is_pooled());
+        if self.core.terms.len() >= CHUNKED_TERM_THRESHOLD {
+            if let Some(engine) = attached {
+                let tasks: Vec<_> = self
+                    .core
+                    .term_chunk_ranges()
+                    .map(|range| {
+                        let core = Arc::clone(&self.core);
+                        let tableau = Arc::clone(&scratch.tableau);
+                        move || {
+                            core.terms[range]
+                                .iter()
+                                .map(|(p, c)| (*p, *c, tableau.expectation_pauli(p)))
+                                .collect::<Vec<_>>()
+                        }
+                    })
+                    .collect();
+                return engine.map(tasks).into_iter().flatten().collect();
+            }
+        }
+        let tableau = &scratch.tableau;
+        self.core.terms.iter().map(|(p, c)| (*p, *c, tableau.expectation_pauli(p))).collect()
     }
 }
 

@@ -45,6 +45,14 @@ pub struct CafqaOptions {
     /// [`BoOptions::proposals_per_refit`]. `1` reproduces the classic
     /// one-candidate-per-refit loop exactly.
     pub proposals_per_refit: usize,
+    /// Surrogate refit window, forwarded to
+    /// [`cafqa_bayesopt::ForestOptions::window`]: each refit trains on
+    /// only this many recent evaluations (plus the incumbent), so refit
+    /// cost stops growing with the search length — the Cr2-scale knob.
+    /// `0` (the default) keeps the classic full-history refits,
+    /// bit-for-bit. See the determinism notes on
+    /// [`BoOptions`](cafqa_bayesopt::BoOptions#determinism-and-refit-cadence).
+    pub forest_window: usize,
 }
 
 impl Default for CafqaOptions {
@@ -60,6 +68,7 @@ impl Default for CafqaOptions {
             patience: 0,
             polish_sweeps: 6,
             proposals_per_refit: BoOptions::default().proposals_per_refit,
+            forest_window: 0,
         }
     }
 }
@@ -165,6 +174,7 @@ pub fn run_cafqa_on(
         seed: opts.seed,
         patience: opts.patience,
         proposals_per_refit: opts.proposals_per_refit,
+        forest: cafqa_bayesopt::ForestOptions { window: opts.forest_window, ..Default::default() },
         ..Default::default()
     };
     let result: BoResult = minimize_with(
@@ -330,8 +340,17 @@ impl MolecularCafqa {
     }
 
     /// Runs the search with electron-count (and optional Sz) penalties
-    /// targeting the problem's sector.
+    /// targeting the problem's sector, on the process-global engine.
     pub fn run(&self, opts: &CafqaOptions) -> CafqaResult {
+        self.run_on(ExecEngine::global(), opts)
+    }
+
+    /// [`Self::run`] on an explicit engine — the entry point for
+    /// experiment drivers that own one engine for a whole sweep (e.g.
+    /// the Cr2-surrogate figure), so warm-up, acquisition, polish *and*
+    /// the intra-candidate term sharding of its 34-qubit evaluations all
+    /// share a single pool.
+    pub fn run_on(&self, engine: &ExecEngine, opts: &CafqaOptions) -> CafqaResult {
         let mut penalties = Vec::new();
         if opts.number_penalty > 0.0 {
             penalties.push(Penalty::new(
@@ -355,7 +374,7 @@ impl MolecularCafqa {
             ));
         }
         let seeds: Vec<Vec<usize>> = if opts.seed_hf { vec![self.hf_config()] } else { Vec::new() };
-        run_cafqa(&self.ansatz, &self.problem.hamiltonian, penalties, &seeds, opts)
+        run_cafqa_on(engine, &self.ansatz, &self.problem.hamiltonian, penalties, &seeds, opts)
     }
 
     /// Binds the best configuration into a Clifford circuit.

@@ -1,0 +1,134 @@
+//! Boundary contract of the term-sharded expectation path.
+//!
+//! `CliffordObjective` switches from a straight term sum to the fixed
+//! 8-chunk association at 4096 Hamiltonian terms, and — given an engine —
+//! shards those chunks across pool workers from inside a single candidate
+//! evaluation (`ExecEngine::map_nested`). The contract is that none of
+//! this is observable in the numbers: at 4095, 4096 and 4097 terms, on
+//! engines of 1, 2 and 8 workers, through both the single-candidate and
+//! the batch entry points, every energy is bit-identical to the serial
+//! chunked sum.
+
+use cafqa_circuit::{Ansatz, EfficientSu2};
+use cafqa_core::{CliffordObjective, ExecEngine, ObjectiveValue};
+use cafqa_linalg::Complex64;
+use cafqa_pauli::{PauliOp, PauliString};
+
+const QUBITS: usize = 12;
+
+/// A dense synthetic Hamiltonian with exactly `n_terms` distinct Pauli
+/// strings: the term code is packed bitwise into the (x, z) masks, so
+/// distinct codes can never collide and the term count is exact.
+fn dense_hamiltonian(n_terms: usize) -> PauliOp {
+    let op = PauliOp::from_terms(
+        QUBITS,
+        (0..n_terms).map(|code| {
+            let x = (code & 0xFFF) as u64;
+            let z = ((code >> 12) & 0xFFF) as u64;
+            let coeff = 0.001 * ((code % 97) as f64 + 1.0);
+            (Complex64::from(coeff), PauliString::from_masks(QUBITS, x, z))
+        }),
+    );
+    assert_eq!(op.num_terms(), n_terms, "synthetic terms must not collide");
+    op
+}
+
+/// Deterministic pseudo-random configurations for the 48-parameter ansatz.
+fn probe_configs(count: usize, params: usize) -> Vec<Vec<usize>> {
+    (0..count as u64)
+        .map(|k| {
+            let mut state = k.wrapping_mul(0x9E37_79B9).wrapping_add(0xCAF9A);
+            (0..params)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state & 3) as usize
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_values_bit_identical(a: &[ObjectiveValue], b: &[ObjectiveValue], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.energy.to_bits(), y.energy.to_bits(), "{label}: energy at {i}");
+        assert_eq!(x.penalized.to_bits(), y.penalized.to_bits(), "{label}: penalized at {i}");
+    }
+}
+
+/// The satellite contract: 4095 (below threshold), 4096 (at threshold,
+/// sharding turns on) and 4097 (above) term counts are all bit-identical
+/// to the serial chunked sum at every worker count, on both evaluation
+/// entry points.
+#[test]
+fn threshold_boundary_bit_identical_across_workers() {
+    let ansatz = EfficientSu2::new(QUBITS, 1);
+    let configs = probe_configs(4, ansatz.num_parameters());
+    for n_terms in [4095usize, 4096, 4097] {
+        let hamiltonian = dense_hamiltonian(n_terms);
+        let reference =
+            CliffordObjective::new(&ansatz, &hamiltonian).with_engine(ExecEngine::serial());
+        let expected: Vec<ObjectiveValue> = configs.iter().map(|c| reference.evaluate(c)).collect();
+        for workers in [1usize, 2, 8] {
+            let label = format!("{n_terms} terms, {workers} workers");
+            let objective =
+                CliffordObjective::new(&ansatz, &hamiltonian).with_engine(ExecEngine::new(workers));
+            // Single-candidate path: the term sum itself is what shards.
+            let singles: Vec<ObjectiveValue> =
+                configs.iter().map(|c| objective.evaluate(c)).collect();
+            assert_values_bit_identical(&singles, &expected, &format!("{label}, single"));
+            // Batch path: outer candidate shards term-shard from inside
+            // the pool (nested dispatch).
+            let batch = objective.evaluate_batch(&configs);
+            assert_values_bit_identical(&batch, &expected, &format!("{label}, batch"));
+        }
+    }
+}
+
+/// Term sharding composes with penalties (which always stay on the
+/// calling thread) without perturbing either value.
+#[test]
+fn sharded_expectation_composes_with_penalties() {
+    use cafqa_core::Penalty;
+    let ansatz = EfficientSu2::new(QUBITS, 1);
+    let hamiltonian = dense_hamiltonian(4608);
+    let z_op: PauliOp = "ZIIIIIIIIIII".parse().unwrap();
+    let configs = probe_configs(3, ansatz.num_parameters());
+    let build = |engine: ExecEngine| {
+        CliffordObjective::new(&ansatz, &hamiltonian)
+            .with_penalty(Penalty::new("z", &z_op, 1.0, 0.7))
+            .with_engine(engine)
+    };
+    let reference = build(ExecEngine::serial());
+    let pooled = build(ExecEngine::new(4));
+    for config in &configs {
+        let a = reference.evaluate(config);
+        let b = pooled.evaluate(config);
+        assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        assert_eq!(a.penalized.to_bits(), b.penalized.to_bits());
+        assert_ne!(a.energy, a.penalized, "penalty must actually bite");
+    }
+}
+
+/// `term_expectations` (the Fig. 6 sweep) shards large Hamiltonians over
+/// the engine and must reassemble in exact term order.
+#[test]
+fn term_expectations_sharded_matches_serial_order() {
+    let ansatz = EfficientSu2::new(QUBITS, 1);
+    let hamiltonian = dense_hamiltonian(4100);
+    let config = &probe_configs(1, ansatz.num_parameters())[0];
+    let serial = CliffordObjective::new(&ansatz, &hamiltonian)
+        .with_engine(ExecEngine::serial())
+        .term_expectations(config);
+    let pooled = CliffordObjective::new(&ansatz, &hamiltonian)
+        .with_engine(ExecEngine::new(4))
+        .term_expectations(config);
+    assert_eq!(serial.len(), pooled.len());
+    for ((ps, cs, es), (pp, cp, ep)) in serial.iter().zip(&pooled) {
+        assert_eq!(ps, pp, "term order must be preserved");
+        assert_eq!(cs.to_bits(), cp.to_bits());
+        assert_eq!(es, ep);
+    }
+}

@@ -2,13 +2,16 @@
 //! CAFQA Clifford ansatz vs exact, with the paper's term classification.
 
 use cafqa_chem::{qubit_ground_energy, ChemPipeline, MoleculeKind, ScfKind};
-use cafqa_core::{CafqaOptions, CliffordObjective, MolecularCafqa};
+use cafqa_core::{CafqaOptions, CliffordObjective, ExecEngine, MolecularCafqa};
 use cafqa_experiments::{print_table, run_cfg};
 use cafqa_linalg::lanczos::{self, LanczosOptions};
 use cafqa_pauli::PauliOp;
 
 fn main() {
     let cfg = run_cfg();
+    // One engine for the search and the per-term sweep — no code path in
+    // this figure bypasses the shared batch/engine evaluation API.
+    let engine = ExecEngine::from_env();
     let pipe = ChemPipeline::build(MoleculeKind::LiH, 4.8, &ScfKind::Rhf).unwrap();
     let (na, nb) = pipe.default_sector();
     let problem = pipe.problem(na, nb, true).unwrap();
@@ -20,10 +23,10 @@ fn main() {
         opts.warmup = 100;
         opts.iterations = 150;
     }
-    let result = runner.run(&opts);
+    let result = runner.run_on(&engine, &opts);
     // Exact ground-state vector for per-term exact expectations.
     let exact_state = exact_ground_state(&h);
-    let objective = CliffordObjective::new(&runner.ansatz, &h);
+    let objective = CliffordObjective::new(&runner.ansatz, &h).with_engine(engine);
     let cafqa_terms = objective.term_expectations(&result.best_config);
     let mut rows = Vec::new();
     let mut counts = (0usize, 0usize, 0usize);
