@@ -171,6 +171,34 @@ impl RandomForest {
         map_jobs(exec, tasks).into_iter().flatten().collect()
     }
 
+    /// The forest's predicted minimum over each *group* of candidate
+    /// configurations, with all groups flattened through one sharded
+    /// [`Self::predict_batch_on`] pass — the screening score behind
+    /// CAFQA's surrogate-screened pair polish: group `g` holds the joint
+    /// moves of one coordinate pair, and the pairs whose groups predict
+    /// the lowest minima are the ones worth sweeping. `NaN` predictions
+    /// are excluded; an all-`NaN` (or empty) group scores `+∞`, i.e.
+    /// last. Results are in group order and bit-identical at any
+    /// executor width (each prediction is independent, and the per-group
+    /// fold is a plain minimum).
+    pub fn predict_group_min_on(
+        self: &Arc<Self>,
+        groups: &[Vec<Vec<usize>>],
+        exec: &dyn Executor,
+    ) -> Vec<f64> {
+        let flat: Vec<Vec<usize>> = groups.iter().flatten().cloned().collect();
+        let predictions = self.predict_batch_on(&flat, exec);
+        let mut cursor = 0usize;
+        groups
+            .iter()
+            .map(|group| {
+                let scores = &predictions[cursor..cursor + group.len()];
+                cursor += group.len();
+                scores.iter().copied().filter(|p| !p.is_nan()).fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+
     /// Mean and standard deviation over the ensemble (a cheap uncertainty
     /// proxy, useful for exploration diagnostics).
     pub fn predict_with_std(&self, config: &[usize]) -> (f64, f64) {
@@ -271,6 +299,35 @@ mod tests {
             Arc::new(RandomForest::fit(&xs, &ys, &[4, 4], &ForestOptions::default(), &mut rng));
         let pool: Vec<Vec<usize>> = (0..16).map(|i| vec![i % 4, (i / 4) % 4]).collect();
         assert_eq!(forest.predict_batch_on(&pool, &PanicExec), forest.predict_batch(&pool));
+    }
+
+    #[test]
+    fn group_min_scores_match_per_group_serial_minima() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let xs: Vec<Vec<usize>> =
+            (0..200).map(|_| (0..6).map(|_| rng.gen_range(0..4usize)).collect()).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<usize>() as f64).collect();
+        let forest =
+            Arc::new(RandomForest::fit(&xs, &ys, &[4; 6], &ForestOptions::default(), &mut rng));
+        let groups: Vec<Vec<Vec<usize>>> = (0..40)
+            .map(|g| (0..16).map(|k| (0..6).map(|i| (g + k + i) % 4).collect()).collect())
+            .collect();
+        // Sharded scores equal the serial per-group fold, bit for bit,
+        // through an order-scrambling executor.
+        for exec in [&ReversedThreadExec(6) as &dyn Executor, &crate::SerialExec] {
+            let scores = forest.predict_group_min_on(&groups, exec);
+            assert_eq!(scores.len(), groups.len());
+            for (group, &score) in groups.iter().zip(&scores) {
+                let expected =
+                    group.iter().map(|c| forest.predict(c)).fold(f64::INFINITY, f64::min);
+                assert_eq!(score.to_bits(), expected.to_bits());
+            }
+        }
+        // Empty groups score +∞ (rank last), without disturbing others.
+        let with_empty = vec![groups[0].clone(), Vec::new(), groups[1].clone()];
+        let scores = forest.predict_group_min_on(&with_empty, &crate::SerialExec);
+        assert_eq!(scores[1], f64::INFINITY);
+        assert!(scores[0].is_finite() && scores[2].is_finite());
     }
 
     #[test]

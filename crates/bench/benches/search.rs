@@ -18,13 +18,14 @@ use std::time::{Duration, Instant};
 
 use cafqa_bayesopt::{minimize, BoOptions, ForestOptions, SearchSpace};
 use cafqa_bench::{
-    reference_evaluate_batch_spawn, reference_expectation_pauli, ReferenceGenerators,
+    reference_evaluate_batch_spawn, reference_expectation_pauli, reference_polish,
+    ReferenceGenerators,
 };
 use cafqa_chem::{ChemPipeline, MoleculeKind, ScfKind};
 use cafqa_circuit::{Ansatz, EfficientSu2};
 use cafqa_clifford::Tableau;
 use cafqa_core::exhaustive::{exhaustive_search_serial, exhaustive_search_with_workers};
-use cafqa_core::{CliffordObjective, ExecEngine};
+use cafqa_core::{polish_on, CafqaOptions, CliffordObjective, ExecEngine};
 use cafqa_linalg::Complex64;
 use cafqa_pauli::{PauliOp, PauliString};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -668,6 +669,178 @@ fn bench_windowed_vs_full_refit(c: &mut Criterion) {
     group.finish();
 }
 
+/// A wide-register polish workload: 24 qubits, 96 parameters (over the
+/// d = 24 exhaustive-pair threshold, so the sweep uses the local pair
+/// list exactly like the 136-parameter Cr2 register) against a
+/// 192-term Hamiltonian — the preparation-heavy regime where full
+/// re-preparation per neighbor is pure overhead.
+fn polish_workload() -> (EfficientSu2, PauliOp, Vec<usize>) {
+    let ansatz = EfficientSu2::new(24, 1);
+    let mut seed = 0x90115_u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let hamiltonian = PauliOp::from_terms(
+        24,
+        (0..192u64).map(|i| {
+            let x = next() & 0xFF_FFFF;
+            let z = next() & 0xFF_FFFF;
+            (Complex64::from(5e-3 * ((i % 43) as f64 + 1.0)), PauliString::from_masks(24, x, z))
+        }),
+    );
+    let start: Vec<usize> = (0..ansatz.num_parameters())
+        .map(|i| ((0x9E37_79B9u64.wrapping_mul(i as u64 + 1) >> 7) & 3) as usize)
+        .collect();
+    (ansatz, hamiltonian, start)
+}
+
+/// The incremental-polish A/B: prefix-checkpoint + suffix-replay
+/// neighbor evaluation (`polish_on`, screen off) vs the frozen
+/// full-re-preparation endgame (`reference_polish`), on a 96-dim
+/// register. Bit-identity of the full polish trace is asserted on a
+/// serial engine AND a forced 4-worker engine before any timing; the
+/// throughput gate runs at a host-fitting `min(4, cores)` worker count
+/// (as in the PR 4 term-sharded gate), and a screened run
+/// (`polish_screen_top = 16`) is timed and sanity-checked (pair subset,
+/// final energy never above the start incumbent). Numbers land in
+/// `BENCH_search.json`.
+fn bench_incremental_polish(c: &mut Criterion) {
+    const GROUP: &str = "polish_incremental_96dim";
+    if !filter_matches(GROUP) {
+        return;
+    }
+    let (ansatz, hamiltonian, start) = polish_workload();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let timing_workers = host_cores.min(4);
+    let opts = CafqaOptions { polish_sweeps: 2, ..Default::default() };
+    let frozen_objective =
+        CliffordObjective::new(&ansatz, &hamiltonian).with_engine(ExecEngine::serial());
+    let serial_engine = ExecEngine::serial();
+    let serial_objective =
+        CliffordObjective::new(&ansatz, &hamiltonian).with_engine(serial_engine.clone());
+    let forced_engine = ExecEngine::new(4);
+    let forced_objective =
+        CliffordObjective::new(&ansatz, &hamiltonian).with_engine(forced_engine.clone());
+    let hostfit_engine = ExecEngine::new(timing_workers);
+    let hostfit_objective =
+        CliffordObjective::new(&ansatz, &hamiltonian).with_engine(hostfit_engine.clone());
+
+    // Bit-identity gate: the incremental endgame reproduces the frozen
+    // full-re-preparation trace exactly, serial and through the forced
+    // 4-worker nested dispatch, before any timing happens.
+    let frozen = reference_polish(&frozen_objective, 24, &start, opts.polish_sweeps);
+    for (label, engine, objective) in [
+        ("serial", &serial_engine, &serial_objective),
+        ("forced-4-workers", &forced_engine, &forced_objective),
+    ] {
+        let incremental = polish_on(engine, objective, &start, &opts, &[]);
+        assert_eq!(incremental.trace.len(), frozen.trace.len(), "{label}: trace length");
+        for (k, (a, b)) in incremental.trace.iter().zip(&frozen.trace).enumerate() {
+            assert_eq!(a.0.to_bits(), b.0.to_bits(), "{label}: energy at {k}");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "{label}: penalized at {k}");
+        }
+        assert_eq!(incremental.best_config, frozen.best_config, "{label}: best_config");
+        assert_eq!(
+            incremental.best_value.penalized.to_bits(),
+            frozen.best_value.penalized.to_bits(),
+            "{label}: best value"
+        );
+        assert_eq!(incremental.last_accept, frozen.last_accept, "{label}: last accept");
+        assert_eq!(incremental.pairs, frozen.pairs, "{label}: unscreened pair list");
+    }
+
+    // Screened run: subset pair list, never worse than the incumbent.
+    let screened_opts = CafqaOptions { polish_screen_top: 16, ..opts.clone() };
+    let history: Vec<(Vec<usize>, f64)> = (0..200u64)
+        .map(|k| {
+            let config: Vec<usize> = (0..ansatz.num_parameters())
+                .map(|i| ((k.wrapping_mul(0x85EB_CA6B) >> (2 * (i % 29))) & 3) as usize)
+                .collect();
+            let value = frozen_objective.evaluate(&config).penalized;
+            (config, value)
+        })
+        .collect();
+    let screened = polish_on(&hostfit_engine, &hostfit_objective, &start, &screened_opts, &history);
+    assert_eq!(screened.pairs.len(), 16, "screen must bind");
+    assert!(
+        screened.pairs.iter().all(|p| frozen.pairs.contains(p)),
+        "screened pair list must be a subset of the exhaustive one"
+    );
+    let incumbent = frozen_objective.evaluate(&start).penalized;
+    assert!(
+        screened.best_value.penalized <= incumbent + 1e-12,
+        "screened polish must never end above the incumbent: {} vs {incumbent}",
+        screened.best_value.penalized
+    );
+
+    // Timing: frozen full re-preparation vs incremental replay, both at
+    // the host-fitting configuration; plus the screened variant.
+    let run_frozen = || {
+        black_box(reference_polish(&frozen_objective, 24, &start, opts.polish_sweeps).trace.len())
+    };
+    let run_incremental = || {
+        black_box(polish_on(&hostfit_engine, &hostfit_objective, &start, &opts, &[]).trace.len())
+    };
+    let run_screened = || {
+        black_box(
+            polish_on(&hostfit_engine, &hostfit_objective, &start, &screened_opts, &history)
+                .trace
+                .len(),
+        )
+    };
+    black_box(run_frozen());
+    black_box(run_incremental());
+    black_box(run_screened());
+    let time_best_of_3 = |f: &dyn Fn() -> usize| {
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let frozen_elapsed = time_best_of_3(&run_frozen);
+    let incremental_elapsed = time_best_of_3(&run_incremental);
+    let screened_elapsed = time_best_of_3(&run_screened);
+    let speedup = frozen_elapsed.as_secs_f64() / incremental_elapsed.as_secs_f64();
+    let screened_speedup = frozen_elapsed.as_secs_f64() / screened_elapsed.as_secs_f64();
+    record_bench_json(
+        "polish_incremental_vs_full_reprep_96dim",
+        format!(
+            "{{\"dims\": 96, \"qubits\": 24, \"terms\": 192, \"timing_workers\": {timing_workers}, \
+             \"host_cores\": {host_cores}, \"polish_evals\": {}, \"full_reprep_ms\": {:.3}, \
+             \"incremental_ms\": {:.3}, \"speedup\": {:.3}, \"screened_top16_ms\": {:.3}, \
+             \"screened_evals\": {}, \"screened_speedup\": {:.3}, \
+             \"trace_bit_identical\": true, \"screened_subset\": true}}",
+            frozen.trace.len(),
+            frozen_elapsed.as_secs_f64() * 1e3,
+            incremental_elapsed.as_secs_f64() * 1e3,
+            speedup,
+            screened_elapsed.as_secs_f64() * 1e3,
+            screened.trace.len(),
+            screened_speedup
+        ),
+    );
+    // The acceptance gate: incremental replay must be at least at frozen
+    // full-re-preparation throughput (5 % timer tolerance).
+    assert!(
+        incremental_elapsed.as_secs_f64() <= frozen_elapsed.as_secs_f64() * 1.05,
+        "incremental polish slower than full re-preparation ({timing_workers} workers, \
+         {host_cores} cores): {incremental_elapsed:?} vs {frozen_elapsed:?}"
+    );
+
+    let mut group = c.benchmark_group(GROUP);
+    group.bench_function("frozen_full_reprep", |b| b.iter(run_frozen));
+    group.bench_function("incremental_replay", |b| b.iter(run_incremental));
+    group.bench_function("screened_top16", |b| b.iter(run_screened));
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -681,6 +854,7 @@ criterion_group! {
     targets = bench_expectation_kernel, bench_candidate_evaluation,
               bench_h2_candidate_evaluation, bench_h2_oracle,
               bench_h2o_pooled_vs_spawn, bench_bo_batched_vs_single_proposal,
-              bench_term_sharded_vs_chunked_serial, bench_windowed_vs_full_refit
+              bench_term_sharded_vs_chunked_serial, bench_windowed_vs_full_refit,
+              bench_incremental_polish
 }
 criterion_main!(search);

@@ -5,7 +5,8 @@
 mod reference_search;
 
 pub use reference_search::{
-    reference_evaluate_batch_spawn, reference_minimize, reference_run_cafqa,
+    reference_evaluate_batch_spawn, reference_minimize, reference_polish, reference_run_cafqa,
+    ReferencePolishOutcome,
 };
 
 use cafqa_clifford::Tableau;

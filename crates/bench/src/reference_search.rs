@@ -221,6 +221,8 @@ pub fn reference_run_cafqa(
     let mut best_config = result.best_config;
     let mut best_value = objective.evaluate(&best_config);
     let mut iterations_to_best = result.iterations_to_best;
+    let bo_evaluations = raw_trace.len();
+    let polish_clock = std::time::Instant::now();
     for _sweep in 0..opts.polish_sweeps {
         let mut improved = false;
         for i in 0..best_config.len() {
@@ -298,6 +300,7 @@ pub fn reference_run_cafqa(
             }
         }
     }
+    let polish_seconds = polish_clock.elapsed().as_secs_f64();
     let mut best = f64::INFINITY;
     let trace: Vec<SearchPoint> = raw_trace
         .iter()
@@ -312,6 +315,123 @@ pub fn reference_run_cafqa(
         penalized: best_value.penalized,
         evaluations: trace.len(),
         iterations_to_best,
+        polish_evaluations: trace.len() - bo_evaluations,
+        polish_seconds,
         trace,
     }
+}
+
+/// The outcome of the frozen [`reference_polish`] endgame, mirroring
+/// `cafqa_core::PolishOutcome` field-for-field so the incremental-polish
+/// A/B can assert bitwise trace identity.
+pub struct ReferencePolishOutcome {
+    /// The polished configuration.
+    pub best_config: Vec<usize>,
+    /// Its objective value.
+    pub best_value: ObjectiveValue,
+    /// `(raw energy, penalized)` per polish evaluation, in fold order.
+    pub trace: Vec<(f64, f64)>,
+    /// 1-based index into `trace` of the final accepted improvement.
+    pub last_accept: Option<usize>,
+    /// The (always exhaustive/local, never screened) pair list swept.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+/// The pre-incremental polish endgame, frozen: every candidate is
+/// re-prepared from scratch (`reset_zero` + full compiled replay inside
+/// `evaluate_with`), the pair list is never screened, and the greedy
+/// fold runs fully serially — exactly the polish phase of
+/// [`reference_run_cafqa`], exposed standalone so the incremental-polish
+/// A/B benchmark can time just the endgame. Pass an objective with a
+/// serial (or no) engine to keep the baseline genuinely serial.
+pub fn reference_polish(
+    objective: &CliffordObjective<'_>,
+    num_qubits: usize,
+    start: &[usize],
+    polish_sweeps: usize,
+) -> ReferencePolishOutcome {
+    let mut scratch = objective.scratch();
+    let mut best_config = start.to_vec();
+    let mut best_value = objective.evaluate(&best_config);
+    let mut trace: Vec<(f64, f64)> = Vec::new();
+    let mut last_accept: Option<usize> = None;
+    for _sweep in 0..polish_sweeps {
+        let mut improved = false;
+        for i in 0..best_config.len() {
+            let current = best_config[i];
+            let candidates: Vec<Vec<usize>> = (0..4)
+                .filter(|&v| v != current)
+                .map(|v| {
+                    let mut candidate = best_config.clone();
+                    candidate[i] = v;
+                    candidate
+                })
+                .collect();
+            for candidate in candidates {
+                let value = objective.evaluate_with(&candidate, &mut scratch);
+                trace.push((value.energy, value.penalized));
+                if value.penalized < best_value.penalized - 1e-12 {
+                    best_config = candidate;
+                    best_value = value;
+                    last_accept = Some(trace.len());
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    if polish_sweeps > 0 {
+        let d = best_config.len();
+        let nq = num_qubits;
+        pairs = if d <= 24 {
+            (0..d).flat_map(|i| ((i + 1)..d).map(move |j| (i, j))).collect()
+        } else {
+            let offsets = [1, 2, nq / 2, nq / 2 + 1, nq.saturating_sub(1), nq, nq + 1, 2 * nq];
+            let mut out = Vec::new();
+            for i in 0..d {
+                for &off in &offsets {
+                    if off > 0 && i + off < d {
+                        out.push((i, i + off));
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        };
+        let sweeps = if d <= 24 { 3 } else { 2 };
+        for _sweep in 0..sweeps {
+            let mut improved = false;
+            for &(i, j) in &pairs {
+                let candidates: Vec<Vec<usize>> = (0..16)
+                    .map(|code| {
+                        let mut candidate = best_config.clone();
+                        candidate[i] = code / 4;
+                        candidate[j] = code % 4;
+                        candidate
+                    })
+                    .collect();
+                for candidate in candidates {
+                    if candidate[i] == best_config[i] && candidate[j] == best_config[j] {
+                        continue;
+                    }
+                    let value = objective.evaluate_with(&candidate, &mut scratch);
+                    trace.push((value.energy, value.penalized));
+                    if value.penalized < best_value.penalized - 1e-12 {
+                        best_config = candidate;
+                        best_value = value;
+                        last_accept = Some(trace.len());
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+    ReferencePolishOutcome { best_config, best_value, trace, last_accept, pairs }
 }

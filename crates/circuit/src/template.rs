@@ -65,6 +65,11 @@ pub struct CompiledAnsatz {
     num_qubits: usize,
     num_parameters: usize,
     ops: Vec<TemplateOp>,
+    /// Index of the first op reading each parameter (`ops.len()` for
+    /// parameters no rotation slot reads) — the prefix cache behind
+    /// incremental neighbor evaluation: everything before
+    /// `param_first_op[k]` is unaffected by a change to slot `k`.
+    param_first_op: Vec<usize>,
 }
 
 impl CompiledAnsatz {
@@ -95,7 +100,20 @@ impl CompiledAnsatz {
                 fixed => ops.push(TemplateOp::Fixed(fixed)),
             }
         }
-        let template = CompiledAnsatz { num_qubits: ansatz.num_qubits(), num_parameters: d, ops };
+        let mut param_first_op = vec![ops.len(); d];
+        for (i, op) in ops.iter().enumerate() {
+            if let TemplateOp::Rotation { param, .. } = *op {
+                if param_first_op[param] > i {
+                    param_first_op[param] = i;
+                }
+            }
+        }
+        let template = CompiledAnsatz {
+            num_qubits: ansatz.num_qubits(),
+            num_parameters: d,
+            ops,
+            param_first_op,
+        };
         // Validate against the per-candidate lowering on a spread of probe
         // configurations: the four uniform configs plus a mixed pattern.
         // An ansatz whose gate *structure* depends on parameter values
@@ -127,6 +145,22 @@ impl CompiledAnsatz {
     #[inline]
     pub fn ops(&self) -> &[TemplateOp] {
         &self.ops
+    }
+
+    /// Index of the first template op affected by a change to parameter
+    /// `param` — its earliest rotation slot, or [`Self::ops`]`.len()` if
+    /// no slot reads it (an unused parameter changes nothing). Every op
+    /// before this index is identical for two configurations that differ
+    /// only at `param`, which is what lets polish neighbors replay the
+    /// suffix from a cached prefix state instead of re-preparing the
+    /// whole circuit (see `Tableau::apply_from` in `cafqa-clifford`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param >= num_parameters`.
+    #[inline]
+    pub fn first_op_of(&self, param: usize) -> usize {
+        self.param_first_op[param]
     }
 
     /// Renders the primitive-gate circuit for one configuration — the
@@ -205,6 +239,34 @@ mod tests {
             let (lowered, _) = ansatz.bind_clifford(&config).to_clifford_gates().unwrap();
             assert_eq!(t.to_circuit(&config).gates(), &lowered[..], "uniform {k}");
         }
+    }
+
+    #[test]
+    fn first_op_of_points_at_the_earliest_slot_of_each_parameter() {
+        let ansatz = EfficientSu2::new(3, 1);
+        let t = CompiledAnsatz::compile(&ansatz).unwrap();
+        for param in 0..t.num_parameters() {
+            let first = t.first_op_of(param);
+            assert!(first < t.ops().len(), "every EfficientSu2 parameter has a slot");
+            // No earlier op may read the parameter, and the op at `first`
+            // must be a rotation slot reading exactly it.
+            for (i, op) in t.ops().iter().enumerate() {
+                if let TemplateOp::Rotation { param: p, .. } = *op {
+                    if p == param {
+                        assert!(i >= first, "param {param} read at {i} before {first}");
+                    }
+                }
+            }
+            assert!(
+                matches!(t.ops()[first], TemplateOp::Rotation { param: p, .. } if p == param),
+                "first_op_of({param}) = {first} is not a slot of that parameter"
+            );
+        }
+        // Parameter order follows op order for this ansatz, so the prefix
+        // indices are non-decreasing — the property that makes forward
+        // polish sweeps advance (rather than rebuild) the prefix cache.
+        let firsts: Vec<usize> = (0..t.num_parameters()).map(|p| t.first_op_of(p)).collect();
+        assert!(firsts.windows(2).all(|w| w[0] <= w[1]), "{firsts:?}");
     }
 
     #[test]

@@ -299,10 +299,78 @@ impl Tableau {
     /// Panics if the template width differs from the tableau width or if
     /// `config` has the wrong length.
     pub fn run_compiled(&mut self, template: &CompiledAnsatz, config: &[usize]) {
+        self.run_compiled_prefix(template, config, template.ops().len());
+    }
+
+    /// Prepares the *prefix* state of a compiled ansatz: `|0…0⟩`, then
+    /// template ops `0..end` only. Combined with [`Self::apply_from`]
+    /// this is the checkpoint half of the incremental polish kernel: a
+    /// prefix prepared once can be restored with [`Self::copy_from`] and
+    /// finished with any suffix whose configuration agrees on the slots
+    /// the prefix already consumed.
+    ///
+    /// `run_compiled_prefix(t, c, t.ops().len())` is exactly
+    /// [`Self::run_compiled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the template width differs from the tableau width, if
+    /// `config` has the wrong length, or if `end > template.ops().len()`.
+    pub fn run_compiled_prefix(&mut self, template: &CompiledAnsatz, config: &[usize], end: usize) {
         assert_eq!(template.num_qubits(), self.n, "template width mismatch");
         assert_eq!(config.len(), template.num_parameters(), "config length mismatch");
         self.reset_zero();
-        for op in template.ops() {
+        self.apply_template_ops(template, config, 0, end);
+    }
+
+    /// Replays template ops `start..template.ops().len()` on the current
+    /// state, with **no reset** — the delta half of the incremental
+    /// polish kernel. When `self` holds the prefix state of the same
+    /// template for a configuration that agrees with `config` on every
+    /// slot read before `start` (see `CompiledAnsatz::first_op_of`), the
+    /// resulting tableau is bit-identical to a full
+    /// [`Self::run_compiled`] of `config`: prefix + suffix is literally
+    /// the same integer gate sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the template width differs from the tableau width, if
+    /// `config` has the wrong length, or if `start > template.ops().len()`.
+    pub fn apply_from(&mut self, template: &CompiledAnsatz, config: &[usize], start: usize) {
+        self.apply_range(template, config, start, template.ops().len());
+    }
+
+    /// Replays template ops `start..end` on the current state (no reset)
+    /// — the generalization of [`Self::apply_from`] that lets a prefix
+    /// checkpoint *advance* from one rotation slot to the next instead of
+    /// being rebuilt from `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the template width differs from the tableau width, if
+    /// `config` has the wrong length, or if `start..end` is not a valid
+    /// range into `template.ops()`.
+    pub fn apply_range(
+        &mut self,
+        template: &CompiledAnsatz,
+        config: &[usize],
+        start: usize,
+        end: usize,
+    ) {
+        assert_eq!(template.num_qubits(), self.n, "template width mismatch");
+        assert_eq!(config.len(), template.num_parameters(), "config length mismatch");
+        self.apply_template_ops(template, config, start, end);
+    }
+
+    /// The shared op-application loop of every compiled entry point.
+    fn apply_template_ops(
+        &mut self,
+        template: &CompiledAnsatz,
+        config: &[usize],
+        start: usize,
+        end: usize,
+    ) {
+        for op in &template.ops()[start..end] {
             match *op {
                 TemplateOp::Fixed(ref g) => self.apply_primitive(g),
                 TemplateOp::Rotation { axis, qubit, param } => {
@@ -310,6 +378,19 @@ impl Tableau {
                 }
             }
         }
+    }
+
+    /// Copies another tableau's state into this one without allocating —
+    /// the checkpoint-restore of the incremental polish kernel (and the
+    /// reason polish scratch tableaus never reallocate between
+    /// neighbors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn copy_from(&mut self, src: &Tableau) {
+        assert_eq!(src.n, self.n, "tableau width mismatch");
+        self.rows.copy_from_slice(&src.rows);
     }
 
     /// Expectation value of a single Pauli string on the stabilizer state:
@@ -573,6 +654,48 @@ mod tests {
             let reference = Tableau::from_circuit(&ansatz.bind_clifford(&config)).unwrap();
             assert_eq!(scratch, reference, "{config:?}");
         }
+    }
+
+    #[test]
+    fn prefix_plus_suffix_equals_full_run() {
+        use cafqa_circuit::{CompiledAnsatz, EfficientSu2};
+        let ansatz = EfficientSu2::new(3, 1);
+        let template = CompiledAnsatz::compile(&ansatz).unwrap();
+        let config = vec![1usize, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0];
+        let mut full = Tableau::zero_state(3);
+        full.run_compiled(&template, &config);
+        for split in 0..=template.ops().len() {
+            let mut pieced = Tableau::zero_state(3);
+            pieced.run_compiled_prefix(&template, &config, split);
+            pieced.apply_from(&template, &config, split);
+            assert_eq!(pieced, full, "split at {split}");
+        }
+        // Advancing a prefix in several apply_range hops is the same as
+        // one prefix preparation.
+        let mut hopped = Tableau::zero_state(3);
+        hopped.reset_zero();
+        let mut at = 0;
+        for stop in [2usize, 5, 9, template.ops().len()] {
+            hopped.apply_range(&template, &config, at, stop);
+            at = stop;
+        }
+        assert_eq!(hopped, full);
+    }
+
+    #[test]
+    fn copy_from_restores_a_checkpoint() {
+        let mut checkpoint = bell();
+        let mut scratch = Tableau::zero_state(2);
+        scratch.copy_from(&checkpoint);
+        assert_eq!(scratch, checkpoint);
+        // Mutating the copy leaves the checkpoint untouched.
+        scratch.apply_primitive(&Gate::H(0));
+        assert_ne!(scratch, checkpoint);
+        scratch.copy_from(&checkpoint);
+        assert_eq!(scratch, checkpoint);
+        // And the other direction works too (it is just a memcpy).
+        checkpoint.copy_from(&Tableau::zero_state(2));
+        assert_eq!(checkpoint, Tableau::zero_state(2));
     }
 
     #[test]

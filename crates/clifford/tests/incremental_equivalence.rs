@@ -1,0 +1,211 @@
+//! The incremental-tableau equivalence suite: the polish delta kernel
+//! (`run_compiled_prefix` + `copy_from` + `apply_from`) must be
+//! **bit-identical** to a full `reset_zero` + `run_compiled`
+//! re-preparation — for any ansatz, any rotation slot (including slot 0
+//! and the last slot), any angle index, and any prefix split. The
+//! incremental polish engine in `cafqa-core` is built entirely on these
+//! guarantees; every fast path it takes is locked to the frozen
+//! semantics here, at the tableau level, where `Tableau: PartialEq`
+//! compares the complete `(x, z, sign)` row state.
+
+use cafqa_circuit::{CompiledAnsatz, EfficientSu2};
+use cafqa_clifford::Tableau;
+use proptest::prelude::*;
+
+/// Full re-preparation: the frozen reference every delta path replays.
+fn full(template: &CompiledAnsatz, config: &[usize]) -> Tableau {
+    let mut t = Tableau::zero_state(template.num_qubits());
+    t.reset_zero();
+    t.run_compiled(template, config);
+    t
+}
+
+/// The incremental path: prefix checkpoint of `base` up to the changed
+/// slot's first op, checkpoint restore into a dirty scratch, suffix
+/// replay with the neighbor configuration.
+fn incremental(
+    template: &CompiledAnsatz,
+    base: &[usize],
+    neighbor: &[usize],
+    start: usize,
+) -> Tableau {
+    let mut prefix = Tableau::zero_state(template.num_qubits());
+    prefix.run_compiled_prefix(template, base, start);
+    // Deliberately dirty scratch: copy_from must fully overwrite it.
+    let mut scratch = Tableau::zero_state(template.num_qubits());
+    scratch.run_compiled(template, base);
+    scratch.copy_from(&prefix);
+    scratch.apply_from(template, neighbor, start);
+    scratch
+}
+
+/// A deterministic pseudo-random configuration.
+fn config_for(seed: u64, d: usize) -> Vec<usize> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9).wrapping_add(0xCAF9A);
+    (0..d)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 3) as usize
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single-slot neighbors: replay from `first_op_of(slot)` equals a
+    /// full re-preparation of the neighbor, bit for bit.
+    #[test]
+    fn single_slot_replay_matches_full_repreparation(
+        nq in 2usize..6,
+        reps in 0usize..3,
+        seed in 0u64..10_000,
+        slot_pick in 0usize..64,
+        angle in 0usize..4,
+    ) {
+        let ansatz = EfficientSu2::new(nq, reps);
+        let template = CompiledAnsatz::compile(&ansatz).unwrap();
+        let d = template.num_parameters();
+        let base = config_for(seed, d);
+        let slot = slot_pick % d;
+        let mut neighbor = base.clone();
+        neighbor[slot] = angle;
+        let start = template.first_op_of(slot);
+        prop_assert_eq!(
+            incremental(&template, &base, &neighbor, start),
+            full(&template, &neighbor)
+        );
+    }
+
+    /// Pair (two-slot) neighbors replay from the earlier of the two
+    /// slots' first ops — the pair-polish shape.
+    #[test]
+    fn pair_replay_matches_full_repreparation(
+        nq in 2usize..6,
+        reps in 0usize..3,
+        seed in 0u64..10_000,
+        picks in (0usize..64, 0usize..64),
+        code in 0usize..16,
+    ) {
+        let ansatz = EfficientSu2::new(nq, reps);
+        let template = CompiledAnsatz::compile(&ansatz).unwrap();
+        let d = template.num_parameters();
+        let base = config_for(seed, d);
+        let (i, j) = (picks.0 % d, picks.1 % d);
+        let mut neighbor = base.clone();
+        neighbor[i] = code / 4;
+        neighbor[j] = code % 4;
+        let start = template.first_op_of(i).min(template.first_op_of(j));
+        prop_assert_eq!(
+            incremental(&template, &base, &neighbor, start),
+            full(&template, &neighbor)
+        );
+    }
+
+    /// Any prefix split at all (not just slot boundaries) composes back
+    /// to the full run when base and suffix use the same configuration.
+    #[test]
+    fn arbitrary_split_composes_to_full_run(
+        nq in 2usize..6,
+        reps in 0usize..3,
+        seed in 0u64..10_000,
+        split_pick in 0usize..256,
+    ) {
+        let ansatz = EfficientSu2::new(nq, reps);
+        let template = CompiledAnsatz::compile(&ansatz).unwrap();
+        let config = config_for(seed, template.num_parameters());
+        let split = split_pick % (template.ops().len() + 1);
+        prop_assert_eq!(
+            incremental(&template, &config, &config, split),
+            full(&template, &config)
+        );
+    }
+
+    /// A checkpoint advanced in hops (`apply_range`) equals one prepared
+    /// in a single `run_compiled_prefix` call — the forward-sweep cursor
+    /// of the polish session.
+    #[test]
+    fn advanced_checkpoint_equals_direct_prefix(
+        nq in 2usize..6,
+        reps in 0usize..3,
+        seed in 0u64..10_000,
+        hops in proptest::collection::vec(0usize..64, 1..5),
+    ) {
+        let ansatz = EfficientSu2::new(nq, reps);
+        let template = CompiledAnsatz::compile(&ansatz).unwrap();
+        let config = config_for(seed, template.num_parameters());
+        let mut stops: Vec<usize> = hops.iter().map(|&h| h % (template.ops().len() + 1)).collect();
+        stops.sort_unstable();
+        let mut advanced = Tableau::zero_state(nq);
+        advanced.reset_zero();
+        let mut at = 0usize;
+        for &stop in &stops {
+            advanced.apply_range(&template, &config, at, stop);
+            at = stop;
+        }
+        let mut direct = Tableau::zero_state(nq);
+        direct.run_compiled_prefix(&template, &config, at);
+        prop_assert_eq!(advanced, direct);
+    }
+}
+
+/// The boundary slots called out by the satellite contract: slot 0
+/// (empty prefix — the replay degenerates to a full run) and the last
+/// slot (maximal prefix — the replay is a minimal suffix), across every
+/// angle index.
+#[test]
+fn slot_zero_and_last_slot_boundaries() {
+    for (nq, reps) in [(2usize, 0usize), (3, 1), (4, 2)] {
+        let ansatz = EfficientSu2::new(nq, reps);
+        let template = CompiledAnsatz::compile(&ansatz).unwrap();
+        let d = template.num_parameters();
+        let base = config_for(7 * nq as u64 + reps as u64, d);
+        for slot in [0, d - 1] {
+            let start = template.first_op_of(slot);
+            if slot == 0 {
+                assert_eq!(start, 0, "slot 0 of EfficientSu2 is the first op");
+            } else {
+                assert!(start > 0, "the last slot must have a nonempty prefix");
+            }
+            for angle in 0..4 {
+                let mut neighbor = base.clone();
+                neighbor[slot] = angle;
+                assert_eq!(
+                    incremental(&template, &base, &neighbor, start),
+                    full(&template, &neighbor),
+                    "nq {nq} reps {reps} slot {slot} angle {angle}"
+                );
+            }
+        }
+    }
+}
+
+/// Expectations — not just row states — agree between the two paths
+/// (belt and braces: row-state equality already implies it).
+#[test]
+fn expectations_agree_between_paths() {
+    let ansatz = EfficientSu2::new(4, 1);
+    let template = CompiledAnsatz::compile(&ansatz).unwrap();
+    let d = template.num_parameters();
+    let base = config_for(99, d);
+    let paulis = ["ZZII", "XXXX", "IYYI", "ZIZI", "XYZI"];
+    for slot in 0..d {
+        for angle in 0..4 {
+            let mut neighbor = base.clone();
+            neighbor[slot] = angle;
+            let start = template.first_op_of(slot);
+            let inc = incremental(&template, &base, &neighbor, start);
+            let reference = full(&template, &neighbor);
+            for p in paulis {
+                let p = p.parse().unwrap();
+                assert_eq!(
+                    inc.expectation_pauli(&p),
+                    reference.expectation_pauli(&p),
+                    "slot {slot} angle {angle}"
+                );
+            }
+        }
+    }
+}

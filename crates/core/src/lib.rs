@@ -48,8 +48,13 @@ mod runner;
 
 pub use engine::{default_workers, ExecEngine};
 pub use kt::{run_cafqa_kt, t_count_of, widen_clifford_config, CafqaKtResult};
-pub use objective::{CliffordObjective, EvalScratch, ObjectiveValue, Penalty};
-pub use runner::{run_cafqa, run_cafqa_on, CafqaOptions, CafqaResult, MolecularCafqa, SearchPoint};
+pub use objective::{
+    CliffordObjective, EvalScratch, ObjectiveValue, Penalty, PolishMove, PolishSession,
+};
+pub use runner::{
+    polish_on, polish_pair_list, run_cafqa, run_cafqa_on, CafqaOptions, CafqaResult,
+    MolecularCafqa, PolishOutcome, SearchPoint,
+};
 
 #[cfg(test)]
 mod integration_tests {

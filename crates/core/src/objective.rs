@@ -235,6 +235,61 @@ impl EvalCore {
         scratch.tableau_mut().run_compiled(template, config);
         self.value_on_engine(&scratch.tableau, engine)
     }
+
+    /// The incremental polish kernel: evaluates a *neighbor* of the
+    /// configuration a `prefix` checkpoint was prepared for, by restoring
+    /// the checkpoint into the scratch and replaying template ops from
+    /// `start` onward with the neighbor's `config` — instead of
+    /// `reset_zero` + full `run_compiled`. The caller guarantees `prefix`
+    /// holds the state after ops `0..start` of a configuration agreeing
+    /// with `config` on every slot read before `start`
+    /// (`CompiledAnsatz::first_op_of`); the resulting tableau — and
+    /// therefore every value — is then bit-identical to a full
+    /// re-preparation, because prefix + suffix is literally the same
+    /// integer gate sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ansatz did not compile (see [`Self::evaluate`]).
+    pub(crate) fn evaluate_neighbor(
+        &self,
+        scratch: &mut EvalScratch,
+        prefix: &Tableau,
+        start: usize,
+        config: &[usize],
+    ) -> ObjectiveValue {
+        self.prepare_neighbor(scratch, prefix, start, config);
+        self.value_on(&scratch.tableau)
+    }
+
+    /// [`Self::evaluate_neighbor`] with the large-Hamiltonian term sum
+    /// sharded over `engine` — the path polish-move shards running on the
+    /// pool take, so big-H neighbors reuse the fixed 8-chunk association
+    /// across idle workers exactly like [`Self::evaluate_on`].
+    pub(crate) fn evaluate_neighbor_on(
+        self: &Arc<Self>,
+        scratch: &mut EvalScratch,
+        prefix: &Arc<Tableau>,
+        start: usize,
+        config: &[usize],
+        engine: &ExecEngine,
+    ) -> ObjectiveValue {
+        self.prepare_neighbor(scratch, prefix, start, config);
+        self.value_on_engine(&scratch.tableau, engine)
+    }
+
+    fn prepare_neighbor(
+        &self,
+        scratch: &mut EvalScratch,
+        prefix: &Tableau,
+        start: usize,
+        config: &[usize],
+    ) {
+        let template = self.template.as_ref().expect("neighbor eval requires a compiled template");
+        let tableau = scratch.tableau_mut();
+        tableau.copy_from(prefix);
+        tableau.apply_from(template, config, start);
+    }
 }
 
 /// The CAFQA objective: binds discrete Clifford indices into the ansatz,
@@ -298,6 +353,37 @@ impl<'a> CliffordObjective<'a> {
     /// Whether the ansatz compiled to a template (the fast path).
     pub fn is_compiled(&self) -> bool {
         self.core.is_compiled()
+    }
+
+    /// Register width of the objective's ansatz/Hamiltonian pair.
+    pub fn num_qubits(&self) -> usize {
+        self.core.num_qubits
+    }
+
+    /// Starts an incremental polish session at `base`: evaluations of
+    /// configurations that differ from the session base in one or two
+    /// rotation slots replay template ops from the earliest affected slot
+    /// onward (over a cached prefix tableau) instead of re-preparing the
+    /// whole circuit — bit-identical to full re-preparation by
+    /// construction (see [`PolishSession`]). Returns `None` when the
+    /// ansatz did not compile; callers fall back to
+    /// [`Self::evaluate_batch`], which has identical semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` has the wrong length.
+    pub fn polish_session(&self, base: Vec<usize>) -> Option<PolishSession> {
+        let template = self.core.template.as_ref()?;
+        assert_eq!(base.len(), template.num_parameters(), "base config length mismatch");
+        Some(PolishSession {
+            core: Arc::clone(&self.core),
+            engine: self.engine.clone(),
+            prefix: Arc::new(Tableau::zero_state(self.core.num_qubits)),
+            prefix_end: 0,
+            scratch: self.core.scratch(),
+            config_buf: base.clone(),
+            base,
+        })
     }
 
     /// The shared evaluation core (for in-crate engine call sites).
@@ -477,6 +563,198 @@ impl<'a> CliffordObjective<'a> {
         }
         let tableau = &scratch.tableau;
         self.core.terms.iter().map(|(p, c)| (*p, *c, tableau.expectation_pauli(p))).collect()
+    }
+}
+
+/// One polish move: the `(slot, new angle index)` patches applied to the
+/// session base to form a neighbor configuration — one entry for a
+/// coordinate move, two for a pair move.
+pub type PolishMove = Vec<(usize, usize)>;
+
+/// An incremental polish session (see
+/// [`CliffordObjective::polish_session`]).
+///
+/// The session owns the current *base* configuration and a prefix
+/// checkpoint: a tableau holding the state after template ops
+/// `0..prefix_end` of the base. Evaluating a batch of moves seeks the
+/// checkpoint to the earliest op any move affects
+/// (`CompiledAnsatz::first_op_of`), then each neighbor restores the
+/// checkpoint and replays only the suffix — turning the
+/// full-re-preparation cost of a polish evaluation into work
+/// proportional to the suffix length. Forward sweeps (slots in
+/// increasing op order, the shape of both polish phases) *advance* the
+/// checkpoint incrementally; out-of-order seeks rebuild it from
+/// `|0…0⟩`, which is always correct, merely slower.
+///
+/// # Determinism
+///
+/// Prefix + suffix is the same integer gate sequence as a full
+/// `run_compiled`, so the prepared tableau — and every energy, through
+/// the same fixed-association term sum — is bit-identical to
+/// [`CliffordObjective::evaluate`] of the patched configuration, at any
+/// engine width, including the term-sharded (≥ 4096 terms) path.
+/// Asserted by `crates/clifford/tests/incremental_equivalence.rs`,
+/// `crates/core/tests/polish_equivalence.rs` and the neighbor boundary
+/// cases in `crates/core/tests/term_sharding.rs`.
+pub struct PolishSession {
+    core: Arc<EvalCore>,
+    /// The objective's attached engine (`None` resolves to the global
+    /// pool lazily, and only for batches big enough to dispatch —
+    /// mirroring [`CliffordObjective::evaluate_batch`]).
+    engine: Option<ExecEngine>,
+    base: Vec<usize>,
+    /// State after template ops `0..prefix_end` of `base`.
+    prefix: Arc<Tableau>,
+    prefix_end: usize,
+    scratch: EvalScratch,
+    config_buf: Vec<usize>,
+}
+
+impl PolishSession {
+    /// The current base configuration.
+    pub fn base(&self) -> &[usize] {
+        &self.base
+    }
+
+    fn template(&self) -> &CompiledAnsatz {
+        self.core.template.as_ref().expect("polish sessions require a compiled template")
+    }
+
+    /// Moves the prefix checkpoint to exactly `start` ops: advancing
+    /// applies the missing base ops on top of the current checkpoint;
+    /// moving backwards rebuilds from `|0…0⟩`.
+    fn seek(&mut self, start: usize) {
+        if start == self.prefix_end {
+            return;
+        }
+        // The Arc is uniquely owned between batches (engine shards drop
+        // their clones before `map` returns), so this stays in place.
+        let core = Arc::clone(&self.core);
+        let template = core.template.as_ref().expect("checked at session creation");
+        let prefix = Arc::make_mut(&mut self.prefix);
+        if start > self.prefix_end {
+            prefix.apply_range(template, &self.base, self.prefix_end, start);
+        } else {
+            prefix.run_compiled_prefix(template, &self.base, start);
+        }
+        self.prefix_end = start;
+    }
+
+    /// Applies an accepted move to the session base. Checkpoints at or
+    /// before the move's earliest affected op stay valid (the forward
+    /// sweep case); a checkpoint past it is rewound, so acceptance is
+    /// always safe, in any order.
+    pub fn accept(&mut self, mv: &[(usize, usize)]) {
+        let mut stale = self.prefix_end;
+        for &(slot, value) in mv {
+            self.base[slot] = value;
+            self.config_buf[slot] = value;
+            stale = stale.min(self.template().first_op_of(slot));
+        }
+        if stale < self.prefix_end {
+            self.seek(stale);
+        }
+    }
+
+    /// Evaluates a batch of neighbor moves against the session base, in
+    /// input order — the polish counterpart of
+    /// [`CliffordObjective::evaluate_batch`], and bit-identical to
+    /// evaluating each patched configuration through it. Small workloads
+    /// stay on the calling thread; large ones shard moves across the
+    /// engine, and big-Hamiltonian neighbors (≥ 4096 terms) term-shard
+    /// from inside the pool exactly like full evaluations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a move names a slot out of range or an angle index
+    /// outside `0..4`.
+    pub fn evaluate_moves(&mut self, moves: &[PolishMove]) -> Vec<ObjectiveValue> {
+        if moves.is_empty() {
+            return Vec::new();
+        }
+        let ops_len = self.template().ops().len();
+        let start = moves
+            .iter()
+            .flat_map(|mv| mv.iter())
+            .map(|&(slot, _)| self.template().first_op_of(slot))
+            .min()
+            .unwrap_or(ops_len);
+        self.seek(start);
+        // The same dispatch heuristic as `evaluate_batch`: tiny workloads
+        // never pay engine dispatch (nor force the global pool into
+        // existence).
+        let per_eval = self.core.terms.len().max(1) * self.core.num_qubits.max(1);
+        let big = moves.len() * per_eval >= BATCH_DISPATCH_THRESHOLD;
+        let pooled =
+            big && self.engine.clone().unwrap_or_else(|| ExecEngine::global().clone()).is_pooled();
+        if !pooled {
+            let attached = self.engine.clone();
+            let mut out = Vec::with_capacity(moves.len());
+            for mv in moves {
+                for &(slot, value) in mv {
+                    self.config_buf[slot] = value;
+                }
+                let value = match &attached {
+                    Some(engine) if self.core.terms.len() >= CHUNKED_TERM_THRESHOLD => {
+                        self.core.evaluate_neighbor_on(
+                            &mut self.scratch,
+                            &self.prefix,
+                            start,
+                            &self.config_buf,
+                            engine,
+                        )
+                    }
+                    _ => self.core.evaluate_neighbor(
+                        &mut self.scratch,
+                        &self.prefix,
+                        start,
+                        &self.config_buf,
+                    ),
+                };
+                for &(slot, _) in mv {
+                    self.config_buf[slot] = self.base[slot];
+                }
+                out.push(value);
+            }
+            return out;
+        }
+        let engine = self.engine.clone().unwrap_or_else(|| ExecEngine::global().clone());
+        let shards = engine.workers().min(moves.len());
+        let chunk = moves.len().div_ceil(shards);
+        let tasks: Vec<_> = moves
+            .chunks(chunk)
+            .map(|chunk_moves| {
+                let core = Arc::clone(&self.core);
+                let prefix = Arc::clone(&self.prefix);
+                let base = self.base.clone();
+                let chunk_moves: Vec<PolishMove> = chunk_moves.to_vec();
+                let engine = engine.clone();
+                move || {
+                    let mut scratch = core.scratch();
+                    let mut config = base.clone();
+                    chunk_moves
+                        .iter()
+                        .map(|mv| {
+                            for &(slot, value) in mv {
+                                config[slot] = value;
+                            }
+                            let value = core.evaluate_neighbor_on(
+                                &mut scratch,
+                                &prefix,
+                                start,
+                                &config,
+                                &engine,
+                            );
+                            for &(slot, _) in mv {
+                                config[slot] = base[slot];
+                            }
+                            value
+                        })
+                        .collect::<Vec<ObjectiveValue>>()
+                }
+            })
+            .collect();
+        engine.map(tasks).into_iter().flatten().collect()
     }
 }
 

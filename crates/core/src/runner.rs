@@ -8,15 +8,62 @@
 //! [`cafqa_bayesopt::Executor`] seam. Results are bit-identical at any
 //! worker count, including 1.
 
-use cafqa_bayesopt::{minimize_with, BoOptions, BoResult, SearchSpace};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cafqa_bayesopt::{
+    minimize_with, BoOptions, BoResult, ForestOptions, RandomForest, SearchSpace,
+};
 use cafqa_chem::MolecularProblem;
 use cafqa_circuit::{Ansatz, Circuit, EfficientSu2};
 use cafqa_pauli::PauliOp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use crate::engine::ExecEngine;
-use crate::objective::{CliffordObjective, Penalty};
+use crate::objective::{CliffordObjective, ObjectiveValue, Penalty, PolishMove, PolishSession};
 
 /// Configuration for a CAFQA run.
+///
+/// # Polish determinism and screening
+///
+/// Two knobs govern the discrete polish endgame that follows the BO
+/// phase, and this section is the single source of truth for their
+/// interaction (the refit-cadence counterpart lives on
+/// [`BoOptions`](cafqa_bayesopt::BoOptions#determinism-and-refit-cadence)):
+///
+/// - [`polish_sweeps`](Self::polish_sweeps): how many greedy
+///   coordinate-descent sweeps to run (each tries the 3 alternative
+///   angles of every parameter); any nonzero value also enables the
+///   subsequent pair-polish sweeps (correlated two-angle moves).
+/// - [`polish_screen_top`](Self::polish_screen_top): pair screening.
+///   `0` (the default) sweeps the full pair list — exhaustive on ≤ 24
+///   parameters, ansatz-local beyond — exactly as the classic polish
+///   did. A positive value keeps only that many pairs, ranked by a
+///   random-forest surrogate refit on the search history (each pair is
+///   scored by the forest's predicted minimum over its 16 joint moves,
+///   see [`RandomForest::predict_group_min_on`]); the screened list is
+///   always a subset of the full list, swept in the same order.
+///
+/// The determinism contract, in decreasing strictness:
+///
+/// 1. Polish evaluations replay template ops incrementally from the
+///    changed slot onward ([`PolishSession`]); the prepared state is the
+///    same integer gate sequence as a full re-preparation, so every
+///    energy — and therefore the whole trace — is **bit-identical to
+///    the classic full-re-preparation polish, at any worker count**,
+///    including 1. Acceptance folds replay the serial greedy chain in
+///    candidate order, so tie-breaks keep the first minimiser exactly
+///    as a serial `min_by` sweep would.
+/// 2. `polish_screen_top = 0` therefore reproduces the frozen
+///    pre-incremental polish trace bit for bit (asserted in
+///    `crates/core/tests/polish_equivalence.rs` and in the
+///    `polish_incremental` bench gate).
+/// 3. A *binding* screen (`0 < polish_screen_top <` pair-list length)
+///    sweeps fewer pairs — a different-but-still-deterministic trace
+///    given [`seed`](Self::seed); the greedy fold only ever accepts
+///    improvements, so the final energy can never exceed the BO
+///    incumbent's.
 #[derive(Debug, Clone)]
 pub struct CafqaOptions {
     /// Random warm-up evaluations (the paper uses 1000 for H2O).
@@ -53,6 +100,12 @@ pub struct CafqaOptions {
     /// bit-for-bit. See the determinism notes on
     /// [`BoOptions`](cafqa_bayesopt::BoOptions#determinism-and-refit-cadence).
     pub forest_window: usize,
+    /// Pair-polish screening: sweep only the `polish_screen_top` most
+    /// promising pairs (forest-ranked on the search history) instead of
+    /// the full pair list. `0` (the default) keeps the exhaustive legacy
+    /// sweep, bit-for-bit. See the [polish determinism and
+    /// screening](Self#polish-determinism-and-screening) notes.
+    pub polish_screen_top: usize,
 }
 
 impl Default for CafqaOptions {
@@ -69,6 +122,7 @@ impl Default for CafqaOptions {
             polish_sweeps: 6,
             proposals_per_refit: BoOptions::default().proposals_per_refit,
             forest_window: 0,
+            polish_screen_top: 0,
         }
     }
 }
@@ -97,6 +151,12 @@ pub struct CafqaResult {
     pub iterations_to_best: usize,
     /// Total evaluations performed.
     pub evaluations: usize,
+    /// Evaluations spent in the polish endgame (the tail of `trace`).
+    pub polish_evaluations: usize,
+    /// Wall-clock seconds spent in the polish endgame — phase-level
+    /// profiling metadata (Fig. 12 reports it); carries no physics and
+    /// is excluded from every bit-identity contract.
+    pub polish_seconds: f64,
 }
 
 /// One evaluation in the search trace.
@@ -196,105 +256,22 @@ pub fn run_cafqa_on(
         &bo_opts,
         engine,
     );
-    // Coordinate-descent polish: greedily walk each parameter through its
-    // alternative angles until a full sweep yields no improvement. The
-    // three alternatives per coordinate are independent of one another, so
-    // they evaluate as one parallel batch; the acceptance fold below then
-    // replays the greedy chain in candidate order, which keeps the trace
-    // and the chosen optimum identical to a one-at-a-time sweep.
-    let mut best_config = result.best_config;
-    let mut best_value = objective.evaluate(&best_config);
+    // Polish endgame: incremental coordinate and pair sweeps (see
+    // `polish_on`), with the screened variant fed the BO history.
+    let history: Vec<(Vec<usize>, f64)> = if opts.polish_screen_top > 0 && opts.polish_sweeps > 0 {
+        result.history.iter().map(|e| (e.config.clone(), e.value)).collect()
+    } else {
+        Vec::new()
+    };
+    let bo_evaluations = raw_trace.len();
+    let polish_clock = Instant::now();
+    let outcome = polish_on(engine, &objective, &result.best_config, opts, &history);
+    let polish_seconds = polish_clock.elapsed().as_secs_f64();
     let mut iterations_to_best = result.iterations_to_best;
-    for _sweep in 0..opts.polish_sweeps {
-        let mut improved = false;
-        for i in 0..best_config.len() {
-            let current = best_config[i];
-            let candidates: Vec<Vec<usize>> = (0..4)
-                .filter(|&v| v != current)
-                .map(|v| {
-                    let mut candidate = best_config.clone();
-                    candidate[i] = v;
-                    candidate
-                })
-                .collect();
-            let values = objective.evaluate_batch(&candidates);
-            for (candidate, value) in candidates.into_iter().zip(values) {
-                raw_trace.push((value.energy, value.penalized));
-                if value.penalized < best_value.penalized - 1e-12 {
-                    best_config = candidate;
-                    best_value = value;
-                    iterations_to_best = raw_trace.len();
-                    improved = true;
-                }
-            }
-        }
-        if !improved {
-            break;
-        }
+    if let Some(accept) = outcome.last_accept {
+        iterations_to_best = bo_evaluations + accept;
     }
-    // Pair polish: correlated two-angle moves escape the single-coordinate
-    // local minima that trap e.g. LiH at stretched geometries (and the HF
-    // seed on wide registers). Small registers try every pair; wide ones
-    // only pairs that are local in the ansatz layout (same qubit, adjacent
-    // qubit, or same qubit across layers), keeping the sweep linear in the
-    // parameter count.
-    if opts.polish_sweeps > 0 {
-        let d = best_config.len();
-        let nq = ansatz.num_qubits();
-        let pairs: Vec<(usize, usize)> = if d <= 24 {
-            (0..d).flat_map(|i| ((i + 1)..d).map(move |j| (i, j))).collect()
-        } else {
-            // Includes the α/β spin-pair distance nq/2 of the blocked
-            // spin-orbital ordering, where pairing correlations live.
-            let offsets = [1, 2, nq / 2, nq / 2 + 1, nq.saturating_sub(1), nq, nq + 1, 2 * nq];
-            let mut out = Vec::new();
-            for i in 0..d {
-                for &off in &offsets {
-                    if off > 0 && i + off < d {
-                        out.push((i, i + off));
-                    }
-                }
-            }
-            out.sort_unstable();
-            out.dedup();
-            out
-        };
-        let sweeps = if d <= 24 { 3 } else { 2 };
-        for _sweep in 0..sweeps {
-            let mut improved = false;
-            for &(i, j) in &pairs {
-                // All 16 (vi, vj) joint moves are independent: evaluate as
-                // one batch, then replay the greedy acceptance chain in
-                // (vi, vj) order. The skip of the incumbent pair happens in
-                // the fold (it can shift mid-pair when a move is accepted),
-                // so trace and outcome match the serial sweep exactly.
-                let candidates: Vec<Vec<usize>> = (0..16)
-                    .map(|code| {
-                        let mut candidate = best_config.clone();
-                        candidate[i] = code / 4;
-                        candidate[j] = code % 4;
-                        candidate
-                    })
-                    .collect();
-                let values = objective.evaluate_batch(&candidates);
-                for (candidate, value) in candidates.into_iter().zip(values) {
-                    if candidate[i] == best_config[i] && candidate[j] == best_config[j] {
-                        continue;
-                    }
-                    raw_trace.push((value.energy, value.penalized));
-                    if value.penalized < best_value.penalized - 1e-12 {
-                        best_config = candidate;
-                        best_value = value;
-                        iterations_to_best = raw_trace.len();
-                        improved = true;
-                    }
-                }
-            }
-            if !improved {
-                break;
-            }
-        }
-    }
+    raw_trace.extend(outcome.trace.iter().copied());
     let mut best = f64::INFINITY;
     let trace: Vec<SearchPoint> = raw_trace
         .iter()
@@ -304,13 +281,269 @@ pub fn run_cafqa_on(
         })
         .collect();
     CafqaResult {
-        best_config,
-        energy: best_value.energy,
-        penalized: best_value.penalized,
+        best_config: outcome.best_config,
+        energy: outcome.best_value.energy,
+        penalized: outcome.best_value.penalized,
         evaluations: trace.len(),
         iterations_to_best,
         trace,
+        polish_evaluations: outcome.trace.len(),
+        polish_seconds,
     }
+}
+
+/// The pair list of the pair-polish phase, one definition shared by the
+/// production sweep, the frozen reference and the screening tests: small
+/// registers (`d <= 24`) try every pair; wide ones only pairs that are
+/// local in the ansatz layout (same qubit, adjacent qubit, or same qubit
+/// across layers — including the α/β spin-pair distance `nq/2` of the
+/// blocked spin-orbital ordering, where pairing correlations live),
+/// keeping the sweep linear in the parameter count.
+pub fn polish_pair_list(d: usize, nq: usize) -> Vec<(usize, usize)> {
+    if d <= 24 {
+        return (0..d).flat_map(|i| ((i + 1)..d).map(move |j| (i, j))).collect();
+    }
+    let offsets = [1, 2, nq / 2, nq / 2 + 1, nq.saturating_sub(1), nq, nq + 1, 2 * nq];
+    let mut out = Vec::new();
+    for i in 0..d {
+        for &off in &offsets {
+            if off > 0 && i + off < d {
+                out.push((i, i + off));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Replays the serial greedy acceptance chain over one batch of polish
+/// values: walk the batch in submission order, accept whenever the
+/// penalized value strictly beats the current best by more than `tol`,
+/// and return the index of the **last** acceptance (`None` if nothing
+/// improved). For exactly-tied minima this is the *first* minimiser —
+/// the same candidate a serial `min_by` sweep (which keeps the first of
+/// equal minima) would pick — regardless of which engine shard computed
+/// which value, because shard results are reassembled in submission
+/// order before the fold ever sees them.
+pub(crate) fn chain_accept(values: &[ObjectiveValue], best: f64, tol: f64) -> Option<usize> {
+    let mut best = best;
+    let mut accepted = None;
+    for (i, value) in values.iter().enumerate() {
+        if value.penalized < best - tol {
+            best = value.penalized;
+            accepted = Some(i);
+        }
+    }
+    accepted
+}
+
+/// The outcome of a standalone polish run ([`polish_on`]).
+#[derive(Debug, Clone)]
+pub struct PolishOutcome {
+    /// The polished configuration.
+    pub best_config: Vec<usize>,
+    /// Its objective value.
+    pub best_value: ObjectiveValue,
+    /// `(raw energy, penalized)` per polish evaluation, in fold order —
+    /// the exact tail [`run_cafqa_on`] appends to the search trace.
+    pub trace: Vec<(f64, f64)>,
+    /// 1-based index into `trace` of the final accepted improvement
+    /// (`None` when polish never improved on the start configuration).
+    pub last_accept: Option<usize>,
+    /// The pair list actually swept — the full [`polish_pair_list`] at
+    /// `polish_screen_top = 0`, the forest-screened subset otherwise
+    /// (empty when `polish_sweeps` is 0).
+    pub pairs: Vec<(usize, usize)>,
+}
+
+/// The polish endgame as a standalone phase: greedy coordinate-descent
+/// sweeps followed by (optionally surrogate-screened) pair sweeps,
+/// starting from `start`. This is what [`run_cafqa_on`] runs after the
+/// BO phase; it is public so benchmarks and experiment drivers can time
+/// and A/B the endgame in isolation.
+///
+/// Compiled objectives evaluate every neighbor incrementally
+/// ([`PolishSession`]: prefix checkpoint + suffix replay from the
+/// changed slot); non-compiled ansätze fall back to full re-preparation
+/// through [`CliffordObjective::evaluate_batch`]. Both produce
+/// bit-identical traces — see the [polish determinism and
+/// screening](CafqaOptions#polish-determinism-and-screening) notes.
+///
+/// `history` is the `(configuration, penalized value)` search history
+/// the screening forest trains on; it is only read when
+/// [`CafqaOptions::polish_screen_top`] is binding, and an empty history
+/// disables screening (the full pair list is swept).
+///
+/// Engine use mirrors the rest of the stack: move batches shard over
+/// the objective's attached engine, big-Hamiltonian neighbors
+/// term-shard from inside the pool, and the screening forest scores
+/// pair groups over `engine` — callers normally attach the same engine
+/// to the objective ([`run_cafqa_on`] does).
+pub fn polish_on(
+    engine: &ExecEngine,
+    objective: &CliffordObjective<'_>,
+    start: &[usize],
+    opts: &CafqaOptions,
+    history: &[(Vec<usize>, f64)],
+) -> PolishOutcome {
+    let mut best_config = start.to_vec();
+    let mut best_value = objective.evaluate(&best_config);
+    let mut trace: Vec<(f64, f64)> = Vec::new();
+    let mut last_accept: Option<usize> = None;
+    let d = best_config.len();
+    // The incremental session (compiled ansätze) or the full
+    // re-preparation fallback — semantically identical either way.
+    let mut session = objective.polish_session(best_config.clone());
+    let eval_moves = |session: &mut Option<PolishSession>,
+                      base: &[usize],
+                      moves: &[PolishMove]|
+     -> Vec<ObjectiveValue> {
+        match session {
+            Some(session) => session.evaluate_moves(moves),
+            None => {
+                let candidates: Vec<Vec<usize>> = moves
+                    .iter()
+                    .map(|mv| {
+                        let mut candidate = base.to_vec();
+                        for &(slot, value) in mv {
+                            candidate[slot] = value;
+                        }
+                        candidate
+                    })
+                    .collect();
+                objective.evaluate_batch(&candidates)
+            }
+        }
+    };
+    // Coordinate-descent sweeps: greedily walk each parameter through its
+    // alternative angles until a full sweep yields no improvement. The
+    // three alternatives per coordinate are independent, so they evaluate
+    // as one batch; `chain_accept` then replays the greedy chain in
+    // candidate order, which keeps the trace and the chosen optimum
+    // identical to a one-at-a-time sweep.
+    for _sweep in 0..opts.polish_sweeps {
+        let mut improved = false;
+        for i in 0..d {
+            let current = best_config[i];
+            let moves: Vec<PolishMove> =
+                (0..4).filter(|&v| v != current).map(|v| vec![(i, v)]).collect();
+            let values = eval_moves(&mut session, &best_config, &moves);
+            let base_len = trace.len();
+            for value in &values {
+                trace.push((value.energy, value.penalized));
+            }
+            if let Some(idx) = chain_accept(&values, best_value.penalized, 1e-12) {
+                for &(slot, value) in &moves[idx] {
+                    best_config[slot] = value;
+                }
+                if let Some(session) = &mut session {
+                    session.accept(&moves[idx]);
+                }
+                best_value = values[idx];
+                last_accept = Some(base_len + idx + 1);
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    // Pair polish: correlated two-angle moves escape the
+    // single-coordinate local minima that trap e.g. LiH at stretched
+    // geometries (and the HF seed on wide registers).
+    let mut swept_pairs: Vec<(usize, usize)> = Vec::new();
+    if opts.polish_sweeps > 0 {
+        let nq = objective.num_qubits();
+        let full_pairs = polish_pair_list(d, nq);
+        let pairs = screened_pairs(engine, full_pairs, &best_config, opts, history);
+        let sweeps = if d <= 24 { 3 } else { 2 };
+        for _sweep in 0..sweeps {
+            let mut improved = false;
+            for &(i, j) in &pairs {
+                // All 16 (vi, vj) joint moves are independent: evaluate as
+                // one batch, then replay the greedy acceptance chain in
+                // (vi, vj) order. The skip of the incumbent pair happens in
+                // the fold (it can shift mid-pair when a move is accepted),
+                // so trace and outcome match the serial sweep exactly.
+                let moves: Vec<PolishMove> =
+                    (0..16).map(|code| vec![(i, code / 4), (j, code % 4)]).collect();
+                let values = eval_moves(&mut session, &best_config, &moves);
+                for (mv, value) in moves.iter().zip(values) {
+                    let (vi, vj) = (mv[0].1, mv[1].1);
+                    if vi == best_config[i] && vj == best_config[j] {
+                        continue;
+                    }
+                    trace.push((value.energy, value.penalized));
+                    if value.penalized < best_value.penalized - 1e-12 {
+                        best_config[i] = vi;
+                        best_config[j] = vj;
+                        if let Some(session) = &mut session {
+                            session.accept(mv);
+                        }
+                        best_value = value;
+                        last_accept = Some(trace.len());
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        swept_pairs = pairs;
+    }
+    PolishOutcome { best_config, best_value, trace, last_accept, pairs: swept_pairs }
+}
+
+/// Applies [`CafqaOptions::polish_screen_top`] to the full pair list:
+/// fits a forest on the search history (deterministically seeded from
+/// [`CafqaOptions::seed`]), scores each pair by the predicted minimum
+/// over its 16 joint moves around `base`, and keeps the `top` best —
+/// **in original pair-list order**, so the screened sweep is a plain
+/// subset of the exhaustive one. Non-binding configurations (`top` of 0,
+/// `top >=` the list length, or an empty history) return the full list
+/// untouched.
+fn screened_pairs(
+    engine: &ExecEngine,
+    full: Vec<(usize, usize)>,
+    base: &[usize],
+    opts: &CafqaOptions,
+    history: &[(Vec<usize>, f64)],
+) -> Vec<(usize, usize)> {
+    let top = opts.polish_screen_top;
+    if top == 0 || top >= full.len() || history.is_empty() {
+        return full;
+    }
+    let xs: Vec<Vec<usize>> = history.iter().map(|(config, _)| config.clone()).collect();
+    let ys: Vec<f64> = history.iter().map(|&(_, value)| value).collect();
+    let cardinalities = vec![4usize; base.len()];
+    // A seed distinct from the BO stream: screening is a separate,
+    // deterministic phase.
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5C_4EE4);
+    let forest_opts = ForestOptions { window: opts.forest_window, ..Default::default() };
+    let forest = Arc::new(RandomForest::fit(&xs, &ys, &cardinalities, &forest_opts, &mut rng));
+    let groups: Vec<Vec<Vec<usize>>> = full
+        .iter()
+        .map(|&(i, j)| {
+            (0..16)
+                .map(|code| {
+                    let mut config = base.to_vec();
+                    config[i] = code / 4;
+                    config[j] = code % 4;
+                    config
+                })
+                .collect()
+        })
+        .collect();
+    let scores = forest.predict_group_min_on(&groups, engine);
+    let mut ranked: Vec<usize> = (0..full.len()).collect();
+    // Stable sort: equal scores keep pair-list order, so the selection is
+    // deterministic and host-independent.
+    ranked.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut keep: Vec<usize> = ranked.into_iter().take(top).collect();
+    keep.sort_unstable();
+    keep.into_iter().map(|k| full[k]).collect()
 }
 
 /// A molecular CAFQA run bundled with its ansatz (the common case).
@@ -387,6 +620,68 @@ impl MolecularCafqa {
 mod tests {
     use super::*;
     use cafqa_chem::{ChemPipeline, MoleculeKind, ScfKind};
+
+    fn value(penalized: f64) -> ObjectiveValue {
+        ObjectiveValue { energy: penalized, penalized }
+    }
+
+    /// The satellite tie-break contract, asserted *before* the engine
+    /// path was wired: the acceptance fold must keep the **first**
+    /// minimiser under serial-fold order. Engine shards may compute the
+    /// values in any order, but they are reassembled by submission index
+    /// before the fold, so `chain_accept` sees exactly the serial
+    /// candidate order — and for exactly-tied minima it lands on the
+    /// same index as `min_by` (which keeps the first of equal minima).
+    #[test]
+    fn chain_accept_keeps_first_minimiser_like_min_by() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![2.0, 1.0, 1.0],           // exact tie: first wins
+            vec![1.0, 1.0, 1.0],           // all tied
+            vec![3.0, 2.0, 1.0],           // strictly improving chain
+            vec![1.0, 2.0, 3.0],           // first is best
+            vec![5.0, -1.0, 4.0, -1.0],    // tie across a worse gap
+            vec![f64::INFINITY, 0.5, 0.5], // non-finite head
+        ];
+        for values in cases {
+            let batch: Vec<ObjectiveValue> = values.iter().map(|&v| value(v)).collect();
+            let chained = chain_accept(&batch, f64::INFINITY, 0.0);
+            let min_by =
+                values.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i);
+            assert_eq!(chained, min_by, "{values:?}");
+        }
+    }
+
+    #[test]
+    fn chain_accept_respects_incumbent_and_tolerance() {
+        // Nothing strictly below the incumbent: no acceptance.
+        let batch = vec![value(1.0), value(0.9999999)];
+        assert_eq!(chain_accept(&batch, 1.0, 1e-3), None);
+        // Within tolerance of the *running* best is not accepted: 3−ε
+        // loses to the already-accepted 3.0 even though it is the
+        // batch minimum — the chain semantics, not a global argmin.
+        let batch = vec![value(5.0), value(3.0), value(3.0 - 1e-13)];
+        assert_eq!(chain_accept(&batch, 10.0, 1e-12), Some(1));
+        // Strictly past the tolerance is accepted.
+        let batch = vec![value(5.0), value(3.0), value(3.0 - 1e-9)];
+        assert_eq!(chain_accept(&batch, 10.0, 1e-12), Some(2));
+        // Empty batch.
+        assert_eq!(chain_accept(&[], 0.0, 1e-12), None);
+    }
+
+    #[test]
+    fn pair_list_is_exhaustive_small_and_local_wide() {
+        // d ≤ 24: all C(d, 2) ordered pairs.
+        let small = polish_pair_list(6, 3);
+        assert_eq!(small.len(), 15);
+        assert!(small.iter().all(|&(i, j)| i < j && j < 6));
+        // d > 24: sorted, deduplicated, local offsets only.
+        let wide = polish_pair_list(48, 12);
+        assert!(wide.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert!(wide.iter().all(|&(i, j)| i < j && j < 48));
+        let offsets = [1usize, 2, 6, 7, 11, 12, 13, 24];
+        assert!(wide.iter().all(|&(i, j)| offsets.contains(&(j - i))));
+        assert!(wide.len() < 48 * 8 + 1, "linear in d, not quadratic");
+    }
 
     #[test]
     fn hf_seed_guarantees_cafqa_never_worse_than_hf() {

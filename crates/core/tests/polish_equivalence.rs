@@ -1,0 +1,380 @@
+//! Bit-identity contract of the incremental polish engine.
+//!
+//! Three layers, each asserted bitwise over full `run_cafqa_on` traces:
+//!
+//! 1. **Frozen-reference equivalence** — with `polish_screen_top = 0`
+//!    the incremental polish (prefix checkpoint + suffix replay,
+//!    [`cafqa_core::PolishSession`]) reproduces a test-local frozen copy
+//!    of the pre-incremental runner — whose polish evaluates every
+//!    candidate by full re-preparation through
+//!    [`CliffordObjective::evaluate_batch`] — trace-for-trace, at worker
+//!    counts {1, 2, 8}, on both pair-list regimes (exhaustive `d <= 24`
+//!    and ansatz-local `d > 24`).
+//! 2. **Worker-count invariance of the screened run** — a *binding*
+//!    screen changes the trajectory but stays deterministic: engines of
+//!    1, 2 and 8 workers produce identical `CafqaResult`s.
+//! 3. **Screening soundness** — the screened pair list is a subset of
+//!    the exhaustive one (in the same order), and the screened final
+//!    energy is never worse than the BO incumbent's (the greedy fold
+//!    only ever accepts improvements).
+
+use cafqa_bayesopt::{minimize_with, BoOptions, BoResult};
+use cafqa_circuit::{Ansatz, EfficientSu2};
+use cafqa_core::{
+    polish_on, polish_pair_list, run_cafqa_on, CafqaOptions, CafqaResult, CliffordObjective,
+    ExecEngine, Penalty, SearchPoint,
+};
+use cafqa_linalg::Complex64;
+use cafqa_pauli::{PauliOp, PauliString};
+
+/// A dense synthetic Hamiltonian on `nq` qubits with `terms` distinct
+/// Pauli terms (codes packed into the masks so terms never collide; the
+/// seed perturbs the coefficients so distinct tests see distinct
+/// landscapes).
+fn synthetic_hamiltonian(nq: usize, terms: usize, seed: u64) -> PauliOp {
+    let mask = (1u64 << nq) - 1;
+    let op = PauliOp::from_terms(
+        nq,
+        (0..terms as u64).map(|code| {
+            let x = code & mask;
+            let z = (code >> nq) & mask;
+            let coeff = 2e-2 * (((code + seed) % 31) as f64 + 1.0);
+            (Complex64::from(coeff), PauliString::from_masks(nq, x, z))
+        }),
+    );
+    assert_eq!(op.num_terms(), terms, "synthetic terms must not collide");
+    op
+}
+
+/// The pre-incremental runner, frozen as a test-local copy: the same BO
+/// phase (`minimize_with`), then the classic polish loops evaluating
+/// every candidate by **full re-preparation** through `evaluate_batch`
+/// (exactly the production code before the incremental rewrite — no
+/// screening, no neighbor replay).
+fn frozen_run_cafqa(
+    engine: &ExecEngine,
+    ansatz: &dyn Ansatz,
+    hamiltonian: &PauliOp,
+    penalties: Vec<Penalty>,
+    seeds: &[Vec<usize>],
+    opts: &CafqaOptions,
+) -> CafqaResult {
+    let mut objective = CliffordObjective::new(ansatz, hamiltonian).with_engine(engine.clone());
+    for p in penalties {
+        objective = objective.with_penalty(p);
+    }
+    let space = cafqa_bayesopt::SearchSpace::uniform(objective.num_parameters(), 4);
+    let mut raw_trace: Vec<(f64, f64)> = Vec::new();
+    let bo_opts = BoOptions {
+        warmup: opts.warmup,
+        iterations: opts.iterations,
+        seed: opts.seed,
+        patience: opts.patience,
+        proposals_per_refit: opts.proposals_per_refit,
+        forest: cafqa_bayesopt::ForestOptions { window: opts.forest_window, ..Default::default() },
+        ..Default::default()
+    };
+    let result: BoResult = minimize_with(
+        &space,
+        |batch: &[Vec<usize>]| {
+            let values = objective.evaluate_batch(batch);
+            values
+                .iter()
+                .map(|v| {
+                    raw_trace.push((v.energy, v.penalized));
+                    v.penalized
+                })
+                .collect()
+        },
+        seeds,
+        &bo_opts,
+        engine,
+    );
+    let mut best_config = result.best_config;
+    let mut best_value = objective.evaluate(&best_config);
+    let mut iterations_to_best = result.iterations_to_best;
+    for _sweep in 0..opts.polish_sweeps {
+        let mut improved = false;
+        for i in 0..best_config.len() {
+            let current = best_config[i];
+            let candidates: Vec<Vec<usize>> = (0..4)
+                .filter(|&v| v != current)
+                .map(|v| {
+                    let mut candidate = best_config.clone();
+                    candidate[i] = v;
+                    candidate
+                })
+                .collect();
+            let values = objective.evaluate_batch(&candidates);
+            for (candidate, value) in candidates.into_iter().zip(values) {
+                raw_trace.push((value.energy, value.penalized));
+                if value.penalized < best_value.penalized - 1e-12 {
+                    best_config = candidate;
+                    best_value = value;
+                    iterations_to_best = raw_trace.len();
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    if opts.polish_sweeps > 0 {
+        let d = best_config.len();
+        let pairs = polish_pair_list(d, ansatz.num_qubits());
+        let sweeps = if d <= 24 { 3 } else { 2 };
+        for _sweep in 0..sweeps {
+            let mut improved = false;
+            for &(i, j) in &pairs {
+                let candidates: Vec<Vec<usize>> = (0..16)
+                    .map(|code| {
+                        let mut candidate = best_config.clone();
+                        candidate[i] = code / 4;
+                        candidate[j] = code % 4;
+                        candidate
+                    })
+                    .collect();
+                let values = objective.evaluate_batch(&candidates);
+                for (candidate, value) in candidates.into_iter().zip(values) {
+                    if candidate[i] == best_config[i] && candidate[j] == best_config[j] {
+                        continue;
+                    }
+                    raw_trace.push((value.energy, value.penalized));
+                    if value.penalized < best_value.penalized - 1e-12 {
+                        best_config = candidate;
+                        best_value = value;
+                        iterations_to_best = raw_trace.len();
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+    let mut best = f64::INFINITY;
+    let trace: Vec<SearchPoint> = raw_trace
+        .iter()
+        .map(|&(energy, penalized)| {
+            best = best.min(penalized);
+            SearchPoint { energy, penalized, best_so_far: best }
+        })
+        .collect();
+    CafqaResult {
+        best_config,
+        energy: best_value.energy,
+        penalized: best_value.penalized,
+        evaluations: trace.len(),
+        iterations_to_best,
+        polish_evaluations: 0, // metadata, not compared
+        polish_seconds: 0.0,
+        trace,
+    }
+}
+
+fn assert_results_identical(a: &CafqaResult, b: &CafqaResult, label: &str) {
+    assert_eq!(a.trace.len(), b.trace.len(), "{label}: trace length");
+    for (i, (x, y)) in a.trace.iter().zip(&b.trace).enumerate() {
+        assert_eq!(x.energy.to_bits(), y.energy.to_bits(), "{label}: energy at {i}");
+        assert_eq!(x.penalized.to_bits(), y.penalized.to_bits(), "{label}: penalized at {i}");
+        assert_eq!(x.best_so_far.to_bits(), y.best_so_far.to_bits(), "{label}: best at {i}");
+    }
+    assert_eq!(a.best_config, b.best_config, "{label}: best_config");
+    assert_eq!(a.energy.to_bits(), b.energy.to_bits(), "{label}: energy");
+    assert_eq!(a.penalized.to_bits(), b.penalized.to_bits(), "{label}: penalized");
+    assert_eq!(a.iterations_to_best, b.iterations_to_best, "{label}: iterations_to_best");
+    assert_eq!(a.evaluations, b.evaluations, "{label}: evaluations");
+}
+
+/// Layer 1, exhaustive-pair regime (d = 16 ≤ 24), with a sector penalty
+/// so both values of every `ObjectiveValue` are exercised.
+#[test]
+fn incremental_polish_matches_frozen_runner_small_register() {
+    let hamiltonian = synthetic_hamiltonian(4, 14, 0xAB);
+    let z_op: PauliOp = "ZIII".parse().unwrap();
+    let ansatz = EfficientSu2::new(4, 1);
+    let penalty = || vec![Penalty::new("z", &z_op, 1.0, 0.4)];
+    let seeds = vec![vec![2usize; 16]];
+    let opts = CafqaOptions {
+        warmup: 40,
+        iterations: 30,
+        polish_sweeps: 3,
+        polish_screen_top: 0,
+        ..Default::default()
+    };
+    let frozen =
+        frozen_run_cafqa(&ExecEngine::serial(), &ansatz, &hamiltonian, penalty(), &seeds, &opts);
+    assert!(frozen.evaluations > 71, "polish phase must actually run");
+    for workers in [1usize, 2, 8] {
+        let engine = ExecEngine::new(workers);
+        let result = run_cafqa_on(&engine, &ansatz, &hamiltonian, penalty(), &seeds, &opts);
+        assert_results_identical(&result, &frozen, &format!("small register, {workers} workers"));
+        assert_eq!(
+            result.polish_evaluations,
+            result.evaluations - 71,
+            "polish tail accounting ({workers} workers)"
+        );
+    }
+}
+
+/// Layer 1, local-pair regime (d = 28 > 24): the wide-register pair
+/// list, still bit-identical to the frozen full-re-preparation runner.
+#[test]
+fn incremental_polish_matches_frozen_runner_wide_register() {
+    let hamiltonian = synthetic_hamiltonian(7, 40, 0xCD);
+    let ansatz = EfficientSu2::new(7, 1);
+    let opts = CafqaOptions {
+        warmup: 30,
+        iterations: 20,
+        polish_sweeps: 2,
+        polish_screen_top: 0,
+        ..Default::default()
+    };
+    let frozen = frozen_run_cafqa(&ExecEngine::serial(), &ansatz, &hamiltonian, vec![], &[], &opts);
+    for workers in [1usize, 2, 8] {
+        let engine = ExecEngine::new(workers);
+        let result = run_cafqa_on(&engine, &ansatz, &hamiltonian, vec![], &[], &opts);
+        assert_results_identical(&result, &frozen, &format!("wide register, {workers} workers"));
+    }
+}
+
+/// Layer 2: a binding screen is a different — but still deterministic —
+/// trajectory: worker counts {1, 2, 8} give identical results.
+#[test]
+fn screened_polish_is_worker_count_invariant() {
+    let hamiltonian = synthetic_hamiltonian(7, 40, 0xEF);
+    let ansatz = EfficientSu2::new(7, 1);
+    let opts = CafqaOptions {
+        warmup: 30,
+        iterations: 20,
+        polish_sweeps: 2,
+        polish_screen_top: 6,
+        ..Default::default()
+    };
+    let reference = run_cafqa_on(&ExecEngine::serial(), &ansatz, &hamiltonian, vec![], &[], &opts);
+    for workers in [2usize, 8] {
+        let engine = ExecEngine::new(workers);
+        let result = run_cafqa_on(&engine, &ansatz, &hamiltonian, vec![], &[], &opts);
+        assert_results_identical(&result, &reference, &format!("screened, {workers} workers"));
+    }
+}
+
+/// Layer 3: the screened run never ends above the BO incumbent, and the
+/// screened pair list is a subset of the exhaustive one.
+#[test]
+fn screened_polish_subset_and_energy_bounds() {
+    let hamiltonian = synthetic_hamiltonian(7, 40, 0x11);
+    let ansatz = EfficientSu2::new(7, 1);
+    let base_opts = CafqaOptions { warmup: 30, iterations: 20, ..Default::default() };
+    let engine = ExecEngine::serial();
+    // The BO incumbent: the same search with the polish disabled.
+    let incumbent = run_cafqa_on(
+        &engine,
+        &ansatz,
+        &hamiltonian,
+        vec![],
+        &[],
+        &CafqaOptions { polish_sweeps: 0, ..base_opts.clone() },
+    );
+    let screened = run_cafqa_on(
+        &engine,
+        &ansatz,
+        &hamiltonian,
+        vec![],
+        &[],
+        &CafqaOptions { polish_sweeps: 2, polish_screen_top: 6, ..base_opts.clone() },
+    );
+    assert!(
+        screened.penalized <= incumbent.penalized + 1e-12,
+        "screened polish must never end above the BO incumbent: {} vs {}",
+        screened.penalized,
+        incumbent.penalized
+    );
+    // Pair-list subset, checked through the standalone polish entry
+    // point (which reports the list it actually swept).
+    let objective = CliffordObjective::new(&ansatz, &hamiltonian).with_engine(engine.clone());
+    let d = objective.num_parameters();
+    let full_pairs = polish_pair_list(d, ansatz.num_qubits());
+    let history: Vec<(Vec<usize>, f64)> = (0..60u64)
+        .map(|k| {
+            let config: Vec<usize> = (0..d)
+                .map(|i| ((k.wrapping_mul(0x9E37_79B9) >> (2 * (i % 23))) & 3) as usize)
+                .collect();
+            let value = objective.evaluate(&config).penalized;
+            (config, value)
+        })
+        .collect();
+    let opts = CafqaOptions { polish_sweeps: 1, polish_screen_top: 6, ..base_opts };
+    let outcome = polish_on(&engine, &objective, &incumbent.best_config, &opts, &history);
+    assert_eq!(outcome.pairs.len(), 6, "screen must bind");
+    assert!(
+        outcome.pairs.iter().all(|p| full_pairs.contains(p)),
+        "screened pairs {:?} must be a subset of the exhaustive list",
+        outcome.pairs
+    );
+    // Subset keeps the original sweep order.
+    let positions: Vec<usize> =
+        outcome.pairs.iter().map(|p| full_pairs.iter().position(|q| q == p).unwrap()).collect();
+    assert!(positions.windows(2).all(|w| w[0] < w[1]), "screened order {positions:?}");
+    // A non-binding screen returns the full list.
+    let unscreened = polish_on(
+        &engine,
+        &objective,
+        &incumbent.best_config,
+        &CafqaOptions { polish_sweeps: 1, polish_screen_top: 0, ..CafqaOptions::default() },
+        &history,
+    );
+    assert_eq!(unscreened.pairs, full_pairs);
+}
+
+/// The incremental session itself, compared against full evaluation on
+/// the *public* API: any move batch equals `evaluate` of the patched
+/// configurations, bit for bit, at several worker counts.
+#[test]
+fn polish_session_matches_full_evaluation() {
+    let hamiltonian = synthetic_hamiltonian(6, 50, 0x77);
+    let ansatz = EfficientSu2::new(6, 1);
+    let d = ansatz.num_parameters();
+    let base: Vec<usize> = (0..d).map(|i| (i * 5 + 2) % 4).collect();
+    for workers in [1usize, 2, 8] {
+        let objective =
+            CliffordObjective::new(&ansatz, &hamiltonian).with_engine(ExecEngine::new(workers));
+        let mut session = objective.polish_session(base.clone()).unwrap();
+        // Coordinate moves on the boundary slots and a middle slot, then
+        // pair moves spanning the whole register.
+        let moves: Vec<Vec<(usize, usize)>> = (0..4)
+            .flat_map(|v| [vec![(0, v)], vec![(d / 2, v)], vec![(d - 1, v)]])
+            .chain((0..16).map(|code| vec![(0, code / 4), (d - 1, code % 4)]))
+            .collect();
+        let values = session.evaluate_moves(&moves);
+        for (mv, value) in moves.iter().zip(&values) {
+            let mut config = base.clone();
+            for &(slot, v) in mv {
+                config[slot] = v;
+            }
+            let expected = objective.evaluate(&config);
+            assert_eq!(value.energy.to_bits(), expected.energy.to_bits(), "{mv:?}");
+            assert_eq!(value.penalized.to_bits(), expected.penalized.to_bits(), "{mv:?}");
+        }
+        // Accept a move and re-evaluate around the new base.
+        session.accept(&[(1, (base[1] + 1) % 4)]);
+        let mut new_base = base.clone();
+        new_base[1] = (base[1] + 1) % 4;
+        assert_eq!(session.base(), &new_base[..]);
+        let moves2: Vec<Vec<(usize, usize)>> = (0..4).map(|v| vec![(2, v)]).collect();
+        let values2 = session.evaluate_moves(&moves2);
+        for (mv, value) in moves2.iter().zip(&values2) {
+            let mut config = new_base.clone();
+            for &(slot, v) in mv {
+                config[slot] = v;
+            }
+            assert_eq!(
+                value.energy.to_bits(),
+                objective.evaluate(&config).energy.to_bits(),
+                "post-accept {mv:?} ({workers} workers)"
+            );
+        }
+    }
+}

@@ -87,6 +87,68 @@ fn threshold_boundary_bit_identical_across_workers() {
     }
 }
 
+/// The neighbor-evaluation boundary case: incremental polish
+/// evaluations on a ≥ 4096-term Hamiltonian must reuse the *same* fixed
+/// 8-chunk association as full evaluations — at 4095 (below threshold),
+/// 4096 (sharding turns on) and 4097 (above) terms, every neighbor
+/// energy is bit-identical to a full serial evaluation of the patched
+/// configuration, at every worker count, before and after an accepted
+/// move.
+#[test]
+fn neighbor_evaluation_reuses_chunk_association_at_boundary() {
+    let ansatz = EfficientSu2::new(QUBITS, 1);
+    let d = ansatz.num_parameters();
+    let base = probe_configs(1, d).remove(0);
+    // Coordinate moves at the boundary slots and a pair spanning the
+    // register — the polish shapes.
+    let moves: Vec<Vec<(usize, usize)>> = (0..4)
+        .flat_map(|v| [vec![(0, v)], vec![(d - 1, v)]])
+        .chain((0..16).map(|code| vec![(1, code / 4), (d - 2, code % 4)]))
+        .collect();
+    for n_terms in [4095usize, 4096, 4097] {
+        let hamiltonian = dense_hamiltonian(n_terms);
+        let reference =
+            CliffordObjective::new(&ansatz, &hamiltonian).with_engine(ExecEngine::serial());
+        let expected: Vec<ObjectiveValue> = moves
+            .iter()
+            .map(|mv| {
+                let mut config = base.clone();
+                for &(slot, v) in mv {
+                    config[slot] = v;
+                }
+                reference.evaluate(&config)
+            })
+            .collect();
+        for workers in [1usize, 2, 8] {
+            let label = format!("{n_terms} terms, {workers} workers");
+            let objective =
+                CliffordObjective::new(&ansatz, &hamiltonian).with_engine(ExecEngine::new(workers));
+            let mut session = objective.polish_session(base.clone()).unwrap();
+            let values = session.evaluate_moves(&moves);
+            assert_values_bit_identical(&values, &expected, &format!("{label}, neighbor"));
+            // After an accepted move the session base shifts; neighbor
+            // energies must still match full evaluations of the new
+            // neighborhood.
+            session.accept(&[(2, (base[2] + 1) % 4)]);
+            let mut shifted = base.clone();
+            shifted[2] = (base[2] + 1) % 4;
+            let post_moves: Vec<Vec<(usize, usize)>> = (0..4).map(|v| vec![(3, v)]).collect();
+            let post = session.evaluate_moves(&post_moves);
+            let post_expected: Vec<ObjectiveValue> = post_moves
+                .iter()
+                .map(|mv| {
+                    let mut config = shifted.clone();
+                    for &(slot, v) in mv {
+                        config[slot] = v;
+                    }
+                    reference.evaluate(&config)
+                })
+                .collect();
+            assert_values_bit_identical(&post, &post_expected, &format!("{label}, post-accept"));
+        }
+    }
+}
+
 /// Term sharding composes with penalties (which always stay on the
 /// calling thread) without perturbing either value.
 #[test]
