@@ -5,8 +5,11 @@
 //! serial vs sharded, the persistent worker pool vs the frozen
 //! spawn-per-batch path on an H2O-class objective, batched vs
 //! single-proposal BO acquisition, the intra-candidate term-sharded
-//! expectation vs the chunked serial sum on a Cr2-class objective, and
-//! windowed vs full-history surrogate refits.
+//! expectation vs the chunked serial sum on a Cr2-class objective,
+//! windowed vs full-history surrogate refits, the Clifford+T branch
+//! evaluator (tableau ensemble vs dense branch sum), and the full
+//! CAFQA+kT search (branch-engine stack vs the frozen dense/serial
+//! rejection-sampling loop).
 //!
 //! The engine and BO A/Bs additionally time themselves with raw
 //! `Instant` measurements (independent of the harness sampling), assert
@@ -18,14 +21,16 @@ use std::time::{Duration, Instant};
 
 use cafqa_bayesopt::{minimize, BoOptions, ForestOptions, SearchSpace};
 use cafqa_bench::{
-    reference_evaluate_batch_spawn, reference_expectation_pauli, reference_polish,
+    reference_evaluate_batch_spawn, reference_expectation_pauli, reference_kt, reference_polish,
     ReferenceGenerators,
 };
 use cafqa_chem::{ChemPipeline, MoleculeKind, ScfKind};
 use cafqa_circuit::{Ansatz, EfficientSu2};
-use cafqa_clifford::Tableau;
+use cafqa_clifford::{BranchEnsemble, CliffordTState, Tableau};
 use cafqa_core::exhaustive::{exhaustive_search_serial, exhaustive_search_with_workers};
-use cafqa_core::{polish_on, CafqaOptions, CliffordObjective, ExecEngine};
+use cafqa_core::{
+    polish_on, run_cafqa_kt_on, widen_clifford_config, CafqaOptions, CliffordObjective, ExecEngine,
+};
 use cafqa_linalg::Complex64;
 use cafqa_pauli::{PauliOp, PauliString};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -841,6 +846,217 @@ fn bench_incremental_polish(c: &mut Criterion) {
     group.finish();
 }
 
+/// A Clifford+T objective at the frozen dense oracle's comfort point:
+/// 12 qubits, 128 random Pauli terms — wide enough that the dense
+/// `2^t`-branch statevector sum is real work, small enough that the
+/// dense path still runs (its cap is 24 qubits).
+fn kt_class_objective() -> (EfficientSu2, PauliOp) {
+    let ansatz = EfficientSu2::new(12, 1);
+    let mut seed = 0x2B7_u64;
+    let op = PauliOp::from_terms(
+        12,
+        (0..128).map(|i| {
+            (Complex64::from(0.01 * ((i % 29) as f64 + 1.0)), random_pauli(12, &mut seed))
+        }),
+    );
+    (ansatz, op)
+}
+
+/// 8-ary configurations with exactly three odd (T-like) entries each —
+/// the `2^3 = 8`-branch evaluation shape of a `k_max = 3` search.
+fn kt_class_configs(num_parameters: usize) -> Vec<Vec<usize>> {
+    (0..8usize)
+        .map(|k| {
+            let mut config: Vec<usize> = (0..num_parameters)
+                .map(|i| {
+                    let code = (k as u64 + 1).wrapping_mul(0x9E37_79B9) >> (2 * (i % 23));
+                    2 * (code & 3) as usize
+                })
+                .collect();
+            for (slot, j) in [k, 16 + k, 32 + k].into_iter().enumerate() {
+                config[j % num_parameters] = 2 * ((k + slot) % 4) + 1;
+            }
+            config
+        })
+        .collect()
+}
+
+/// The branch-evaluator A/B: the tableau-backed [`BranchEnsemble`]
+/// (one tableau + `t` frame Paulis, cross terms via phase-sensitive
+/// stabilizer inner products) vs the frozen dense [`CliffordTState`]
+/// branch sum, on per-candidate Clifford+T evaluations at 12 qubits and
+/// `t = 3`. Agreement to 1e-10 is asserted on every candidate before
+/// any timing; numbers land in `BENCH_search.json`.
+fn bench_kt_tableau_vs_dense(c: &mut Criterion) {
+    const GROUP: &str = "kt_branch_evaluator_12q_t3";
+    if !filter_matches(GROUP) {
+        return;
+    }
+    let (ansatz, hamiltonian) = kt_class_objective();
+    let configs = kt_class_configs(ansatz.num_parameters());
+    // Exact agreement of the two backends on every candidate — the
+    // ensemble must reproduce the dense branch sum, cross terms and
+    // branch phases included.
+    for config in &configs {
+        assert_eq!(cafqa_core::t_count_of(config), 3);
+        let circuit = ansatz.bind_eighth(config);
+        let dense = CliffordTState::from_circuit(&circuit).unwrap();
+        let ensemble = BranchEnsemble::from_circuit(&circuit).unwrap();
+        let d = dense.expectation(&hamiltonian);
+        let e = ensemble.expectation(&hamiltonian);
+        assert!((d - e).abs() < 1e-10, "dense {d} vs ensemble {e}");
+    }
+    let run_dense = || {
+        configs
+            .iter()
+            .map(|config| {
+                let circuit = ansatz.bind_eighth(config);
+                CliffordTState::from_circuit(&circuit).unwrap().expectation(&hamiltonian)
+            })
+            .sum::<f64>()
+    };
+    let run_ensemble = || {
+        configs
+            .iter()
+            .map(|config| {
+                let circuit = ansatz.bind_eighth(config);
+                BranchEnsemble::from_circuit(&circuit).unwrap().expectation(&hamiltonian)
+            })
+            .sum::<f64>()
+    };
+    black_box(run_dense());
+    black_box(run_ensemble());
+    let dense_elapsed = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(run_dense());
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    let ensemble_elapsed = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(run_ensemble());
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    let speedup = dense_elapsed.as_secs_f64() / ensemble_elapsed.as_secs_f64();
+    record_bench_json(
+        "kt_tableau_vs_dense_12q_t3_128terms",
+        format!(
+            "{{\"qubits\": 12, \"t\": 3, \"terms\": 128, \"candidates\": {}, \
+             \"dense_ms\": {:.3}, \"ensemble_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"agreement\": \"1e-10\"}}",
+            configs.len(),
+            dense_elapsed.as_secs_f64() * 1e3,
+            ensemble_elapsed.as_secs_f64() * 1e3,
+            speedup
+        ),
+    );
+    // The acceptance gate: the ensemble evaluator must be at least at
+    // dense-branch throughput where both can run (5 % timer tolerance) —
+    // beyond 24 qubits only the ensemble runs at all.
+    assert!(
+        ensemble_elapsed.as_secs_f64() <= dense_elapsed.as_secs_f64() * 1.05,
+        "branch ensemble slower than dense branch sum: \
+         {ensemble_elapsed:?} vs {dense_elapsed:?}"
+    );
+
+    let mut group = c.benchmark_group(GROUP);
+    group.bench_function("old_dense_branch_sum", |b| b.iter(|| black_box(run_dense())));
+    group.bench_function("new_tableau_ensemble", |b| b.iter(|| black_box(run_ensemble())));
+    group.finish();
+}
+
+/// The search-tier A/B: the ported CAFQA+kT search (feasible-by-
+/// construction genome space, engine-batched tableau-ensemble
+/// evaluation, 8-ary polish endgame) vs the frozen classic loop (8-ary
+/// uniform space with `1e6` rejection constants, serial dense
+/// evaluation, no polish) at the same BO budget and seed. Records the
+/// feasible/rejected split of both sides and asserts the new tier
+/// wastes no evaluations and ends at least as low as the frozen search.
+fn bench_kt_engine_vs_reference(c: &mut Criterion) {
+    const GROUP: &str = "kt_search_engine_vs_reference_12q";
+    if !filter_matches(GROUP) {
+        return;
+    }
+    const K_MAX: usize = 2;
+    let (ansatz, hamiltonian) = kt_class_objective();
+    let seed_config: Vec<usize> = (0..ansatz.num_parameters()).map(|i| (i * 3 + 2) % 4).collect();
+    let seeds = vec![widen_clifford_config(&seed_config)];
+    let opts = CafqaOptions { warmup: 30, iterations: 40, polish_sweeps: 1, ..Default::default() };
+    let engine = ExecEngine::new(4);
+    let run_reference = || reference_kt(&ansatz, &hamiltonian, &[], K_MAX, &seeds, &opts);
+    let run_engine = || {
+        run_cafqa_kt_on(&engine, &ansatz, &hamiltonian, vec![], K_MAX, &seeds, &opts)
+            .expect("budget within branch-engine limits")
+    };
+    let reference = run_reference();
+    let engine_result = run_engine();
+    // The structural claim of the port: the genome space never proposes
+    // an over-budget candidate, while the frozen uniform space burns
+    // most of its budget on `1e6`-rejected samples at this `d`/`k_max`.
+    assert_eq!(engine_result.rejected_evaluations, 0, "genome space must be feasible");
+    assert!(
+        reference.rejected_evaluations > 0,
+        "frozen loop should reject over-budget samples at d = 48, k_max = 2"
+    );
+    assert!(engine_result.t_count <= K_MAX);
+    // Same seed, strictly feasible search + polish endgame: the ported
+    // tier must end at least as low as the frozen rejection-sampling
+    // loop (both runs are deterministic at this seed).
+    assert!(
+        engine_result.energy <= reference.energy + 1e-9,
+        "ported kT search worse than frozen loop: {} vs {}",
+        engine_result.energy,
+        reference.energy
+    );
+    let reference_elapsed = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(run_reference());
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    let engine_elapsed = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(run_engine());
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    let speedup = reference_elapsed.as_secs_f64() / engine_elapsed.as_secs_f64();
+    record_bench_json(
+        "kt_engine_vs_reference_12q_48dim_kmax2",
+        format!(
+            "{{\"qubits\": 12, \"dims\": 48, \"k_max\": {K_MAX}, \"terms\": 128, \
+             \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"reference_energy\": {:.6}, \"engine_energy\": {:.6}, \
+             \"reference_feasible\": {}, \"reference_rejected\": {}, \
+             \"engine_feasible\": {}, \"engine_rejected\": 0, \
+             \"engine_polish_evals\": {}}}",
+            reference_elapsed.as_secs_f64() * 1e3,
+            engine_elapsed.as_secs_f64() * 1e3,
+            speedup,
+            reference.energy,
+            engine_result.energy,
+            reference.evaluations - reference.rejected_evaluations,
+            reference.rejected_evaluations,
+            engine_result.feasible_evaluations,
+            engine_result.polish_evaluations
+        ),
+    );
+
+    let mut group = c.benchmark_group(GROUP);
+    group.bench_function("old_dense_rejection_loop", |b| b.iter(|| black_box(run_reference())));
+    group.bench_function("new_branch_engine_tier", |b| b.iter(|| black_box(run_engine())));
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -855,6 +1071,7 @@ criterion_group! {
               bench_h2_candidate_evaluation, bench_h2_oracle,
               bench_h2o_pooled_vs_spawn, bench_bo_batched_vs_single_proposal,
               bench_term_sharded_vs_chunked_serial, bench_windowed_vs_full_refit,
-              bench_incremental_polish
+              bench_incremental_polish, bench_kt_tableau_vs_dense,
+              bench_kt_engine_vs_reference
 }
 criterion_main!(search);

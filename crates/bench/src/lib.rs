@@ -2,8 +2,10 @@
 //! kernels and search loops the A/B benchmarks and equivalence tests
 //! compare against.
 
+mod reference_kt;
 mod reference_search;
 
+pub use reference_kt::{reference_kt, ReferenceKtResult};
 pub use reference_search::{
     reference_evaluate_batch_spawn, reference_minimize, reference_polish, reference_run_cafqa,
     ReferencePolishOutcome,

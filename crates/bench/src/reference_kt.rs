@@ -1,0 +1,101 @@
+//! The frozen pre-refactor CAFQA+kT search.
+//!
+//! PR 6 ported the Clifford+T tier onto the compiled/engine/incremental
+//! stack: feasibility-aware genome encoding, tableau-backed branch
+//! ensembles, engine-batched evaluation, and an 8-ary polish endgame.
+//! This module freezes the classic implementation — a plain 8-ary
+//! uniform search space, infeasible candidates rejected with a `1e6`
+//! penalty constant, serial dense [`CliffordTState`] evaluation per
+//! candidate, and no polish — so the old-vs-new A/B in
+//! `benches/search.rs` and the equivalence tests always have the genuine
+//! pre-refactor semantics to compare against.
+
+use cafqa_bayesopt::{minimize, BoOptions, SearchSpace};
+use cafqa_circuit::Ansatz;
+use cafqa_clifford::CliffordTState;
+use cafqa_core::{CafqaOptions, Penalty};
+use cafqa_pauli::PauliOp;
+use std::cell::Cell;
+
+/// The outcome of the frozen classic CAFQA+kT search.
+#[derive(Debug, Clone)]
+pub struct ReferenceKtResult {
+    /// Best configuration over the 8-ary grid.
+    pub best_config: Vec<usize>,
+    /// Raw `⟨H⟩` of the best configuration.
+    pub energy: f64,
+    /// Number of non-Clifford rotations in the best configuration.
+    pub t_count: usize,
+    /// Evaluations performed (infeasible configurations included).
+    pub evaluations: usize,
+    /// Evaluations that were rejected by the `1e6` budget constant
+    /// without any simulation — wasted search budget, counted here so
+    /// the A/B against the feasible-by-construction genome space can
+    /// report the split.
+    pub rejected_evaluations: usize,
+}
+
+/// Number of odd (non-Clifford) indices in an 8-ary configuration.
+fn t_count_of(config: &[usize]) -> usize {
+    config.iter().filter(|&&k| k % 2 == 1).count()
+}
+
+/// The classic `run_cafqa_kt`, frozen exactly as it shipped before the
+/// branch-engine port: `SearchSpace::uniform(d, 8)` with over-budget
+/// candidates rejected at `1e6 + t`, each feasible candidate lowered and
+/// re-simulated densely from scratch, fully serial, no polish endgame.
+pub fn reference_kt(
+    ansatz: &dyn Ansatz,
+    hamiltonian: &PauliOp,
+    penalties: &[Penalty],
+    k_max: usize,
+    seeds: &[Vec<usize>],
+    opts: &CafqaOptions,
+) -> ReferenceKtResult {
+    let space = SearchSpace::uniform(ansatz.num_parameters(), 8);
+    // Infeasible (over-budget) configurations are rejected with a large
+    // constant before any simulation runs.
+    const INFEASIBLE: f64 = 1e6;
+    let rejected = Cell::new(0usize);
+    let evaluate = |config: &[usize]| -> f64 {
+        let t = t_count_of(config);
+        if t > k_max {
+            rejected.set(rejected.get() + 1);
+            return INFEASIBLE + t as f64;
+        }
+        let circuit = ansatz.bind_eighth(config);
+        let state = CliffordTState::from_circuit(&circuit)
+            .expect("t budget keeps the branch count in range");
+        let mut value = state.expectation(hamiltonian);
+        for p in penalties {
+            value += p.weight * state.expectation(p.squared_op());
+        }
+        value
+    };
+    let bo_opts = BoOptions {
+        warmup: opts.warmup,
+        iterations: opts.iterations,
+        seed: opts.seed,
+        patience: opts.patience,
+        proposals_per_refit: opts.proposals_per_refit,
+        ..Default::default()
+    };
+    // Stabilizer-rank branch simulation borrows the ansatz per candidate,
+    // so the batch objective maps serially.
+    let result = minimize(
+        &space,
+        |batch: &[Vec<usize>]| batch.iter().map(|config| evaluate(config)).collect(),
+        seeds,
+        &bo_opts,
+    );
+    let best_config = result.best_config;
+    let circuit = ansatz.bind_eighth(&best_config);
+    let state = CliffordTState::from_circuit(&circuit).expect("feasible best configuration");
+    ReferenceKtResult {
+        energy: state.expectation(hamiltonian),
+        t_count: t_count_of(&best_config),
+        evaluations: result.history.len(),
+        rejected_evaluations: rejected.get(),
+        best_config,
+    }
+}

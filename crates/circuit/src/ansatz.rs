@@ -6,8 +6,6 @@
 //! all Clifford. Restricting the rotation angles to multiples of π/2
 //! makes the whole circuit Clifford.
 
-use std::f64::consts::FRAC_PI_2;
-
 use crate::circuit::Circuit;
 use crate::gate::CliffordAngle;
 
@@ -43,8 +41,7 @@ pub trait Ansatz: Sync {
     /// grid of the CAFQA+kT search. Even `k` are Clifford; odd `k` each cost
     /// one T-branch doubling in the stabilizer-rank engine.
     fn bind_eighth(&self, indices: &[usize]) -> Circuit {
-        let params: Vec<f64> =
-            indices.iter().map(|&k| (k % 8) as f64 * (FRAC_PI_2 / 2.0)).collect();
+        let params: Vec<f64> = indices.iter().map(|&k| crate::gate::eighth_angle(k)).collect();
         self.bind(&params)
     }
 }

@@ -173,6 +173,42 @@ impl Circuit {
         Some((out, phase))
     }
 
+    /// Lowers the circuit to primitive Clifford gates *plus branch gates*:
+    /// Clifford-angle rotations expand exactly as in
+    /// [`Self::to_clifford_gates`] (with the same global-phase tracking),
+    /// while `T`/`T†` and off-grid rotations pass through unchanged — the
+    /// lowering the stabilizer-rank branch engines consume.
+    ///
+    /// Unlike [`Self::to_clifford_gates`] this never fails: a circuit with
+    /// no non-Clifford gates lowers to exactly the same gate list.
+    pub fn to_clifford_t_gates(&self) -> (Vec<Gate>, Complex64) {
+        let mut out = Vec::with_capacity(self.gates.len() * 2);
+        let mut phase = Complex64::ONE;
+        for g in &self.gates {
+            let lowered = match *g {
+                Gate::Rx { qubit, theta } => {
+                    CliffordAngle::from_radians(theta).map(|a| (RotationAxis::X, qubit, a))
+                }
+                Gate::Ry { qubit, theta } => {
+                    CliffordAngle::from_radians(theta).map(|a| (RotationAxis::Y, qubit, a))
+                }
+                Gate::Rz { qubit, theta } => {
+                    CliffordAngle::from_radians(theta).map(|a| (RotationAxis::Z, qubit, a))
+                }
+                _ => None,
+            };
+            match lowered {
+                Some((axis, qubit, angle)) => {
+                    let (gates, p) = clifford_rotation(axis, qubit, angle);
+                    out.extend(gates);
+                    phase *= p;
+                }
+                None => out.push(*g),
+            }
+        }
+        (out, phase)
+    }
+
     /// The inverse circuit (reversed order, each gate inverted).
     pub fn inverse(&self) -> Circuit {
         let mut inv = Circuit::new(self.n);
@@ -256,6 +292,31 @@ mod tests {
         let mut c = Circuit::new(1);
         c.t(0);
         assert!(c.to_clifford_gates().is_none());
+    }
+
+    #[test]
+    fn clifford_t_lowering_passes_branches_through() {
+        let mut c = Circuit::new(2);
+        c.ry(0, std::f64::consts::FRAC_PI_2).t(0).rz(1, 0.3).cx(0, 1);
+        let (gates, phase) = c.to_clifford_t_gates();
+        assert_eq!(
+            gates,
+            vec![
+                Gate::Z(0),
+                Gate::H(0),
+                Gate::T(0),
+                Gate::Rz { qubit: 1, theta: 0.3 },
+                Gate::Cx { control: 0, target: 1 },
+            ]
+        );
+        assert_eq!(phase, Complex64::ONE);
+        // Pure-Clifford circuits agree with the fallible lowering exactly.
+        let mut cl = Circuit::new(2);
+        cl.h(0).rx(1, std::f64::consts::PI).cz(0, 1);
+        let (a, pa) = cl.to_clifford_gates().unwrap();
+        let (b, pb) = cl.to_clifford_t_gates();
+        assert_eq!(a, b);
+        assert_eq!(pa, pb);
     }
 
     #[test]

@@ -185,6 +185,15 @@ impl CliffordAngle {
     }
 }
 
+/// The angle `k·π/4` of an eighth-turn index (taken mod 8) — the extended
+/// rotation grid of the CAFQA+kT search. Shared by
+/// [`crate::Ansatz::bind_eighth`] and the compiled-template eighth-turn
+/// renderer so both compute bit-identical angles.
+#[inline]
+pub fn eighth_angle(k: usize) -> f64 {
+    (k % 8) as f64 * (FRAC_PI_2 / 2.0)
+}
+
 /// The Pauli rotation axis of a parameterized gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RotationAxis {

@@ -29,5 +29,7 @@ mod template;
 
 pub use ansatz::{Ansatz, EfficientSu2, Entanglement};
 pub use circuit::Circuit;
-pub use gate::{clifford_rotation, CliffordAngle, Gate, RotationAxis, CLIFFORD_ANGLES};
+pub use gate::{
+    clifford_rotation, eighth_angle, CliffordAngle, Gate, RotationAxis, CLIFFORD_ANGLES,
+};
 pub use template::{CompiledAnsatz, TemplateOp};

@@ -11,7 +11,7 @@
 
 use crate::ansatz::Ansatz;
 use crate::circuit::Circuit;
-use crate::gate::{clifford_rotation, CliffordAngle, Gate, RotationAxis};
+use crate::gate::{clifford_rotation, eighth_angle, CliffordAngle, Gate, RotationAxis};
 
 /// One element of a compiled ansatz template.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,7 +19,9 @@ pub enum TemplateOp {
     /// A fixed primitive Clifford gate, identical for every candidate.
     Fixed(Gate),
     /// A tunable rotation slot: the candidate's `config[param]` selects
-    /// one of the four Clifford angles `k·π/2`.
+    /// one of the four Clifford angles `k·π/2` (or, under eighth-turn
+    /// binding, one of the eight angles `k·π/4` — odd `k` makes the slot
+    /// a dynamic branch point in the Clifford+T branch ensemble).
     Rotation {
         /// The rotation axis.
         axis: RotationAxis,
@@ -27,6 +29,21 @@ pub enum TemplateOp {
         qubit: usize,
         /// Index into the configuration vector.
         param: usize,
+    },
+    /// A fixed non-Clifford branch point — a structural `T`/`T†` gate,
+    /// identical for every candidate. Reads no parameter, so the prefix
+    /// cache (`first_op_of`) is unaffected; only templates produced by
+    /// [`CompiledAnsatz::compile_clifford_t`] contain it, and only the
+    /// branch-ensemble executor can run it (the plain Clifford tableau
+    /// panics).
+    Branch {
+        /// The Pauli rotation axis of the branch (always `Z` for `T`/`T†`).
+        axis: RotationAxis,
+        /// The target qubit.
+        qubit: usize,
+        /// Odd eighth-turn count `k`: the branch rotation angle is `k·π/4`
+        /// (`1` for `T`, `7` for `T†`, up to global phase).
+        eighths: usize,
     },
 }
 
@@ -77,6 +94,52 @@ impl CompiledAnsatz {
     /// ansatz cannot be compiled (parameter-dependent structure, fixed
     /// non-Clifford gates, or more than `2³²` parameters).
     pub fn compile(ansatz: &dyn Ansatz) -> Option<CompiledAnsatz> {
+        let template = CompiledAnsatz::probe(ansatz, false)?;
+        // Validate against the per-candidate lowering on a spread of probe
+        // configurations: the four uniform configs plus a mixed pattern.
+        // An ansatz whose gate *structure* depends on parameter values
+        // (NaN comparisons are all false) is caught here and rejected.
+        let d = template.num_parameters;
+        let mut probes: Vec<Vec<usize>> = (0..4).map(|k| vec![k; d]).collect();
+        probes.push((0..d).map(|i| (i * 7 + 1) % 4).collect());
+        for config in &probes {
+            let (lowered, _phase) = ansatz.bind_clifford(config).to_clifford_gates()?;
+            if template.to_circuit(config).gates() != &lowered[..] {
+                return None;
+            }
+        }
+        Some(template)
+    }
+
+    /// [`Self::compile`] extended to the Clifford+T tier: structural
+    /// `T`/`T†` gates become [`TemplateOp::Branch`] markers instead of
+    /// failing compilation, and validation runs over the *eighth-turn*
+    /// grid (`bind_eighth` + [`Circuit::to_clifford_t_gates`]) so odd
+    /// angle indices — the dynamic branch points of the CAFQA+kT search —
+    /// are covered too. On a purely-Clifford ansatz the produced template
+    /// is identical to [`Self::compile`]'s (same ops, same prefix cache),
+    /// so 4-ary binding semantics are untouched.
+    pub fn compile_clifford_t(ansatz: &dyn Ansatz) -> Option<CompiledAnsatz> {
+        let template = CompiledAnsatz::probe(ansatz, true)?;
+        let d = template.num_parameters;
+        let mut probes: Vec<Vec<usize>> = (0..8).map(|k| vec![k; d]).collect();
+        probes.push((0..d).map(|i| (i * 5 + 3) % 8).collect());
+        probes.push((0..d).map(|i| (i * 7 + 1) % 8).collect());
+        for config in &probes {
+            let (lowered, _phase) = ansatz.bind_eighth(config).to_clifford_t_gates();
+            if template.to_circuit_eighth(config).gates() != &lowered[..] {
+                return None;
+            }
+        }
+        Some(template)
+    }
+
+    /// The shared sentinel-probe pass behind both compile entry points.
+    /// `allow_t` maps structural `T`/`T†` to branch markers instead of
+    /// rejecting them; fixed rotations off the π/2 grid are rejected
+    /// either way (no production ansatz has them, and accepting them
+    /// would make every candidate pay their branch doubling).
+    fn probe(ansatz: &dyn Ansatz, allow_t: bool) -> Option<CompiledAnsatz> {
         let d = ansatz.num_parameters();
         if d as u64 > SENTINEL_PAYLOAD_MASK {
             return None;
@@ -96,6 +159,12 @@ impl CompiledAnsatz {
                 Gate::Rz { qubit, theta } => {
                     push_rotation(&mut ops, RotationAxis::Z, qubit, theta, d)?
                 }
+                Gate::T(q) if allow_t => {
+                    ops.push(TemplateOp::Branch { axis: RotationAxis::Z, qubit: q, eighths: 1 })
+                }
+                Gate::Tdg(q) if allow_t => {
+                    ops.push(TemplateOp::Branch { axis: RotationAxis::Z, qubit: q, eighths: 7 })
+                }
                 Gate::T(_) | Gate::Tdg(_) => return None,
                 fixed => ops.push(TemplateOp::Fixed(fixed)),
             }
@@ -108,25 +177,12 @@ impl CompiledAnsatz {
                 }
             }
         }
-        let template = CompiledAnsatz {
+        Some(CompiledAnsatz {
             num_qubits: ansatz.num_qubits(),
             num_parameters: d,
             ops,
             param_first_op,
-        };
-        // Validate against the per-candidate lowering on a spread of probe
-        // configurations: the four uniform configs plus a mixed pattern.
-        // An ansatz whose gate *structure* depends on parameter values
-        // (NaN comparisons are all false) is caught here and rejected.
-        let mut probes: Vec<Vec<usize>> = (0..4).map(|k| vec![k; d]).collect();
-        probes.push((0..d).map(|i| (i * 7 + 1) % 4).collect());
-        for config in &probes {
-            let (lowered, _phase) = ansatz.bind_clifford(config).to_clifford_gates()?;
-            if template.to_circuit(config).gates() != &lowered[..] {
-                return None;
-            }
-        }
-        Some(template)
+        })
     }
 
     /// Width of the compiled circuit.
@@ -184,9 +240,75 @@ impl CompiledAnsatz {
                         c.push(g);
                     }
                 }
+                TemplateOp::Branch { axis, qubit, eighths } => {
+                    c.push(branch_gate(axis, qubit, eighths));
+                }
             }
         }
         c
+    }
+
+    /// Renders the circuit for one *eighth-turn* configuration (angles
+    /// `k·π/4`): even indices lower to primitive Cliffords exactly like
+    /// [`Self::to_circuit`], odd indices stay as non-Clifford rotation
+    /// gates, and branch markers render as their `T`/`T†` gate — the
+    /// reference counterpart of the branch ensemble's direct template
+    /// execution, gate-for-gate equal to
+    /// `ansatz.bind_eighth(config).to_clifford_t_gates()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` has the wrong length.
+    pub fn to_circuit_eighth(&self, config: &[usize]) -> Circuit {
+        assert_eq!(config.len(), self.num_parameters, "config length mismatch");
+        let mut c = Circuit::new(self.num_qubits);
+        for op in &self.ops {
+            match *op {
+                TemplateOp::Fixed(g) => {
+                    c.push(g);
+                }
+                TemplateOp::Rotation { axis, qubit, param } => {
+                    let k = config[param] % 8;
+                    if k % 2 == 0 {
+                        let angle = CliffordAngle::from_index(k / 2);
+                        for g in clifford_rotation(axis, qubit, angle).0 {
+                            c.push(g);
+                        }
+                    } else {
+                        // Odd slots stay as the rotation gate `bind_eighth`
+                        // emits (never `T`: that spelling is reserved for
+                        // structural branch markers).
+                        c.push(rotation_gate(axis, qubit, eighth_angle(k)));
+                    }
+                }
+                TemplateOp::Branch { axis, qubit, eighths } => {
+                    c.push(branch_gate(axis, qubit, eighths));
+                }
+            }
+        }
+        c
+    }
+}
+
+/// The single gate realizing an odd-eighth branch rotation: `T`/`T†` for
+/// the Z-axis eighth turns the ansatz writes structurally, a rotation gate
+/// (with the exact [`eighth_angle`] used by `bind_eighth`) otherwise.
+fn branch_gate(axis: RotationAxis, qubit: usize, eighths: usize) -> Gate {
+    match (axis, eighths % 8) {
+        (RotationAxis::Z, 1) => Gate::T(qubit),
+        (RotationAxis::Z, 7) => Gate::Tdg(qubit),
+        (RotationAxis::X, k) => Gate::Rx { qubit, theta: eighth_angle(k) },
+        (RotationAxis::Y, k) => Gate::Ry { qubit, theta: eighth_angle(k) },
+        (RotationAxis::Z, k) => Gate::Rz { qubit, theta: eighth_angle(k) },
+    }
+}
+
+/// The rotation gate for one axis with a literal angle.
+fn rotation_gate(axis: RotationAxis, qubit: usize, theta: f64) -> Gate {
+    match axis {
+        RotationAxis::X => Gate::Rx { qubit, theta },
+        RotationAxis::Y => Gate::Ry { qubit, theta },
+        RotationAxis::Z => Gate::Rz { qubit, theta },
     }
 }
 
@@ -310,6 +432,69 @@ mod tests {
             }
         }
         assert!(CompiledAnsatz::compile(&Scaled).is_none());
+    }
+
+    #[test]
+    fn clifford_t_compile_matches_plain_compile_on_clifford_ansatz() {
+        let ansatz = EfficientSu2::new(3, 1);
+        let plain = CompiledAnsatz::compile(&ansatz).unwrap();
+        let ct = CompiledAnsatz::compile_clifford_t(&ansatz).unwrap();
+        assert_eq!(plain.ops(), ct.ops());
+        for p in 0..plain.num_parameters() {
+            assert_eq!(plain.first_op_of(p), ct.first_op_of(p));
+        }
+    }
+
+    #[test]
+    fn clifford_t_rendering_matches_eighth_lowering() {
+        let ansatz = EfficientSu2::new(2, 1);
+        let t = CompiledAnsatz::compile_clifford_t(&ansatz).unwrap();
+        for k in 0..8 {
+            let config = vec![k; 8];
+            let (lowered, _) = ansatz.bind_eighth(&config).to_clifford_t_gates();
+            assert_eq!(t.to_circuit_eighth(&config).gates(), &lowered[..], "uniform {k}");
+        }
+        let mixed: Vec<usize> = (0..8).map(|i| (i * 3 + 1) % 8).collect();
+        let (lowered, _) = ansatz.bind_eighth(&mixed).to_clifford_t_gates();
+        assert_eq!(t.to_circuit_eighth(&mixed).gates(), &lowered[..]);
+    }
+
+    #[test]
+    fn structural_t_gates_become_branch_markers() {
+        /// An ansatz with fixed `T`/`T†` gates around one slot.
+        struct WithT;
+        impl Ansatz for WithT {
+            fn num_qubits(&self) -> usize {
+                2
+            }
+            fn num_parameters(&self) -> usize {
+                1
+            }
+            fn bind(&self, params: &[f64]) -> Circuit {
+                let mut c = Circuit::new(2);
+                c.t(0).ry(1, params[0]).push(Gate::Tdg(0)).cx(0, 1);
+                c
+            }
+        }
+        // The plain compile rejects structural T gates...
+        assert!(CompiledAnsatz::compile(&WithT).is_none());
+        // ...while the Clifford+T compile marks them as branch points.
+        let t = CompiledAnsatz::compile_clifford_t(&WithT).unwrap();
+        let branches: Vec<&TemplateOp> =
+            t.ops().iter().filter(|op| matches!(op, TemplateOp::Branch { .. })).collect();
+        assert_eq!(branches.len(), 2);
+        assert_eq!(
+            *branches[0],
+            TemplateOp::Branch { axis: RotationAxis::Z, qubit: 0, eighths: 1 }
+        );
+        assert_eq!(
+            *branches[1],
+            TemplateOp::Branch { axis: RotationAxis::Z, qubit: 0, eighths: 7 }
+        );
+        // And the rendered circuit keeps the T spellings.
+        let c = t.to_circuit_eighth(&[3]);
+        let (lowered, _) = WithT.bind_eighth(&[3]).to_clifford_t_gates();
+        assert_eq!(c.gates(), &lowered[..]);
     }
 
     #[test]

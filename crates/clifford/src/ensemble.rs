@@ -1,0 +1,625 @@
+//! Tableau-backed Clifford+T branch ensemble (paper §8, beyond 20 qubits).
+//!
+//! [`crate::CliffordTState`] evaluates the `2^t` Clifford branches of a
+//! Clifford+T circuit by summing dense statevectors — exact, but capped at
+//! [`cafqa_sim::MAX_DENSE_QUBITS`] qubits. This module removes that cap:
+//! the ensemble keeps **one** stabilizer tableau plus `t` *frame* Paulis
+//! and recovers every branch (and every `O(4^t)` cross term) analytically.
+//!
+//! The identity behind it: a branch circuit differs from the branch-free
+//! base circuit only by Pauli insertions, and a Pauli commuted through the
+//! Clifford suffix `S_j` after its insertion point stays a signed Pauli
+//! `R_j = S_j P_j S_j†`. Hence
+//!
+//! ```text
+//! |φ_a⟩ = R_t^{a_t} ⋯ R_1^{a_1} |φ_0⟩,        a ∈ {0,1}^t,
+//! ```
+//!
+//! with `|φ_0⟩` the base stabilizer state. Every subset product
+//! `S_a = Π_{j∈a} R_j` is again `i^{k_a}` times a Hermitian Pauli
+//! `P(sx_a, sz_a)`, so each cross term collapses to one signed-Pauli
+//! expectation on the base tableau:
+//!
+//! ```text
+//! ⟨φ_a|P|φ_b⟩ = i^{K_ab} · ⟨φ_0| P(px ⊕ sx_a ⊕ sx_b, pz ⊕ sz_a ⊕ sz_b) |φ_0⟩,
+//! ```
+//!
+//! which [`Tableau::expectation_masks`] answers in `{+1, 0, −1}`. Pairs
+//! are grouped by the XOR class `c = a ⊕ b` (the mask above depends only
+//! on `c`), so a vanishing base expectation skips `2^{t−1}` pairs at once.
+//!
+//! Global phases — the Clifford-lowering phases and the `e^{±iπ/8}` of
+//! `T`/`T†` — multiply every branch equally and cancel in expectations,
+//! so they are never tracked.
+
+use std::ops::Range;
+
+use cafqa_circuit::Circuit;
+use cafqa_circuit::{eighth_angle, CliffordAngle, CompiledAnsatz, Gate, RotationAxis, TemplateOp};
+use cafqa_linalg::Complex64;
+use cafqa_pauli::{phase_exponent, PauliOp};
+
+use crate::clifford_t::{CliffordTError, MAX_BRANCH_GATES};
+use crate::tableau::{conjugate_rows, conjugate_rows_rotation, Row, Tableau};
+
+/// `i^k` for `k ∈ 0..4`.
+const I_POW: [Complex64; 4] = [
+    Complex64 { re: 1.0, im: 0.0 },
+    Complex64 { re: 0.0, im: 1.0 },
+    Complex64 { re: -1.0, im: 0.0 },
+    Complex64 { re: 0.0, im: -1.0 },
+];
+
+/// The per-mask subset products of a [`BranchEnsemble`], precomputed once
+/// and shared by every Pauli-term evaluation of the same state.
+///
+/// For each branch mask `a`, `S_a = Π_{j∈a} R_j = i^{k[a]} · P(sx[a], sz[a])`
+/// with `P` Hermitian, and `w[a]` is the branch amplitude
+/// `Π_j (a_j ? −i·sin(θ_j/2) : cos(θ_j/2))`.
+#[derive(Debug, Clone)]
+pub struct BranchFrames {
+    sx: Vec<u64>,
+    sz: Vec<u64>,
+    k: Vec<u8>,
+    w: Vec<Complex64>,
+}
+
+impl BranchFrames {
+    /// Number of branches `2^t` (equivalently, of XOR classes).
+    #[inline]
+    pub fn num_branches(&self) -> usize {
+        self.w.len()
+    }
+}
+
+/// A Clifford+T state held as a base stabilizer tableau plus suffix-
+/// conjugated branch frames — the stabilizer-rank backend of the CAFQA+kT
+/// search, exact at any width the tableau supports (≤ 64 qubits).
+///
+/// Mirrors the [`Tableau`] compiled-template API (`run_compiled` /
+/// `run_compiled_prefix` / `apply_range` / `copy_from`) so the incremental
+/// polish kernel carries over unchanged, with eighth-turn configurations
+/// (`k·π/4`; odd `k` opens a branch) instead of quarter-turn ones.
+///
+/// # Examples
+///
+/// ```
+/// use cafqa_circuit::Circuit;
+/// use cafqa_clifford::BranchEnsemble;
+///
+/// let mut c = Circuit::new(1);
+/// c.h(0).t(0);
+/// let e = BranchEnsemble::from_circuit(&c).unwrap();
+/// let x = e.expectation(&"X".parse().unwrap());
+/// assert!((x - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchEnsemble {
+    base: Tableau,
+    /// Frame Paulis `R_j = S_j P_j S_j†`, in branch-point order.
+    frames: Vec<Row>,
+    /// `(cos(θ_j/2), sin(θ_j/2))` per branch point.
+    half_weights: Vec<(f64, f64)>,
+}
+
+impl BranchEnsemble {
+    /// The branch-free `|0…0⟩` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 64` (the tableau width limits).
+    pub fn zero_state(n: usize) -> Self {
+        BranchEnsemble {
+            base: Tableau::zero_state(n),
+            frames: Vec::new(),
+            half_weights: Vec::new(),
+        }
+    }
+
+    /// Prepares the state of a Clifford+T circuit (`T`/`T†` and rotations
+    /// off the π/2 grid become branch points; everything else is applied
+    /// as Clifford).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliffordTError::TooManyBranches`] when the circuit has
+    /// more than [`MAX_BRANCH_GATES`] non-Clifford gates.
+    pub fn from_circuit(circuit: &Circuit) -> Result<Self, CliffordTError> {
+        let mut e = BranchEnsemble::zero_state(circuit.num_qubits());
+        let (gates, _phase) = circuit.to_clifford_t_gates();
+        for g in &gates {
+            e.apply_gate(g)?;
+        }
+        Ok(e)
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.base.num_qubits()
+    }
+
+    /// Number of branch points opened so far.
+    #[inline]
+    pub fn t_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of Clifford branches, `2^t`.
+    #[inline]
+    pub fn num_branches(&self) -> usize {
+        1usize << self.frames.len()
+    }
+
+    /// Applies one gate: Clifford gates (including on-grid rotations)
+    /// advance the base tableau and conjugate every open frame; `T`/`T†`
+    /// and off-grid rotations open a new branch point.
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), CliffordTError> {
+        match *gate {
+            Gate::T(q) => self.push_branch(RotationAxis::Z, q, eighth_angle(1)),
+            Gate::Tdg(q) => self.push_branch(RotationAxis::Z, q, eighth_angle(7)),
+            Gate::Rx { qubit, theta } => self.apply_rotation(RotationAxis::X, qubit, theta),
+            Gate::Ry { qubit, theta } => self.apply_rotation(RotationAxis::Y, qubit, theta),
+            Gate::Rz { qubit, theta } => self.apply_rotation(RotationAxis::Z, qubit, theta),
+            ref clifford => {
+                self.base.apply_primitive(clifford);
+                conjugate_rows(&mut self.frames, clifford);
+                Ok(())
+            }
+        }
+    }
+
+    /// An on-grid rotation conjugates; an off-grid one branches.
+    fn apply_rotation(
+        &mut self,
+        axis: RotationAxis,
+        qubit: usize,
+        theta: f64,
+    ) -> Result<(), CliffordTError> {
+        match CliffordAngle::from_radians(theta) {
+            Some(angle) => {
+                self.base.apply_rotation(axis, qubit, angle);
+                conjugate_rows_rotation(&mut self.frames, axis, qubit, angle);
+                Ok(())
+            }
+            None => self.push_branch(axis, qubit, theta),
+        }
+    }
+
+    /// Opens a branch point for the rotation `R_P(θ) = cos(θ/2)·I −
+    /// i·sin(θ/2)·P`: the frame starts as the bare Pauli (its Clifford
+    /// suffix is still empty) and is conjugated by every later gate.
+    fn push_branch(
+        &mut self,
+        axis: RotationAxis,
+        qubit: usize,
+        theta: f64,
+    ) -> Result<(), CliffordTError> {
+        if self.frames.len() >= MAX_BRANCH_GATES {
+            return Err(CliffordTError::TooManyBranches { count: self.frames.len() + 1 });
+        }
+        let m = 1u64 << qubit;
+        let (x, z) = match axis {
+            RotationAxis::X => (m, 0),
+            RotationAxis::Y => (m, m),
+            RotationAxis::Z => (0, m),
+        };
+        self.frames.push(Row { x, z, sign: false });
+        let half = theta / 2.0;
+        self.half_weights.push((half.cos(), half.sin()));
+        Ok(())
+    }
+
+    /// Re-prepares the state as a compiled template bound to an
+    /// *eighth-turn* configuration, in place: even indices are Clifford
+    /// rotations, odd indices and [`TemplateOp::Branch`] markers open
+    /// branch points. Equivalent to
+    /// `BranchEnsemble::from_circuit(&template.to_circuit_eighth(config))`
+    /// without the per-candidate lowering or circuit allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliffordTError::TooManyBranches`] past the branch budget
+    /// (the state is left partially prepared; re-run before reuse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the template width differs from the ensemble width or if
+    /// `config` has the wrong length.
+    pub fn run_compiled(
+        &mut self,
+        template: &CompiledAnsatz,
+        config: &[usize],
+    ) -> Result<(), CliffordTError> {
+        self.run_compiled_prefix(template, config, template.ops().len())
+    }
+
+    /// Prepares the *prefix* state: `|0…0⟩`, then template ops `0..end`
+    /// only — the checkpoint half of the incremental polish kernel,
+    /// extended across the T-gate frontier (a prefix may already hold
+    /// open branch frames; the suffix conjugates them like any other
+    /// state).
+    ///
+    /// # Errors / Panics
+    ///
+    /// As for [`Self::run_compiled`], plus a panic if
+    /// `end > template.ops().len()`.
+    pub fn run_compiled_prefix(
+        &mut self,
+        template: &CompiledAnsatz,
+        config: &[usize],
+        end: usize,
+    ) -> Result<(), CliffordTError> {
+        self.base.reset_zero();
+        self.frames.clear();
+        self.half_weights.clear();
+        self.apply_range(template, config, 0, end)
+    }
+
+    /// Replays template ops `start..end` on the current state, with no
+    /// reset — the delta half of the incremental kernel. Prefix + suffix
+    /// is the same op sequence as a full [`Self::run_compiled`], so the
+    /// resulting ensemble is bit-identical (same base tableau, same
+    /// frames, same weights).
+    ///
+    /// # Errors / Panics
+    ///
+    /// As for [`Self::run_compiled`], plus a panic if `start..end` is not
+    /// a valid range into `template.ops()`.
+    pub fn apply_range(
+        &mut self,
+        template: &CompiledAnsatz,
+        config: &[usize],
+        start: usize,
+        end: usize,
+    ) -> Result<(), CliffordTError> {
+        assert_eq!(template.num_qubits(), self.num_qubits(), "template width mismatch");
+        assert_eq!(config.len(), template.num_parameters(), "config length mismatch");
+        for op in &template.ops()[start..end] {
+            match *op {
+                TemplateOp::Fixed(ref g) => {
+                    self.base.apply_primitive(g);
+                    conjugate_rows(&mut self.frames, g);
+                }
+                TemplateOp::Rotation { axis, qubit, param } => {
+                    let k = config[param] % 8;
+                    if k % 2 == 0 {
+                        let angle = CliffordAngle::from_index(k / 2);
+                        self.base.apply_rotation(axis, qubit, angle);
+                        conjugate_rows_rotation(&mut self.frames, axis, qubit, angle);
+                    } else {
+                        self.push_branch(axis, qubit, eighth_angle(k))?;
+                    }
+                }
+                TemplateOp::Branch { axis, qubit, eighths } => {
+                    self.push_branch(axis, qubit, eighth_angle(eighths))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies another ensemble's state into this one, reusing storage —
+    /// the checkpoint-restore of the incremental polish kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn copy_from(&mut self, src: &BranchEnsemble) {
+        self.base.copy_from(&src.base);
+        self.frames.clone_from(&src.frames);
+        self.half_weights.clone_from(&src.half_weights);
+    }
+
+    /// Precomputes the subset products `S_a` for every branch mask, via
+    /// the lowest-set-bit recursion `S_a = S_{a∖low} · R_low` (`R_low`
+    /// rightmost: lower-indexed branch points act first). `O(t·2^t)`
+    /// time, done once per prepared state and reused across all Pauli
+    /// terms.
+    pub fn frames(&self) -> BranchFrames {
+        let t = self.frames.len();
+        let size = 1usize << t;
+        let mut sx = vec![0u64; size];
+        let mut sz = vec![0u64; size];
+        let mut k = vec![0u8; size];
+        let mut w = vec![Complex64::ZERO; size];
+        for a in 1..size {
+            let low = a.trailing_zeros() as usize;
+            let rest = a & (a - 1);
+            let f = self.frames[low];
+            let e = i32::from(k[rest])
+                + phase_exponent(sx[rest], sz[rest], f.x, f.z)
+                + if f.sign { 2 } else { 0 };
+            sx[a] = sx[rest] ^ f.x;
+            sz[a] = sz[rest] ^ f.z;
+            k[a] = e.rem_euclid(4) as u8;
+        }
+        for (a, slot) in w.iter_mut().enumerate() {
+            let mut wa = Complex64::ONE;
+            for (j, &(cos_half, sin_half)) in self.half_weights.iter().enumerate() {
+                wa *= if (a >> j) & 1 == 1 {
+                    Complex64::new(0.0, -sin_half)
+                } else {
+                    Complex64::new(cos_half, 0.0)
+                };
+            }
+            *slot = wa;
+        }
+        BranchFrames { sx, sz, k, w }
+    }
+
+    /// The branch-pair sum `Σ_{a⊕b ∈ classes} conj(w_a)·w_b·⟨φ_a|P|φ_b⟩`
+    /// of one Pauli term over a contiguous range of XOR classes — the
+    /// shardable kernel behind [`Self::expectation`]. Each call is a pure
+    /// function of `(state, term, range)`, so partial sums over a *fixed*
+    /// chunking of `0..2^t`, folded in a fixed order, are reproducible at
+    /// any worker count (chunk boundaries, not worker count, decide the
+    /// f64 association).
+    ///
+    /// One base-tableau expectation decides each class: if
+    /// `⟨φ_0|P(px⊕sx_c, pz⊕sz_c)|φ_0⟩ = 0`, all `2^{t−1}` pairs of the
+    /// class vanish together.
+    pub fn pair_sum(&self, frames: &BranchFrames, px: u64, pz: u64, classes: Range<usize>) -> f64 {
+        let size = frames.w.len();
+        debug_assert!(classes.end <= size, "class range beyond 2^t");
+        let mut acc = 0.0;
+        for c in classes {
+            let eps = self.base.expectation_masks(px ^ frames.sx[c], pz ^ frames.sz[c]);
+            if eps == 0 {
+                continue;
+            }
+            let eps = f64::from(eps);
+            if c == 0 {
+                // Diagonal class: ⟨φ_a|P|φ_a⟩ = ±eps with the sign from
+                // conjugating P by the (Hermitian) subset product S_a.
+                let mut diag = 0.0;
+                for a in 0..size {
+                    let e1 = phase_exponent(frames.sx[a], frames.sz[a], px, pz);
+                    let e2 = phase_exponent(
+                        frames.sx[a] ^ px,
+                        frames.sz[a] ^ pz,
+                        frames.sx[a],
+                        frames.sz[a],
+                    );
+                    let kk = (e1 + e2).rem_euclid(4);
+                    debug_assert!(kk % 2 == 0, "diagonal cross term acquired an odd i power");
+                    let sign = if kk == 0 { 1.0 } else { -1.0 };
+                    diag += frames.w[a].norm_sqr() * sign;
+                }
+                acc += eps * diag;
+            } else {
+                // Each unordered pair {a, b = a⊕c} appears once: fix the
+                // top set bit of c clear in a (so b has it set, b > a) and
+                // fold both orientations via 2·Re(conj(w_a)·w_b·i^K).
+                let high = 1usize << (usize::BITS - 1 - c.leading_zeros());
+                let mut cls = 0.0;
+                for a in 0..size {
+                    if a & high != 0 {
+                        continue;
+                    }
+                    let b = a ^ c;
+                    let e1 = phase_exponent(frames.sx[a], frames.sz[a], px, pz);
+                    let e2 = phase_exponent(
+                        frames.sx[a] ^ px,
+                        frames.sz[a] ^ pz,
+                        frames.sx[b],
+                        frames.sz[b],
+                    );
+                    let kk = (i32::from(frames.k[b]) - i32::from(frames.k[a]) + e1 + e2)
+                        .rem_euclid(4) as usize;
+                    let z = frames.w[a].conj() * frames.w[b] * I_POW[kk];
+                    cls += 2.0 * z.re;
+                }
+                acc += eps * cls;
+            }
+        }
+        acc
+    }
+
+    /// Expectation value of a Pauli-sum operator, cross terms included:
+    /// `Σ_k c_k Σ_{a,b} conj(w_a)·w_b·⟨φ_a|P_k|φ_b⟩`. Matches
+    /// [`crate::CliffordTState::expectation`] wherever the dense backend
+    /// can run, and keeps working beyond its qubit cap.
+    pub fn expectation(&self, op: &PauliOp) -> f64 {
+        assert_eq!(op.num_qubits(), self.num_qubits(), "operator width mismatch");
+        let frames = self.frames();
+        let classes = frames.num_branches();
+        op.iter()
+            .map(|(p, c)| c.re * self.pair_sum(&frames, p.x_mask(), p.z_mask(), 0..classes))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CliffordTState;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    fn op(s: &str) -> PauliOp {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn single_t_gate_exact_values() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let e = BranchEnsemble::from_circuit(&c).unwrap();
+        assert_eq!(e.t_count(), 1);
+        assert_eq!(e.num_branches(), 2);
+        assert!((e.expectation(&op("X")) - FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((e.expectation(&op("Y")) - FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!(e.expectation(&op("Z")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clifford_only_matches_plain_tableau() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).s(1).ry(2, std::f64::consts::PI).cz(1, 2);
+        let e = BranchEnsemble::from_circuit(&c).unwrap();
+        assert_eq!(e.t_count(), 0);
+        let t = Tableau::from_circuit(&c).unwrap();
+        for h in ["ZZZ", "XXI", "0.3*YYX - 0.2*IZZ"] {
+            let h = op(h);
+            assert!((e.expectation(&h) - t.expectation(&h)).abs() < 1e-12, "{h}");
+        }
+    }
+
+    #[test]
+    fn multi_t_circuit_matches_dense_backend() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).cx(0, 1).ry(2, 1.1).t(1).cx(1, 2).rz(2, 0.4).push(Gate::Tdg(2)).h(1);
+        let e = BranchEnsemble::from_circuit(&c).unwrap();
+        let dense = CliffordTState::from_circuit(&c).unwrap();
+        assert_eq!(e.t_count(), 5);
+        for h in ["ZZZ", "XIY", "0.3*XXI + 0.2*IZZ - 0.1*YYY", "ZII + IZI + IIZ"] {
+            let h = op(h);
+            let a = dense.expectation(&h);
+            let b = e.expectation(&h);
+            assert!((a - b).abs() < 1e-10, "{h}: dense {a} vs ensemble {b}");
+        }
+    }
+
+    #[test]
+    fn works_beyond_the_dense_qubit_cap() {
+        // 30 qubits: CliffordTState refuses, the ensemble answers exactly.
+        let n = 30;
+        let single = |q: usize, p: cafqa_pauli::Pauli| {
+            PauliOp::from_terms(n, [(Complex64::ONE, cafqa_pauli::PauliString::single(n, q, p))])
+        };
+        // A lone T on a wide register first: ⟨X_0⟩ = cos(π/4) exercises
+        // the |w_a|² magnitudes at full width.
+        let mut lone = Circuit::new(n);
+        lone.h(0).t(0);
+        assert!(matches!(
+            CliffordTState::from_circuit(&lone),
+            Err(CliffordTError::TooManyQubits { .. })
+        ));
+        let e = BranchEnsemble::from_circuit(&lone).unwrap();
+        assert!((e.expectation(&single(0, cafqa_pauli::Pauli::X)) - FRAC_1_SQRT_2).abs() < 1e-12);
+        // Then a GHZ-like chain with T at both ends:
+        // |ψ⟩ = (|0…0⟩ + i·|1…1⟩)/√2 up to global phase.
+        let mut c = Circuit::new(n);
+        c.h(0).t(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        c.t(n - 1);
+        let e = BranchEnsemble::from_circuit(&c).unwrap();
+        assert_eq!(e.t_count(), 2);
+        // Single-qubit coherences vanish; all-Z parity is +1 on both
+        // basis components (0 and 30 ones are both even).
+        assert!(e.expectation(&single(0, cafqa_pauli::Pauli::Z)).abs() < 1e-12);
+        let all = (1u64 << n) - 1;
+        let all_z = PauliOp::from_terms(
+            n,
+            [(Complex64::ONE, cafqa_pauli::PauliString::from_masks(n, 0, all))],
+        );
+        assert!((e.expectation(&all_z) - 1.0).abs() < 1e-12);
+        // All-X flips between the components: ⟨X…X⟩ = Re(i) = 0, while
+        // Y_0·X_1…X_29 rotates the relative phase onto the real axis:
+        // ⟨Y_0 X…X⟩ = 2·Re(−i·conj(α)·β) = 1 for β = i·α.
+        let all_x = PauliOp::from_terms(
+            n,
+            [(Complex64::ONE, cafqa_pauli::PauliString::from_masks(n, all, 0))],
+        );
+        assert!(e.expectation(&all_x).abs() < 1e-12);
+        let y0_xrest = PauliOp::from_terms(
+            n,
+            [(Complex64::ONE, cafqa_pauli::PauliString::from_masks(n, all, 1))],
+        );
+        assert!((e.expectation(&y0_xrest) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_budget_enforced() {
+        let mut c = Circuit::new(1);
+        for _ in 0..(MAX_BRANCH_GATES + 1) {
+            c.t(0);
+        }
+        assert!(matches!(
+            BranchEnsemble::from_circuit(&c),
+            Err(CliffordTError::TooManyBranches { .. })
+        ));
+    }
+
+    #[test]
+    fn run_compiled_matches_from_circuit() {
+        use cafqa_circuit::{Ansatz, EfficientSu2};
+        let ansatz = EfficientSu2::new(3, 1);
+        let template = CompiledAnsatz::compile_clifford_t(&ansatz).unwrap();
+        let mut scratch = BranchEnsemble::zero_state(3);
+        for config in [
+            vec![0usize; 12],
+            vec![6; 12],
+            vec![1, 2, 3, 0, 4, 5, 6, 7, 0, 2, 4, 6],
+            vec![0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 7, 0],
+        ] {
+            scratch.run_compiled(&template, &config).unwrap();
+            let reference = BranchEnsemble::from_circuit(&ansatz.bind_eighth(&config)).unwrap();
+            assert_eq!(scratch, reference, "{config:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_plus_suffix_equals_full_run() {
+        use cafqa_circuit::EfficientSu2;
+        let ansatz = EfficientSu2::new(3, 1);
+        let template = CompiledAnsatz::compile_clifford_t(&ansatz).unwrap();
+        // Branches on both sides of the entangling ladder exercise frame
+        // conjugation across the split.
+        let config = vec![1usize, 2, 3, 0, 4, 5, 6, 7, 0, 3, 5, 6];
+        let mut full = BranchEnsemble::zero_state(3);
+        full.run_compiled(&template, &config).unwrap();
+        for split in 0..=template.ops().len() {
+            let mut pieced = BranchEnsemble::zero_state(3);
+            pieced.run_compiled_prefix(&template, &config, split).unwrap();
+            pieced.apply_range(&template, &config, split, template.ops().len()).unwrap();
+            assert_eq!(pieced, full, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn copy_from_restores_a_checkpoint() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).cx(0, 1);
+        let checkpoint = BranchEnsemble::from_circuit(&c).unwrap();
+        let mut scratch = BranchEnsemble::zero_state(2);
+        scratch.copy_from(&checkpoint);
+        assert_eq!(scratch, checkpoint);
+        scratch.apply_gate(&Gate::H(1)).unwrap();
+        assert_ne!(scratch, checkpoint);
+        scratch.copy_from(&checkpoint);
+        assert_eq!(scratch, checkpoint);
+    }
+
+    #[test]
+    fn sharded_pair_sum_folds_to_the_full_range() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).cx(0, 1).t(1).h(1).t(0);
+        let e = BranchEnsemble::from_circuit(&c).unwrap();
+        let frames = e.frames();
+        let n = frames.num_branches();
+        let p = op("XY + 0.5*ZZ");
+        for (s, _) in p.iter() {
+            let full = e.pair_sum(&frames, s.x_mask(), s.z_mask(), 0..n);
+            // Repeating the same chunking is bit-reproducible; different
+            // chunkings agree to rounding (f64 association differs).
+            for chunk in [1usize, 3, 4] {
+                let fold = |_: ()| {
+                    let mut acc = 0.0;
+                    let mut lo = 0;
+                    while lo < n {
+                        let hi = (lo + chunk).min(n);
+                        acc += e.pair_sum(&frames, s.x_mask(), s.z_mask(), lo..hi);
+                        lo = hi;
+                    }
+                    acc
+                };
+                let once = fold(());
+                assert_eq!(once, fold(()), "chunk {chunk} not reproducible for {s}");
+                assert!((once - full).abs() < 1e-12, "chunk {chunk} for {s}: {once} vs {full}");
+            }
+        }
+    }
+}

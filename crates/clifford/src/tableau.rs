@@ -27,11 +27,177 @@ impl fmt::Display for NonCliffordError {
 impl std::error::Error for NonCliffordError {}
 
 /// One row of the tableau: a signed Pauli `(-1)^sign · P(x, z)`.
+///
+/// `pub(crate)` because the Clifford+T branch ensemble reuses the same
+/// representation for its suffix-conjugated branch Paulis (frames) and
+/// the same per-gate update rules (see [`conjugate_rows`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Row {
-    x: u64,
-    z: u64,
-    sign: bool,
+pub(crate) struct Row {
+    pub(crate) x: u64,
+    pub(crate) z: u64,
+    pub(crate) sign: bool,
+}
+
+/// Conjugates every signed Pauli row by a primitive Clifford gate:
+/// `row ↦ G · row · G†`, with exact sign tracking.
+///
+/// This is the single source of truth for the per-gate bit rules: both
+/// the tableau generators ([`Tableau::apply_primitive`]) and the branch
+/// ensemble's frame Paulis evolve through it, so the two can never drift.
+///
+/// # Panics
+///
+/// Panics on parameterized or T gates.
+pub(crate) fn conjugate_rows(rows: &mut [Row], gate: &Gate) {
+    match *gate {
+        Gate::H(q) => {
+            let m = 1u64 << q;
+            for r in rows {
+                r.sign ^= (r.x & r.z & m) != 0;
+                let xq = r.x & m;
+                let zq = r.z & m;
+                r.x = (r.x & !m) | zq;
+                r.z = (r.z & !m) | xq;
+            }
+        }
+        Gate::S(q) => {
+            let m = 1u64 << q;
+            for r in rows {
+                r.sign ^= (r.x & r.z & m) != 0;
+                r.z ^= r.x & m;
+            }
+        }
+        Gate::Sdg(q) => {
+            let m = 1u64 << q;
+            for r in rows {
+                r.sign ^= (r.x & !r.z & m) != 0;
+                r.z ^= r.x & m;
+            }
+        }
+        Gate::X(q) => {
+            let m = 1u64 << q;
+            for r in rows {
+                r.sign ^= (r.z & m) != 0;
+            }
+        }
+        Gate::Y(q) => {
+            let m = 1u64 << q;
+            for r in rows {
+                r.sign ^= ((r.x ^ r.z) & m) != 0;
+            }
+        }
+        Gate::Z(q) => {
+            let m = 1u64 << q;
+            for r in rows {
+                r.sign ^= (r.x & m) != 0;
+            }
+        }
+        Gate::Cx { control, target } => {
+            let cm = 1u64 << control;
+            let tm = 1u64 << target;
+            for r in rows {
+                let xc = (r.x & cm) != 0;
+                let zc = (r.z & cm) != 0;
+                let xt = (r.x & tm) != 0;
+                let zt = (r.z & tm) != 0;
+                r.sign ^= xc && zt && (xt == zc);
+                if xc {
+                    r.x ^= tm;
+                }
+                if zt {
+                    r.z ^= cm;
+                }
+            }
+        }
+        Gate::Cz(a, b) => {
+            // CZ = H(b) · CX(a, b) · H(b).
+            conjugate_rows(rows, &Gate::H(b));
+            conjugate_rows(rows, &Gate::Cx { control: a, target: b });
+            conjugate_rows(rows, &Gate::H(b));
+        }
+        ref other => panic!("conjugate_rows got non-primitive gate {other:?}"),
+    }
+}
+
+/// Conjugates every signed Pauli row by a Clifford-angle rotation, fused
+/// into a single pass (the rotation counterpart of [`conjugate_rows`];
+/// see [`Tableau::apply_rotation`] for the derivation).
+pub(crate) fn conjugate_rows_rotation(
+    rows: &mut [Row],
+    axis: RotationAxis,
+    qubit: usize,
+    angle: CliffordAngle,
+) {
+    let m = 1u64 << qubit;
+    match (axis, angle) {
+        (_, CliffordAngle::Zero) => {}
+        // Rz(π/2) ~ S: X→Y, Y→−X.
+        (RotationAxis::Z, CliffordAngle::Quarter) => {
+            for r in rows {
+                r.sign ^= (r.x & r.z & m) != 0;
+                r.z ^= r.x & m;
+            }
+        }
+        // Rz(π) ~ Z: X→−X, Y→−Y.
+        (RotationAxis::Z, CliffordAngle::Half) => {
+            for r in rows {
+                r.sign ^= (r.x & m) != 0;
+            }
+        }
+        // Rz(3π/2) ~ S†: X→−Y, Y→X.
+        (RotationAxis::Z, CliffordAngle::ThreeQuarter) => {
+            for r in rows {
+                r.sign ^= (r.x & !r.z & m) != 0;
+                r.z ^= r.x & m;
+            }
+        }
+        // Ry(π/2) ~ Z·H: X→−Z, Z→X.
+        (RotationAxis::Y, CliffordAngle::Quarter) => {
+            for r in rows {
+                r.sign ^= (r.x & !r.z & m) != 0;
+                let xq = r.x & m;
+                let zq = r.z & m;
+                r.x = (r.x & !m) | zq;
+                r.z = (r.z & !m) | xq;
+            }
+        }
+        // Ry(π) ~ Y: X→−X, Z→−Z.
+        (RotationAxis::Y, CliffordAngle::Half) => {
+            for r in rows {
+                r.sign ^= ((r.x ^ r.z) & m) != 0;
+            }
+        }
+        // Ry(3π/2) ~ X·H: X→Z, Z→−X.
+        (RotationAxis::Y, CliffordAngle::ThreeQuarter) => {
+            for r in rows {
+                r.sign ^= (!r.x & r.z & m) != 0;
+                let xq = r.x & m;
+                let zq = r.z & m;
+                r.x = (r.x & !m) | zq;
+                r.z = (r.z & !m) | xq;
+            }
+        }
+        // Rx(π/2) ~ H·S·H: Z→−Y, Y→Z.
+        (RotationAxis::X, CliffordAngle::Quarter) => {
+            for r in rows {
+                r.sign ^= (!r.x & r.z & m) != 0;
+                r.x ^= r.z & m;
+            }
+        }
+        // Rx(π) ~ X: Z→−Z, Y→−Y.
+        (RotationAxis::X, CliffordAngle::Half) => {
+            for r in rows {
+                r.sign ^= (r.z & m) != 0;
+            }
+        }
+        // Rx(3π/2) ~ H·S†·H: Z→Y, Y→−Z.
+        (RotationAxis::X, CliffordAngle::ThreeQuarter) => {
+            for r in rows {
+                r.sign ^= (r.x & r.z & m) != 0;
+                r.x ^= r.z & m;
+            }
+        }
+    }
 }
 
 /// A stabilizer state on `n ≤ 64` qubits, tracked as `n` stabilizer and
@@ -107,74 +273,7 @@ impl Tableau {
     ///
     /// Panics on parameterized or T gates.
     pub fn apply_primitive(&mut self, gate: &Gate) {
-        match *gate {
-            Gate::H(q) => {
-                let m = 1u64 << q;
-                for r in &mut self.rows {
-                    r.sign ^= (r.x & r.z & m) != 0;
-                    let xq = r.x & m;
-                    let zq = r.z & m;
-                    r.x = (r.x & !m) | zq;
-                    r.z = (r.z & !m) | xq;
-                }
-            }
-            Gate::S(q) => {
-                let m = 1u64 << q;
-                for r in &mut self.rows {
-                    r.sign ^= (r.x & r.z & m) != 0;
-                    r.z ^= r.x & m;
-                }
-            }
-            Gate::Sdg(q) => {
-                let m = 1u64 << q;
-                for r in &mut self.rows {
-                    r.sign ^= (r.x & !r.z & m) != 0;
-                    r.z ^= r.x & m;
-                }
-            }
-            Gate::X(q) => {
-                let m = 1u64 << q;
-                for r in &mut self.rows {
-                    r.sign ^= (r.z & m) != 0;
-                }
-            }
-            Gate::Y(q) => {
-                let m = 1u64 << q;
-                for r in &mut self.rows {
-                    r.sign ^= ((r.x ^ r.z) & m) != 0;
-                }
-            }
-            Gate::Z(q) => {
-                let m = 1u64 << q;
-                for r in &mut self.rows {
-                    r.sign ^= (r.x & m) != 0;
-                }
-            }
-            Gate::Cx { control, target } => {
-                let cm = 1u64 << control;
-                let tm = 1u64 << target;
-                for r in &mut self.rows {
-                    let xc = (r.x & cm) != 0;
-                    let zc = (r.z & cm) != 0;
-                    let xt = (r.x & tm) != 0;
-                    let zt = (r.z & tm) != 0;
-                    r.sign ^= xc && zt && (xt == zc);
-                    if xc {
-                        r.x ^= tm;
-                    }
-                    if zt {
-                        r.z ^= cm;
-                    }
-                }
-            }
-            Gate::Cz(a, b) => {
-                // CZ = H(b) · CX(a, b) · H(b).
-                self.apply_primitive(&Gate::H(b));
-                self.apply_primitive(&Gate::Cx { control: a, target: b });
-                self.apply_primitive(&Gate::H(b));
-            }
-            ref other => panic!("apply_primitive got non-primitive gate {other:?}"),
-        }
+        conjugate_rows(&mut self.rows, gate);
     }
 
     /// The stabilizer generators as signed Pauli strings
@@ -216,76 +315,7 @@ impl Tableau {
     /// the three non-identity Paulis, so one pass with the right masks
     /// suffices.
     pub fn apply_rotation(&mut self, axis: RotationAxis, qubit: usize, angle: CliffordAngle) {
-        let m = 1u64 << qubit;
-        match (axis, angle) {
-            (_, CliffordAngle::Zero) => {}
-            // Rz(π/2) ~ S: X→Y, Y→−X.
-            (RotationAxis::Z, CliffordAngle::Quarter) => {
-                for r in &mut self.rows {
-                    r.sign ^= (r.x & r.z & m) != 0;
-                    r.z ^= r.x & m;
-                }
-            }
-            // Rz(π) ~ Z: X→−X, Y→−Y.
-            (RotationAxis::Z, CliffordAngle::Half) => {
-                for r in &mut self.rows {
-                    r.sign ^= (r.x & m) != 0;
-                }
-            }
-            // Rz(3π/2) ~ S†: X→−Y, Y→X.
-            (RotationAxis::Z, CliffordAngle::ThreeQuarter) => {
-                for r in &mut self.rows {
-                    r.sign ^= (r.x & !r.z & m) != 0;
-                    r.z ^= r.x & m;
-                }
-            }
-            // Ry(π/2) ~ Z·H: X→−Z, Z→X.
-            (RotationAxis::Y, CliffordAngle::Quarter) => {
-                for r in &mut self.rows {
-                    r.sign ^= (r.x & !r.z & m) != 0;
-                    let xq = r.x & m;
-                    let zq = r.z & m;
-                    r.x = (r.x & !m) | zq;
-                    r.z = (r.z & !m) | xq;
-                }
-            }
-            // Ry(π) ~ Y: X→−X, Z→−Z.
-            (RotationAxis::Y, CliffordAngle::Half) => {
-                for r in &mut self.rows {
-                    r.sign ^= ((r.x ^ r.z) & m) != 0;
-                }
-            }
-            // Ry(3π/2) ~ X·H: X→Z, Z→−X.
-            (RotationAxis::Y, CliffordAngle::ThreeQuarter) => {
-                for r in &mut self.rows {
-                    r.sign ^= (!r.x & r.z & m) != 0;
-                    let xq = r.x & m;
-                    let zq = r.z & m;
-                    r.x = (r.x & !m) | zq;
-                    r.z = (r.z & !m) | xq;
-                }
-            }
-            // Rx(π/2) ~ H·S·H: Z→−Y, Y→Z.
-            (RotationAxis::X, CliffordAngle::Quarter) => {
-                for r in &mut self.rows {
-                    r.sign ^= (!r.x & r.z & m) != 0;
-                    r.x ^= r.z & m;
-                }
-            }
-            // Rx(π) ~ X: Z→−Z, Y→−Y.
-            (RotationAxis::X, CliffordAngle::Half) => {
-                for r in &mut self.rows {
-                    r.sign ^= (r.z & m) != 0;
-                }
-            }
-            // Rx(3π/2) ~ H·S†·H: Z→Y, Y→−Z.
-            (RotationAxis::X, CliffordAngle::ThreeQuarter) => {
-                for r in &mut self.rows {
-                    r.sign ^= (r.x & r.z & m) != 0;
-                    r.x ^= r.z & m;
-                }
-            }
-        }
+        conjugate_rows_rotation(&mut self.rows, axis, qubit, angle);
     }
 
     /// Re-prepares the state as a compiled ansatz bound to `config`,
@@ -376,6 +406,10 @@ impl Tableau {
                 TemplateOp::Rotation { axis, qubit, param } => {
                     self.apply_rotation(axis, qubit, CliffordAngle::from_index(config[param]));
                 }
+                TemplateOp::Branch { .. } => panic!(
+                    "Clifford tableau cannot execute a branch op; \
+                     use BranchEnsemble for Clifford+T templates"
+                ),
             }
         }
     }

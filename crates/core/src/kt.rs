@@ -5,14 +5,73 @@
 //! costs one branch doubling in the stabilizer-rank engine. A budget of
 //! at most `k_max` odd indices keeps the configuration classically
 //! simulable (`2^k` Clifford branches).
+//!
+//! This module runs that search on the compiled/engine stack: candidates
+//! evaluate on [`BranchEnsemble`] (tableau-backed, so the search works at
+//! H2O/Cr2 qubit counts where dense branch summation cannot run), batches
+//! shard over an [`ExecEngine`], and the Bayesian layer samples a
+//! *feasible-by-construction* genome instead of rejecting over-budget
+//! configurations with a penalty constant — see
+//! [`run_cafqa_kt_on`](run_cafqa_kt_on#feasibility-and-determinism).
 
-use cafqa_bayesopt::{minimize, BoOptions, SearchSpace};
-use cafqa_circuit::Ansatz;
-use cafqa_clifford::CliffordTState;
+use std::sync::Arc;
+
+use cafqa_bayesopt::{minimize_with, BoOptions, ForestOptions, SearchSpace};
+use cafqa_circuit::{Ansatz, CompiledAnsatz};
+use cafqa_clifford::{BranchEnsemble, MAX_BRANCH_GATES};
 use cafqa_pauli::PauliOp;
 
-use crate::objective::Penalty;
-use crate::runner::CafqaOptions;
+use crate::engine::ExecEngine;
+use crate::objective::{ObjectiveValue, Penalty};
+use crate::runner::{chain_accept, run_cafqa_on, CafqaOptions, SearchPoint};
+
+/// Why a CAFQA+kT search could not start.
+///
+/// These are *input* errors: once a search is running, every sampled
+/// configuration is feasible by construction and the search itself
+/// cannot fail (the old implementation instead panicked after the fact
+/// when the incumbent turned out to be over budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KtError {
+    /// `k_max` exceeds the stabilizer-rank engine's branch budget
+    /// ([`MAX_BRANCH_GATES`]); such a search could sample configurations
+    /// no backend can evaluate.
+    BudgetTooLarge {
+        /// The requested T budget.
+        k_max: usize,
+        /// The largest supported budget.
+        max: usize,
+    },
+    /// A seed configuration uses more non-Clifford rotations than
+    /// `k_max` allows. Widen the budget, or re-seed with
+    /// [`widen_clifford_config`] variants that respect it.
+    SeedInfeasible {
+        /// Index of the offending seed in the `seeds` slice.
+        seed: usize,
+        /// Its non-Clifford rotation count.
+        t_count: usize,
+        /// The budget it violates.
+        k_max: usize,
+    },
+}
+
+impl std::fmt::Display for KtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            KtError::BudgetTooLarge { k_max, max } => {
+                write!(f, "T budget k_max = {k_max} exceeds the branch-engine limit of {max}")
+            }
+            KtError::SeedInfeasible { seed, t_count, k_max } => {
+                write!(
+                    f,
+                    "seed {seed} uses {t_count} non-Clifford rotations, over the budget k_max = {k_max}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for KtError {}
 
 /// The outcome of a CAFQA+kT search.
 #[derive(Debug, Clone)]
@@ -21,11 +80,27 @@ pub struct CafqaKtResult {
     pub best_config: Vec<usize>,
     /// Raw `⟨H⟩` of the best configuration.
     pub energy: f64,
+    /// Penalized objective value of the best configuration.
+    pub penalized: f64,
     /// Number of non-Clifford rotations in the best configuration
     /// (`≤ k_max`).
     pub t_count: usize,
-    /// Evaluations performed (infeasible configurations included).
-    pub evaluations: usize,
+    /// Full search trace (BO phase then polish), penalized-objective
+    /// bookkeeping as in [`crate::CafqaResult::trace`].
+    pub trace: Vec<SearchPoint>,
+    /// 1-based evaluation index that first reached the final best.
+    pub iterations_to_best: usize,
+    /// Evaluations that actually ran a branch simulation. With the
+    /// feasibility-aware sampler this is *every* evaluation.
+    pub feasible_evaluations: usize,
+    /// Proposals discarded for exceeding the T budget before any
+    /// simulation ran. Always 0 here — the genome encoding cannot
+    /// express an over-budget configuration — but the frozen rejection
+    ///-based reference implementation reports nonzero counts, and the
+    /// split keeps the two comparable.
+    pub rejected_evaluations: usize,
+    /// Evaluations spent in the polish endgame (the tail of `trace`).
+    pub polish_evaluations: usize,
 }
 
 /// Number of odd (non-Clifford) indices in an 8-ary configuration.
@@ -38,75 +113,606 @@ pub fn widen_clifford_config(config: &[usize]) -> Vec<usize> {
     config.iter().map(|&k| 2 * k).collect()
 }
 
-/// Runs the CAFQA+kT search with at most `k_max` T-like rotations.
+/// The feasible genome space for `d` parameters and budget `k_max`:
+/// `d` quaternary Clifford dimensions followed by `k_max` *insertion*
+/// dimensions of cardinality `2d + 1` (0 = no insertion; `v ≥ 1` turns
+/// parameter `(v−1)/2` by `+π/4` or `−π/4`).
+fn kt_search_space(d: usize, k_max: usize) -> SearchSpace {
+    let mut cardinalities = vec![4usize; d];
+    cardinalities.resize(d + k_max, 2 * d + 1);
+    SearchSpace { cardinalities }
+}
+
+/// Decodes a genome into an 8-ary configuration. Insertions apply
+/// sequentially, so two insertions on one parameter cancel back to a
+/// Clifford angle — the odd-index count never exceeds the number of
+/// insertion dimensions, which is why every genome is feasible.
+fn decode_genome(genome: &[usize], d: usize) -> Vec<usize> {
+    let mut config: Vec<usize> = genome[..d].iter().map(|&k| 2 * k).collect();
+    for &v in &genome[d..] {
+        if v == 0 {
+            continue;
+        }
+        let param = (v - 1) / 2;
+        let delta = if (v - 1) % 2 == 0 { 1 } else { 7 };
+        config[param] = (config[param] + delta) % 8;
+    }
+    config
+}
+
+/// Encodes an 8-ary configuration as a genome (Clifford floor plus one
+/// `+π/4` insertion per odd index), or reports its T count when that
+/// count exceeds the budget.
+fn encode_seed(config: &[usize], d: usize, k_max: usize) -> Result<Vec<usize>, usize> {
+    assert_eq!(config.len(), d, "seed dimensionality mismatch");
+    let mut genome = Vec::with_capacity(d + k_max);
+    let mut insertions = Vec::new();
+    for (param, &k) in config.iter().enumerate() {
+        let k = k % 8;
+        genome.push(k / 2);
+        if k % 2 == 1 {
+            insertions.push(2 * param + 1);
+        }
+    }
+    if insertions.len() > k_max {
+        return Err(insertions.len());
+    }
+    insertions.resize(k_max, 0);
+    genome.extend(insertions);
+    Ok(genome)
+}
+
+/// `(x mask, z mask, real coefficient)` of one Pauli term — the flat
+/// form the branch-pair kernel consumes.
+type MaskTerm = (u64, u64, f64);
+
+/// `(weight, squared-op terms)` of one penalty, in mask form.
+type MaskPenalty = (f64, Vec<MaskTerm>);
+
+/// Flattens an operator into mask terms.
+fn masks_of(op: &PauliOp) -> Vec<MaskTerm> {
+    op.iter().map(|(p, c)| (p.x_mask(), p.z_mask(), c.re)).collect()
+}
+
+/// Evaluates one prepared branch ensemble against the Hamiltonian terms
+/// and penalties. Terms sum in storage order and classes in one fixed
+/// full-range [`BranchEnsemble::pair_sum`] per term, so the value is a
+/// pure function of `(state, terms)` — the worker-count bit-identity of
+/// the whole search reduces to this.
+fn value_of(
+    terms: &[MaskTerm],
+    penalties: &[MaskPenalty],
+    state: &BranchEnsemble,
+) -> ObjectiveValue {
+    let frames = state.frames();
+    let classes = frames.num_branches();
+    let mut energy = 0.0;
+    for &(px, pz, c) in terms {
+        energy += c * state.pair_sum(&frames, px, pz, 0..classes);
+    }
+    let mut penalized = energy;
+    for (weight, ops) in penalties {
+        let mut v = 0.0;
+        for &(px, pz, c) in ops {
+            v += c * state.pair_sum(&frames, px, pz, 0..classes);
+        }
+        penalized += weight * v;
+    }
+    ObjectiveValue { energy, penalized }
+}
+
+/// The shared, engine-shippable core of a kT search: the Clifford+T
+/// compiled template plus the Hamiltonian and penalty terms in mask
+/// form. Mirrors the Clifford search's `EvalCore` — cheap to clone into
+/// worker tasks behind an [`Arc`], with all per-candidate mutable state
+/// in a scratch [`BranchEnsemble`].
+pub(crate) struct KtCore {
+    num_qubits: usize,
+    template: CompiledAnsatz,
+    terms: Vec<MaskTerm>,
+    penalties: Vec<MaskPenalty>,
+}
+
+/// An incremental evaluator for 8-ary configurations sharing a common
+/// prefix — the kT counterpart of the Clifford search's `PolishSession`,
+/// with the checkpoint state a [`BranchEnsemble`] so the prefix cache
+/// works *across the T-gate frontier* (a checkpoint may hold open branch
+/// frames; suffix replay conjugates them like any other state).
 ///
-/// Seeds should be 8-ary (use [`widen_clifford_config`] on a Clifford-only
+/// Variant batches shard over the session's engine; each variant's value
+/// is a pure function of the variant alone, and shard results reassemble
+/// in submission order, so traces are bit-identical at any worker count.
+pub struct KtPolishSession {
+    core: Arc<KtCore>,
+    engine: ExecEngine,
+    /// State after template ops `0..prefix_end` under `prefix_config`.
+    prefix: Arc<BranchEnsemble>,
+    prefix_config: Vec<usize>,
+    prefix_end: usize,
+}
+
+impl KtPolishSession {
+    pub(crate) fn new(core: Arc<KtCore>, engine: ExecEngine) -> Self {
+        let d = core.template.num_parameters();
+        let prefix = Arc::new(BranchEnsemble::zero_state(core.num_qubits));
+        KtPolishSession { core, engine, prefix, prefix_config: vec![0; d], prefix_end: 0 }
+    }
+
+    /// Evaluates arbitrary full configurations (no shared prefix): the
+    /// engine-batched candidate path of the BO phase.
+    pub fn evaluate_batch(&mut self, configs: &[Vec<usize>]) -> Vec<ObjectiveValue> {
+        if self.prefix_end != 0 {
+            let config = self.prefix_config.clone();
+            Arc::make_mut(&mut self.prefix)
+                .run_compiled_prefix(&self.core.template, &config, 0)
+                .expect("an empty prefix opens no branches");
+            self.prefix_end = 0;
+        }
+        self.evaluate_from_prefix(configs)
+    }
+
+    /// Evaluates variants of `base` that differ only at the parameters
+    /// in `changed`: the prefix up to the first op reading a changed
+    /// parameter is checkpointed once and only the suffix replays per
+    /// variant.
+    pub fn evaluate_variants(
+        &mut self,
+        base: &[usize],
+        changed: &[usize],
+        variants: &[Vec<usize>],
+    ) -> Vec<ObjectiveValue> {
+        let target_end =
+            changed.iter().map(|&p| self.core.template.first_op_of(p)).min().unwrap_or(0);
+        self.seek(base, target_end);
+        self.evaluate_from_prefix(variants)
+    }
+
+    /// Advances (or rebuilds) the prefix checkpoint to cover template
+    /// ops `0..target_end` under `base`. The existing checkpoint is
+    /// reused when every parameter it already consumed agrees with
+    /// `base` — so ascending coordinate sweeps extend it incrementally
+    /// instead of re-preparing from `|0…0⟩`.
+    fn seek(&mut self, base: &[usize], target_end: usize) {
+        let template = &self.core.template;
+        let reusable = target_end >= self.prefix_end
+            && base
+                .iter()
+                .zip(&self.prefix_config)
+                .enumerate()
+                .all(|(p, (a, b))| template.first_op_of(p) >= self.prefix_end || a == b);
+        if !reusable {
+            Arc::make_mut(&mut self.prefix)
+                .run_compiled_prefix(template, base, 0)
+                .expect("an empty prefix opens no branches");
+            self.prefix_end = 0;
+        }
+        if target_end > self.prefix_end {
+            Arc::make_mut(&mut self.prefix)
+                .apply_range(template, base, self.prefix_end, target_end)
+                .expect("a prefix of a feasible configuration stays within the branch budget");
+            self.prefix_end = target_end;
+        }
+        self.prefix_config.clear();
+        self.prefix_config.extend_from_slice(base);
+    }
+
+    /// Checkpoint + suffix replay for every variant, sharded over the
+    /// engine in candidate chunks (chunking cannot change any value:
+    /// each variant is evaluated wholly by one task).
+    fn evaluate_from_prefix(&self, variants: &[Vec<usize>]) -> Vec<ObjectiveValue> {
+        let end = self.prefix_end;
+        let ops_len = self.core.template.ops().len();
+        if variants.len() > 1 && self.engine.is_pooled() {
+            let chunk = variants.len().div_ceil(self.engine.workers() * 2).max(1);
+            let tasks: Vec<_> = variants
+                .chunks(chunk)
+                .map(|chunk| {
+                    let core = Arc::clone(&self.core);
+                    let prefix = Arc::clone(&self.prefix);
+                    let chunk = chunk.to_vec();
+                    move || {
+                        let mut scratch = (*prefix).clone();
+                        chunk
+                            .iter()
+                            .map(|config| {
+                                scratch.copy_from(&prefix);
+                                scratch
+                                    .apply_range(&core.template, config, end, ops_len)
+                                    .expect("feasible suffix stays within the branch budget");
+                                value_of(&core.terms, &core.penalties, &scratch)
+                            })
+                            .collect::<Vec<_>>()
+                    }
+                })
+                .collect();
+            self.engine.map(tasks).into_iter().flatten().collect()
+        } else {
+            let mut scratch = (*self.prefix).clone();
+            variants
+                .iter()
+                .map(|config| {
+                    scratch.copy_from(&self.prefix);
+                    scratch
+                        .apply_range(&self.core.template, config, end, ops_len)
+                        .expect("feasible suffix stays within the branch budget");
+                    value_of(&self.core.terms, &self.core.penalties, &scratch)
+                })
+                .collect()
+        }
+    }
+}
+
+/// The polish endgame's accumulated outcome.
+struct KtPolish {
+    best_config: Vec<usize>,
+    best_value: ObjectiveValue,
+    trace: Vec<(f64, f64)>,
+    last_accept: Option<usize>,
+}
+
+/// The batch evaluator the polish driver calls:
+/// `(base config, changed params, variants) → values`.
+type KtBatchEval<'a> = dyn FnMut(&[usize], &[usize], &[Vec<usize>]) -> Vec<ObjectiveValue> + 'a;
+
+/// 8-ary greedy polish: coordinate sweeps over the eighth-turn grid
+/// (budget-filtered: a move may open a branch only while `t < k_max`)
+/// followed by T-*migration* pair moves that relocate one non-Clifford
+/// rotation to a different parameter at constant T count — the joint
+/// move a single-coordinate sweep cannot make without first leaving the
+/// budget or crossing an energy barrier. Acceptance replays the serial
+/// greedy chain via [`chain_accept`], so the trace is independent of how
+/// the variant batches were computed.
+fn polish_kt(
+    eval: &mut KtBatchEval<'_>,
+    start: Vec<usize>,
+    start_value: ObjectiveValue,
+    k_max: usize,
+    sweeps: usize,
+) -> KtPolish {
+    let d = start.len();
+    let mut best_config = start;
+    let mut best_value = start_value;
+    let mut trace: Vec<(f64, f64)> = Vec::new();
+    let mut last_accept: Option<usize> = None;
+    for _sweep in 0..sweeps {
+        let mut improved = false;
+        // Coordinate phase: every alternative eighth-turn per parameter
+        // that keeps the configuration under budget, one batch per
+        // coordinate.
+        for i in 0..d {
+            let current = best_config[i];
+            let t = t_count_of(&best_config);
+            let variants: Vec<Vec<usize>> = (0..8)
+                .filter(|&v| v != current && t - current % 2 + v % 2 <= k_max)
+                .map(|v| {
+                    let mut config = best_config.clone();
+                    config[i] = v;
+                    config
+                })
+                .collect();
+            if variants.is_empty() {
+                continue;
+            }
+            let values = eval(&best_config, &[i], &variants);
+            let base_len = trace.len();
+            trace.extend(values.iter().map(|v| (v.energy, v.penalized)));
+            if let Some(idx) = chain_accept(&values, best_value.penalized, 1e-12) {
+                best_config.clone_from(&variants[idx]);
+                best_value = values[idx];
+                last_accept = Some(base_len + idx + 1);
+                improved = true;
+            }
+        }
+        // Migration phase: move each T to every Clifford parameter, both
+        // removal directions × both insertion directions per target.
+        if k_max > 0 {
+            let odd_params: Vec<usize> = (0..d).filter(|&i| best_config[i] % 2 == 1).collect();
+            for i in odd_params {
+                for j in 0..d {
+                    if best_config[i] % 2 == 0 {
+                        break; // this T already migrated away
+                    }
+                    if j == i || best_config[j] % 2 == 1 {
+                        continue;
+                    }
+                    let mut variants = Vec::with_capacity(4);
+                    for di in [1usize, 7] {
+                        for dj in [1usize, 7] {
+                            let mut config = best_config.clone();
+                            config[i] = (config[i] + di) % 8;
+                            config[j] = (config[j] + dj) % 8;
+                            variants.push(config);
+                        }
+                    }
+                    let values = eval(&best_config, &[i, j], &variants);
+                    let base_len = trace.len();
+                    trace.extend(values.iter().map(|v| (v.energy, v.penalized)));
+                    if let Some(idx) = chain_accept(&values, best_value.penalized, 1e-12) {
+                        best_config.clone_from(&variants[idx]);
+                        best_value = values[idx];
+                        last_accept = Some(base_len + idx + 1);
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    KtPolish { best_config, best_value, trace, last_accept }
+}
+
+/// Runs the CAFQA+kT search with at most `k_max` T-like rotations, on
+/// the process-global execution engine.
+///
+/// Seeds are 8-ary (use [`widen_clifford_config`] on a Clifford-only
 /// CAFQA result — the paper inserts T gates "at prior Clifford gate
-/// positions").
+/// positions"). See [`run_cafqa_kt_on`] for the feasibility and
+/// determinism contract.
+///
+/// # Errors
+///
+/// [`KtError::BudgetTooLarge`] when `k_max` exceeds
+/// [`MAX_BRANCH_GATES`]; [`KtError::SeedInfeasible`] when a seed uses
+/// more than `k_max` non-Clifford rotations.
 pub fn run_cafqa_kt(
     ansatz: &dyn Ansatz,
     hamiltonian: &PauliOp,
-    penalties: &[Penalty],
+    penalties: Vec<Penalty>,
     k_max: usize,
     seeds: &[Vec<usize>],
     opts: &CafqaOptions,
-) -> CafqaKtResult {
-    let space = SearchSpace::uniform(ansatz.num_parameters(), 8);
-    // Infeasible (over-budget) configurations are rejected with a large
-    // constant before any simulation runs.
-    const INFEASIBLE: f64 = 1e6;
-    let evaluate = |config: &[usize]| -> f64 {
-        let t = t_count_of(config);
-        if t > k_max {
-            return INFEASIBLE + t as f64;
-        }
-        let circuit = ansatz.bind_eighth(config);
-        let state = CliffordTState::from_circuit(&circuit)
-            .expect("t budget keeps the branch count in range");
-        let mut value = state.expectation(hamiltonian);
-        for p in penalties {
-            value += p.weight * state.expectation(p.squared_op());
-        }
-        value
-    };
+) -> Result<CafqaKtResult, KtError> {
+    run_cafqa_kt_on(ExecEngine::global(), ansatz, hamiltonian, penalties, k_max, seeds, opts)
+}
+
+/// [`run_cafqa_kt`] on an explicit [`ExecEngine`].
+///
+/// # Feasibility and determinism
+///
+/// Three properties compose, and this section is the single source of
+/// truth for them:
+///
+/// - **Feasible by construction.** The Bayesian layer does not sample
+///   the raw 8-ary grid (where most of the space is over budget and a
+///   rejection constant poisons the surrogate). It samples a genome of
+///   `d` Clifford dimensions plus `k_max` *insertion* dimensions, each
+///   either inert or turning one parameter by `±π/4`; decoded
+///   configurations therefore carry at most `k_max` odd indices, every
+///   evaluation runs a real branch simulation, and
+///   [`CafqaKtResult::rejected_evaluations`] is always 0. The incumbent
+///   is always simulable, so the search returns a structured
+///   [`KtError`] on bad *inputs* instead of panicking on its own
+///   output.
+/// - **`k_max = 0` reproduces the Clifford search.** A zero budget
+///   delegates wholesale to [`run_cafqa_on`] (same engine, options and
+///   seeds, with seeds narrowed to the 4-ary grid) and widens the
+///   result; the trace is bit-identical to the classic run's.
+/// - **Worker-count bit-identity.** Candidate values are pure functions
+///   of the candidate: terms sum in storage order, branch-pair classes
+///   in one fixed full-range fold ([`value_of`]'s contract), and the
+///   engine reassembles shard results in submission order. Changing the
+///   worker count — including to 1 — changes no bit of the trace,
+///   matching the Clifford search's contract.
+///
+/// The polish endgame ([`KtPolishSession`]) extends the incremental
+/// prefix-checkpoint kernel across the T-gate frontier and adds
+/// T-migration pair moves at constant T count; its greedy acceptance
+/// fold only ever improves on the BO incumbent.
+///
+/// # Errors
+///
+/// As for [`run_cafqa_kt`].
+pub fn run_cafqa_kt_on(
+    engine: &ExecEngine,
+    ansatz: &dyn Ansatz,
+    hamiltonian: &PauliOp,
+    penalties: Vec<Penalty>,
+    k_max: usize,
+    seeds: &[Vec<usize>],
+    opts: &CafqaOptions,
+) -> Result<CafqaKtResult, KtError> {
+    let d = ansatz.num_parameters();
+    if k_max > MAX_BRANCH_GATES {
+        return Err(KtError::BudgetTooLarge { k_max, max: MAX_BRANCH_GATES });
+    }
+    let mut genome_seeds = Vec::with_capacity(seeds.len());
+    for (index, seed) in seeds.iter().enumerate() {
+        genome_seeds.push(
+            encode_seed(seed, d, k_max).map_err(|t_count| KtError::SeedInfeasible {
+                seed: index,
+                t_count,
+                k_max,
+            })?,
+        );
+    }
+    if k_max == 0 {
+        // Zero budget: the space *is* the Clifford space. Delegate to the
+        // classic search (bit-identical trace) and widen the result.
+        let clifford_seeds: Vec<Vec<usize>> =
+            genome_seeds.iter().map(|g| g[..d].to_vec()).collect();
+        let r = run_cafqa_on(engine, ansatz, hamiltonian, penalties, &clifford_seeds, opts);
+        return Ok(CafqaKtResult {
+            best_config: widen_clifford_config(&r.best_config),
+            energy: r.energy,
+            penalized: r.penalized,
+            t_count: 0,
+            feasible_evaluations: r.evaluations,
+            rejected_evaluations: 0,
+            iterations_to_best: r.iterations_to_best,
+            polish_evaluations: r.polish_evaluations,
+            trace: r.trace,
+        });
+    }
+
+    let terms = masks_of(hamiltonian);
+    let penalty_masks: Vec<MaskPenalty> =
+        penalties.iter().map(|p| (p.weight, masks_of(p.squared_op()))).collect();
+    // Template-expressible ansätze get the compiled incremental path;
+    // anything else falls back to per-candidate circuit lowering (serial:
+    // the borrowed ansatz cannot ship to pool workers).
+    let mut session = CompiledAnsatz::compile_clifford_t(ansatz).map(|template| {
+        let core = KtCore {
+            num_qubits: ansatz.num_qubits(),
+            template,
+            terms: terms.clone(),
+            penalties: penalty_masks.clone(),
+        };
+        KtPolishSession::new(Arc::new(core), engine.clone())
+    });
+    let eval_full =
+        |session: &mut Option<KtPolishSession>, configs: &[Vec<usize>]| -> Vec<ObjectiveValue> {
+            match session {
+                Some(session) => session.evaluate_batch(configs),
+                None => configs
+                    .iter()
+                    .map(|config| {
+                        let state = BranchEnsemble::from_circuit(&ansatz.bind_eighth(config))
+                            .expect("t budget keeps the branch count in range");
+                        value_of(&terms, &penalty_masks, &state)
+                    })
+                    .collect(),
+            }
+        };
+
+    let space = kt_search_space(d, k_max);
+    let mut raw_trace: Vec<(f64, f64)> = Vec::new();
     let bo_opts = BoOptions {
         warmup: opts.warmup,
         iterations: opts.iterations,
         seed: opts.seed,
         patience: opts.patience,
         proposals_per_refit: opts.proposals_per_refit,
+        forest: ForestOptions { window: opts.forest_window, ..Default::default() },
         ..Default::default()
     };
-    // Stabilizer-rank branch simulation borrows the ansatz per candidate,
-    // so the batch objective maps serially; batched acquisition still
-    // amortizes the surrogate refits.
-    let result = minimize(
+    let result = minimize_with(
         &space,
-        |batch: &[Vec<usize>]| batch.iter().map(|config| evaluate(config)).collect(),
-        seeds,
+        |batch: &[Vec<usize>]| {
+            let decoded: Vec<Vec<usize>> =
+                batch.iter().map(|genome| decode_genome(genome, d)).collect();
+            let values = eval_full(&mut session, &decoded);
+            values
+                .iter()
+                .map(|v| {
+                    raw_trace.push((v.energy, v.penalized));
+                    v.penalized
+                })
+                .collect()
+        },
+        &genome_seeds,
         &bo_opts,
+        engine,
     );
-    let best_config = result.best_config;
-    let circuit = ansatz.bind_eighth(&best_config);
-    let state = CliffordTState::from_circuit(&circuit).expect("feasible best configuration");
-    CafqaKtResult {
-        energy: state.expectation(hamiltonian),
-        t_count: t_count_of(&best_config),
-        evaluations: result.history.len(),
-        best_config,
+    let bo_evaluations = raw_trace.len();
+    let best_genome = if result.best_config.is_empty() {
+        vec![0; d + k_max] // zero-budget search phases: polish from the origin
+    } else {
+        result.best_config
+    };
+    let best8 = decode_genome(&best_genome, d);
+    let start_value = match raw_trace.get(result.iterations_to_best.wrapping_sub(1)) {
+        Some(&(energy, penalized)) => ObjectiveValue { energy, penalized },
+        None => eval_full(&mut session, std::slice::from_ref(&best8))[0],
+    };
+
+    let mut eval_variants =
+        |base: &[usize], changed: &[usize], variants: &[Vec<usize>]| match &mut session {
+            Some(session) => session.evaluate_variants(base, changed, variants),
+            None => variants
+                .iter()
+                .map(|config| {
+                    let state = BranchEnsemble::from_circuit(&ansatz.bind_eighth(config))
+                        .expect("t budget keeps the branch count in range");
+                    value_of(&terms, &penalty_masks, &state)
+                })
+                .collect(),
+        };
+    let polish = polish_kt(&mut eval_variants, best8, start_value, k_max, opts.polish_sweeps);
+
+    let mut iterations_to_best = result.iterations_to_best;
+    if let Some(accept) = polish.last_accept {
+        iterations_to_best = bo_evaluations + accept;
     }
+    raw_trace.extend(polish.trace.iter().copied());
+    let mut best = f64::INFINITY;
+    let trace: Vec<SearchPoint> = raw_trace
+        .iter()
+        .map(|&(energy, penalized)| {
+            best = best.min(penalized);
+            SearchPoint { energy, penalized, best_so_far: best }
+        })
+        .collect();
+    Ok(CafqaKtResult {
+        t_count: t_count_of(&polish.best_config),
+        best_config: polish.best_config,
+        energy: polish.best_value.energy,
+        penalized: polish.best_value.penalized,
+        feasible_evaluations: trace.len(),
+        rejected_evaluations: 0,
+        iterations_to_best,
+        polish_evaluations: polish.trace.len(),
+        trace,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cafqa_circuit::EfficientSu2;
+    use cafqa_clifford::CliffordTState;
 
     #[test]
     fn t_counting() {
         assert_eq!(t_count_of(&[0, 2, 4, 6]), 0);
         assert_eq!(t_count_of(&[1, 2, 3, 0]), 2);
         assert_eq!(widen_clifford_config(&[0, 1, 2, 3]), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn genome_space_is_feasible_by_construction() {
+        let (d, k_max) = (5, 2);
+        let space = kt_search_space(d, k_max);
+        assert_eq!(space.cardinalities, vec![4, 4, 4, 4, 4, 11, 11]);
+        // A deterministic sweep over genomes: decode never exceeds the
+        // budget, whatever the insertion dimensions say.
+        for s in 0..300usize {
+            let genome: Vec<usize> = space
+                .cardinalities
+                .iter()
+                .enumerate()
+                .map(|(i, &card)| (s.wrapping_mul(2654435761).wrapping_add(i * 40503)) % card)
+                .collect();
+            let config = decode_genome(&genome, d);
+            assert!(t_count_of(&config) <= k_max, "{genome:?} -> {config:?}");
+            assert!(config.iter().all(|&k| k < 8));
+        }
+        // Encode ∘ decode is the identity on feasible configurations.
+        for config in [vec![0, 2, 4, 6, 0], vec![1, 0, 0, 0, 7], vec![3, 6, 1, 0, 2]] {
+            let genome = encode_seed(&config, d, k_max).unwrap();
+            assert_eq!(decode_genome(&genome, d), config);
+        }
+        // Over-budget seeds report their T count.
+        assert_eq!(encode_seed(&[1, 1, 1, 0, 0], d, k_max), Err(3));
+    }
+
+    #[test]
+    fn infeasible_inputs_are_structured_errors() {
+        let h: PauliOp = "Z".parse().unwrap();
+        let ansatz = EfficientSu2::new(1, 0);
+        let opts = CafqaOptions::quick();
+        // The old implementation panicked post-search on infeasible
+        // incumbents; now over-budget seeds fail up front, structured.
+        let err = run_cafqa_kt(&ansatz, &h, Vec::new(), 1, &[vec![1, 1]], &opts).unwrap_err();
+        assert_eq!(err, KtError::SeedInfeasible { seed: 0, t_count: 2, k_max: 1 });
+        let err =
+            run_cafqa_kt(&ansatz, &h, Vec::new(), MAX_BRANCH_GATES + 1, &[], &opts).unwrap_err();
+        assert_eq!(
+            err,
+            KtError::BudgetTooLarge { k_max: MAX_BRANCH_GATES + 1, max: MAX_BRANCH_GATES }
+        );
+        assert!(err.to_string().contains("branch-engine limit"));
     }
 
     #[test]
@@ -118,7 +724,7 @@ mod tests {
         let ansatz = EfficientSu2::new(1, 0);
         let opts = CafqaOptions { warmup: 20, iterations: 60, ..Default::default() };
         let clifford_best = {
-            // Exhaust the 16 Clifford configs.
+            // Exhaust the 16 Clifford configs on the dense oracle.
             let mut best = f64::INFINITY;
             for a in 0..4 {
                 for b in 0..4 {
@@ -129,10 +735,13 @@ mod tests {
             }
             best
         };
-        let kt = run_cafqa_kt(&ansatz, &h, &[], 1, &[], &opts);
+        let kt = run_cafqa_kt(&ansatz, &h, Vec::new(), 1, &[], &opts).unwrap();
         assert!(kt.t_count <= 1);
         assert!(kt.energy < clifford_best - 0.1, "kT {} vs Clifford {clifford_best}", kt.energy);
         assert!((kt.energy + 1.0).abs() < 0.05, "kT energy {}", kt.energy);
+        assert_eq!(kt.rejected_evaluations, 0, "the feasible genome never rejects");
+        assert_eq!(kt.feasible_evaluations, kt.trace.len());
+        assert!(kt.polish_evaluations < kt.trace.len());
     }
 
     #[test]
@@ -140,8 +749,77 @@ mod tests {
         let h: PauliOp = "Z".parse().unwrap();
         let ansatz = EfficientSu2::new(1, 0);
         let opts = CafqaOptions { warmup: 30, iterations: 40, ..Default::default() };
-        let kt = run_cafqa_kt(&ansatz, &h, &[], 0, &[vec![0, 0]], &opts);
+        let kt = run_cafqa_kt(&ansatz, &h, Vec::new(), 0, &[vec![0, 0]], &opts).unwrap();
         assert_eq!(kt.t_count, 0);
         assert!((kt.energy + 1.0).abs() < 1e-9); // Ry(π) flips to |1⟩, ⟨Z⟩ = −1.
+    }
+
+    #[test]
+    fn budget_zero_is_bit_identical_to_the_clifford_search() {
+        let h: PauliOp = "0.5*ZZ + 0.25*XI - 0.3*IZ".parse().unwrap();
+        let ansatz = EfficientSu2::new(2, 0);
+        let opts =
+            CafqaOptions { warmup: 20, iterations: 30, polish_sweeps: 2, ..Default::default() };
+        let clifford = crate::runner::run_cafqa(&ansatz, &h, Vec::new(), &[], &opts);
+        let kt = run_cafqa_kt(&ansatz, &h, Vec::new(), 0, &[], &opts).unwrap();
+        assert_eq!(kt.best_config, widen_clifford_config(&clifford.best_config));
+        assert_eq!(kt.energy.to_bits(), clifford.energy.to_bits());
+        assert_eq!(kt.trace.len(), clifford.trace.len());
+        for (a, b) in kt.trace.iter().zip(&clifford.trace) {
+            assert_eq!(a.penalized.to_bits(), b.penalized.to_bits());
+            assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+        }
+        assert_eq!(kt.feasible_evaluations, clifford.evaluations);
+        assert_eq!(kt.iterations_to_best, clifford.iterations_to_best);
+    }
+
+    #[test]
+    fn trace_is_bit_identical_at_any_worker_count() {
+        let h: PauliOp = "-0.70710678*Z - 0.70710678*X".parse().unwrap();
+        let ansatz = EfficientSu2::new(1, 0);
+        let opts =
+            CafqaOptions { warmup: 15, iterations: 25, polish_sweeps: 2, ..Default::default() };
+        let runs: Vec<CafqaKtResult> = [1usize, 2, 8]
+            .iter()
+            .map(|&workers| {
+                let engine = ExecEngine::new(workers);
+                run_cafqa_kt_on(&engine, &ansatz, &h, Vec::new(), 1, &[], &opts).unwrap()
+            })
+            .collect();
+        let reference = &runs[0];
+        for run in &runs[1..] {
+            assert_eq!(run.best_config, reference.best_config);
+            assert_eq!(run.energy.to_bits(), reference.energy.to_bits());
+            assert_eq!(run.iterations_to_best, reference.iterations_to_best);
+            assert_eq!(run.trace.len(), reference.trace.len());
+            for (a, b) in run.trace.iter().zip(&reference.trace) {
+                assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+                assert_eq!(a.penalized.to_bits(), b.penalized.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn search_runs_beyond_the_dense_qubit_cap() {
+        // 26 qubits: the dense branch backend cannot even represent a
+        // candidate, but the tableau ensemble searches and polishes to
+        // the exact single-qubit optimum.
+        let n = 26;
+        let ansatz = EfficientSu2::new(n, 0);
+        let h = PauliOp::from_terms(
+            n,
+            [(
+                cafqa_linalg::Complex64::ONE,
+                cafqa_pauli::PauliString::single(n, 0, cafqa_pauli::Pauli::Z),
+            )],
+        );
+        let opts =
+            CafqaOptions { warmup: 8, iterations: 8, polish_sweeps: 1, ..Default::default() };
+        let kt = run_cafqa_kt(&ansatz, &h, Vec::new(), 1, &[], &opts).unwrap();
+        assert_eq!(kt.best_config.len(), ansatz.num_parameters());
+        assert!(kt.t_count <= 1);
+        // ⟨Z₀⟩ = cos(θ_ry) on the no-entangler ansatz: the coordinate
+        // polish reaches the exact minimum.
+        assert!((kt.energy + 1.0).abs() < 1e-9, "energy {}", kt.energy);
     }
 }

@@ -47,7 +47,10 @@ mod objective;
 mod runner;
 
 pub use engine::{default_workers, ExecEngine};
-pub use kt::{run_cafqa_kt, t_count_of, widen_clifford_config, CafqaKtResult};
+pub use kt::{
+    run_cafqa_kt, run_cafqa_kt_on, t_count_of, widen_clifford_config, CafqaKtResult, KtError,
+    KtPolishSession,
+};
 pub use objective::{
     CliffordObjective, EvalScratch, ObjectiveValue, Penalty, PolishMove, PolishSession,
 };
