@@ -6,6 +6,9 @@
 //! spawn-per-batch path on an H2O-class objective, batched vs
 //! single-proposal BO acquisition, the intra-candidate term-sharded
 //! expectation vs the chunked serial sum on a Cr2-class objective,
+//! the lane-blocked phase kernel vs the pinned scalar mask fold, the
+//! polish layer-checkpoint stack vs rebuild-from-zero backward seeks,
+//! the 32-chunk wide association on a ≥ 65 536-term sum,
 //! windowed vs full-history surrogate refits, the Clifford+T branch
 //! evaluator (tableau ensemble vs dense branch sum), and the full
 //! CAFQA+kT search (branch-engine stack vs the frozen dense/serial
@@ -533,6 +536,18 @@ fn bench_term_sharded_vs_chunked_serial(c: &mut Criterion) {
         assert_eq!(reference.penalized.to_bits(), nested.penalized.to_bits());
         assert_eq!(reference.energy.to_bits(), hostfit.energy.to_bits());
     }
+    // A 1-core host cannot time a parallel speedup: the host-fitting
+    // pool degenerates to serial-vs-serial and the recorded ~1.0×
+    // number measures nothing. Keep the bit-identity gate above, log
+    // the skip, and record no entry — a multicore host supplies the
+    // real measurement.
+    if host_cores == 1 {
+        eprintln!(
+            "[{GROUP}] 1-core host: bit-identity checked (forced 4-worker nested dispatch); \
+             skipping the serial-vs-serial timing and recording nothing"
+        );
+        return;
+    }
     let run_serial = || {
         let mut scratch = serial.scratch();
         configs.iter().map(|c| serial.evaluate_with(c, &mut scratch).energy).sum::<f64>()
@@ -585,6 +600,471 @@ fn bench_term_sharded_vs_chunked_serial(c: &mut Criterion) {
     let mut group = c.benchmark_group(GROUP);
     group.bench_function("chunked_serial", |b| b.iter(|| black_box(run_serial())));
     group.bench_function("term_sharded_hostfit", |b| b.iter(|| black_box(run_sharded())));
+    group.finish();
+}
+
+/// The lane-blocked kernel A/B: `Tableau::expectation_masks` (4-row
+/// lane blocks, branchless parity folds, select-mask phase
+/// accumulation) vs the pinned scalar reference
+/// (`expectation_masks_scalar`, the pre-refactor loop kept verbatim),
+/// at the Cr2-class register width (34 qubits) where the ≥ 10⁵-term
+/// sums spend their time. The workload mixes stabilizer-group products
+/// (nonzero expectation: the full destabilizer phase fold runs on
+/// every call) with uniform random Paulis (almost surely
+/// anticommuting: the screen early-exit path). Bit-identity on every
+/// mask pair is asserted before timing; numbers land in
+/// `BENCH_search.json`. Single-threaded, so the gate is meaningful on
+/// any host.
+fn bench_lane_blocked_kernel(c: &mut Criterion) {
+    const GROUP: &str = "lane_blocked_phase_kernel_34q";
+    if !filter_matches(GROUP) {
+        return;
+    }
+    const QUBITS: usize = 34;
+    let ansatz = EfficientSu2::new(QUBITS, 1);
+    let config: Vec<usize> = (0..ansatz.num_parameters()).map(|i| (i * 5 + 1) % 4).collect();
+    let tableau = Tableau::from_circuit(&ansatz.bind_clifford(&config)).unwrap();
+    let generators = ReferenceGenerators::from_tableau(&tableau);
+    let mut seed = 0x1A9E_u64;
+    let mut masks: Vec<(u64, u64)> = (0..192)
+        .map(|_| {
+            // A random product of stabilizer generators: nonzero
+            // expectation, so the phase fold cannot early-exit.
+            let mut pick = random_pauli(QUBITS, &mut seed).x_mask() | 1;
+            let (mut x, mut z) = (0u64, 0u64);
+            for (_, s) in &generators.stabilizers {
+                if pick & 1 != 0 {
+                    x ^= s.x_mask();
+                    z ^= s.z_mask();
+                }
+                pick >>= 1;
+            }
+            (x, z)
+        })
+        .collect();
+    masks.extend((0..64).map(|_| {
+        let p = random_pauli(QUBITS, &mut seed);
+        (p.x_mask(), p.z_mask())
+    }));
+    assert!(
+        masks[..192].iter().all(|&(x, z)| tableau.expectation_masks(x, z) != 0),
+        "generator products must take the nonzero phase-fold path"
+    );
+    // Bit-identity on every mask pair — the frozen-semantics gate.
+    for &(x, z) in &masks {
+        assert_eq!(
+            tableau.expectation_masks(x, z),
+            tableau.expectation_masks_scalar(x, z),
+            "lane-blocked kernel diverged from the scalar reference"
+        );
+    }
+    const REPS: usize = 64;
+    let run_scalar = || {
+        let mut acc = 0i32;
+        for _ in 0..REPS {
+            acc += masks
+                .iter()
+                .map(|&(x, z)| i32::from(tableau.expectation_masks_scalar(x, z)))
+                .sum::<i32>();
+        }
+        acc
+    };
+    let run_blocked = || {
+        let mut acc = 0i32;
+        for _ in 0..REPS {
+            acc +=
+                masks.iter().map(|&(x, z)| i32::from(tableau.expectation_masks(x, z))).sum::<i32>();
+        }
+        acc
+    };
+    assert_eq!(run_scalar(), run_blocked());
+    black_box(run_scalar());
+    black_box(run_blocked());
+    let scalar_elapsed = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(run_scalar());
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    let blocked_elapsed = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(run_blocked());
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    let speedup = scalar_elapsed.as_secs_f64() / blocked_elapsed.as_secs_f64();
+    record_bench_json(
+        "lane_blocked_vs_scalar_kernel_34q_256paulis",
+        format!(
+            "{{\"qubits\": 34, \"paulis\": 256, \"nonzero_paulis\": 192, \"reps\": {REPS}, \
+             \"scalar_ms\": {:.3}, \"lane_blocked_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"expectations_bit_identical\": true}}",
+            scalar_elapsed.as_secs_f64() * 1e3,
+            blocked_elapsed.as_secs_f64() * 1e3,
+            speedup
+        ),
+    );
+    // The acceptance gate: the lane-blocked kernel must be at least at
+    // scalar throughput (5 % timer tolerance).
+    assert!(
+        blocked_elapsed.as_secs_f64() <= scalar_elapsed.as_secs_f64() * 1.05,
+        "lane-blocked kernel slower than scalar: {blocked_elapsed:?} vs {scalar_elapsed:?}"
+    );
+
+    let mut group = c.benchmark_group(GROUP);
+    group.bench_function("scalar_reference", |b| b.iter(|| black_box(run_scalar())));
+    group.bench_function("lane_blocked", |b| b.iter(|| black_box(run_blocked())));
+    group.finish();
+}
+
+/// A deliberately adversarial polish ansatz: the parameter index order
+/// is *reversed* relative to execution order (slot 0 is read by the
+/// last rotation layer), so the ascending-slot order of the polish
+/// sweeps issues a deep backward seek at every slot-group transition —
+/// the access pattern the layered checkpoint stack exists for. Real
+/// ansätze hit the same shape whenever a screened pair list revisits
+/// parameters that execute late in the circuit.
+struct ReversedLayoutAnsatz {
+    qubits: usize,
+    layers: usize,
+}
+
+impl Ansatz for ReversedLayoutAnsatz {
+    fn num_qubits(&self) -> usize {
+        self.qubits
+    }
+    fn num_parameters(&self) -> usize {
+        self.qubits * self.layers
+    }
+    fn bind(&self, params: &[f64]) -> cafqa_circuit::Circuit {
+        assert_eq!(params.len(), self.num_parameters());
+        let mut c = cafqa_circuit::Circuit::new(self.qubits);
+        for layer in 0..self.layers {
+            for q in 0..self.qubits - 1 {
+                c.cx(q, q + 1);
+            }
+            // Reversed layout: execution layer `layer` reads the slot
+            // block counted from the END of the parameter vector.
+            let base = (self.layers - 1 - layer) * self.qubits;
+            for q in 0..self.qubits {
+                c.ry(q, params[base + q]);
+            }
+        }
+        c
+    }
+}
+
+/// The backward-seek A/B: `PolishSession` with the layered checkpoint
+/// stack vs the same session with the stack disabled (the frozen
+/// pre-stack behavior: every backward seek rebuilds the prefix from
+/// `|0…0⟩`). The move stream is a screened-pair-sweep shape on the
+/// reversed-layout ansatz — two screened pairs whose seek targets sit
+/// in the two deepest execution layers, so every sweep issues a deep
+/// backward seek. Energies are asserted bit-identical between the two
+/// arms AND against full re-preparation, the incremental `polish_on`
+/// trace is pinned to the frozen `reference_polish` on the standard
+/// 96-dim workload, and the stack must deliver a measured ≥ 1.2× on
+/// the sweep. Single-threaded; numbers land in `BENCH_search.json`.
+fn bench_backward_seek_polish(c: &mut Criterion) {
+    const GROUP: &str = "backward_seek_checkpoint_stack_384dim";
+    if !filter_matches(GROUP) {
+        return;
+    }
+    // Frozen-reference gate on the standard workload: the stack-enabled
+    // polish endgame (the production default) reproduces the frozen
+    // full-re-preparation trace bit for bit.
+    {
+        let (ansatz, hamiltonian, start) = polish_workload();
+        let engine = ExecEngine::serial();
+        let objective = CliffordObjective::new(&ansatz, &hamiltonian).with_engine(engine.clone());
+        let opts = CafqaOptions { polish_sweeps: 1, ..Default::default() };
+        let frozen = reference_polish(&objective, 24, &start, opts.polish_sweeps);
+        let incremental = polish_on(&engine, &objective, &start, &opts, &[]);
+        assert_eq!(incremental.trace.len(), frozen.trace.len(), "stacked polish trace length");
+        for (k, (a, b)) in incremental.trace.iter().zip(&frozen.trace).enumerate() {
+            assert_eq!(a.0.to_bits(), b.0.to_bits(), "stacked polish energy at {k}");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "stacked polish penalized at {k}");
+        }
+        assert_eq!(incremental.best_config, frozen.best_config, "stacked polish best_config");
+    }
+    let ansatz = ReversedLayoutAnsatz { qubits: 12, layers: 32 };
+    let mut seed = 0xBEEF_u64;
+    let hamiltonian = PauliOp::from_terms(
+        12,
+        (0..8)
+            .map(|i| (Complex64::from(0.05 * ((i % 7) as f64 + 1.0)), random_pauli(12, &mut seed))),
+    );
+    let objective = CliffordObjective::new(&ansatz, &hamiltonian);
+    assert!(objective.is_compiled(), "the reversed-layout ansatz must compile");
+    let d = ansatz.num_parameters();
+    let start: Vec<usize> = (0..d).map(|i| (i * 3 + 1) % 4).collect();
+    // The screened pair list: slots (0, 1) execute in the deepest layer
+    // and (12, 13) one layer above it, so the ascending sweep order
+    // seeks backward from pair 1's target to pair 2's every sweep.
+    let pairs = [(0usize, 1usize), (12, 13)];
+    let pair_moves: Vec<Vec<cafqa_core::PolishMove>> = pairs
+        .iter()
+        .map(|&(i, j)| (0..16).map(|code| vec![(i, code / 4), (j, code % 4)]).collect())
+        .collect();
+    const SWEEPS: usize = 64;
+    let run = |stack: bool| -> (Vec<f64>, (u64, u64)) {
+        let mut session = objective
+            .polish_session(start.clone())
+            .expect("compiled ansatz has a session")
+            .with_checkpoint_stack(stack);
+        let mut values = Vec::new();
+        for _ in 0..SWEEPS {
+            for moves in &pair_moves {
+                values.extend(session.evaluate_moves(moves).iter().map(|v| v.energy));
+            }
+        }
+        (values, session.seek_stats())
+    };
+    let (stacked_values, stacked_stats) = run(true);
+    let (plain_values, plain_stats) = run(false);
+    // Both arms agree bit for bit, and with full re-preparation.
+    assert_eq!(stacked_values.len(), plain_values.len());
+    for (k, (a, b)) in stacked_values.iter().zip(&plain_values).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "stack changed an energy at move {k}");
+    }
+    let reprepared: Vec<f64> = pairs
+        .iter()
+        .flat_map(|&(i, j)| {
+            let objective = &objective;
+            let start = &start;
+            (0..16).map(move |code| {
+                let mut config = start.clone();
+                config[i] = code / 4;
+                config[j] = code % 4;
+                objective.evaluate(&config).energy
+            })
+        })
+        .collect();
+    for (k, (a, b)) in stacked_values.iter().zip(&reprepared).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "incremental energy diverged at move {k}");
+    }
+    // The structural claim: every sweep seeks backward once, and with
+    // the stack on, every one of those restores a layer checkpoint.
+    assert_eq!(stacked_stats.0, SWEEPS as u64, "one backward seek per sweep");
+    assert_eq!(stacked_stats.1, SWEEPS as u64, "every backward seek must restore a checkpoint");
+    assert_eq!(plain_stats.0, stacked_stats.0, "both arms see the same seek stream");
+    assert_eq!(plain_stats.1, 0, "the disabled stack must never restore");
+    black_box(run(true));
+    black_box(run(false));
+    let stacked_elapsed = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(run(true));
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    let plain_elapsed = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(run(false));
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    let speedup = plain_elapsed.as_secs_f64() / stacked_elapsed.as_secs_f64();
+    record_bench_json(
+        "backward_seek_checkpoint_stack_384dim",
+        format!(
+            "{{\"qubits\": 12, \"layers\": 32, \"dims\": {d}, \"terms\": 8, \
+             \"sweeps\": {SWEEPS}, \"pairs\": 2, \"backward_seeks\": {}, \
+             \"stack_restores\": {}, \"rebuild_ms\": {:.3}, \"stack_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"energies_bit_identical\": true, \
+             \"reference_polish_trace_bit_identical\": true}}",
+            stacked_stats.0,
+            stacked_stats.1,
+            plain_elapsed.as_secs_f64() * 1e3,
+            stacked_elapsed.as_secs_f64() * 1e3,
+            speedup
+        ),
+    );
+    // The acceptance gate: the ISSUE requires a measured ≥ 1.2× on the
+    // screened sweep (the observed margin is well above it).
+    assert!(
+        speedup >= 1.2,
+        "checkpoint stack below the 1.2x acceptance bar: {speedup:.3}x \
+         ({stacked_elapsed:?} vs {plain_elapsed:?})"
+    );
+
+    let mut group = c.benchmark_group(GROUP);
+    group.bench_function("rebuild_from_zero", |b| b.iter(|| black_box(run(false))));
+    group.bench_function("checkpoint_stack", |b| b.iter(|| black_box(run(true))));
+    group.finish();
+}
+
+/// A Cr2-scale objective over the wide-chunk threshold: 20 qubits,
+/// 81 920 distinct Pauli terms (the real Cr2 surrogate spans 76k–149k),
+/// so every term sum uses the 32-chunk wide association.
+fn wide_tier_objective() -> (EfficientSu2, PauliOp) {
+    const TERMS: u64 = 81_920;
+    let ansatz = EfficientSu2::new(20, 1);
+    let mut seed = 0x51DE_u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let hamiltonian = PauliOp::from_terms(
+        20,
+        (0..TERMS).map(|code| {
+            // The 17-bit code fills the low x-mask bits so terms are
+            // distinct by construction; the rest of both masks comes
+            // from the xorshift stream.
+            let x = (code & 0x1_FFFF) | (next() & 0xE_0000);
+            let z = next() & 0xF_FFFF;
+            (Complex64::from(1e-3 * ((code % 61) as f64 + 1.0)), PauliString::from_masks(20, x, z))
+        }),
+    );
+    assert_eq!(hamiltonian.num_terms(), TERMS as usize, "terms must not collide");
+    (ansatz, hamiltonian)
+}
+
+/// The wide-chunk tier A/B: the 32-chunk association on a Cr2-scale
+/// 81 920-term sum. Three contracts, asserted before any timing:
+/// energies are bit-identical across worker counts {2, 4, 8} *within*
+/// the tier (the chunk count, not the worker count, fixes the fold);
+/// the 32-chunk sum agrees with a manually-folded 8-chunk association
+/// of the same per-term expectations to reassociation tolerance; and
+/// the per-term sweep (association-free) agrees likewise. Timing
+/// records the serial wide-tier evaluation cost on any host and the
+/// sharded speedup only on multicore hosts (a 1-core host would time
+/// serial-vs-serial, which measures nothing — logged and skipped).
+fn bench_wide_chunk_tier(c: &mut Criterion) {
+    const GROUP: &str = "wide_chunk_tier_20q_82k_terms";
+    if !filter_matches(GROUP) {
+        return;
+    }
+    let (ansatz, hamiltonian) = wide_tier_objective();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let timing_workers = host_cores.min(4);
+    let serial = CliffordObjective::new(&ansatz, &hamiltonian).with_engine(ExecEngine::serial());
+    let configs: Vec<Vec<usize>> = (0..3u64)
+        .map(|k| {
+            (0..ansatz.num_parameters())
+                .map(|i| ((k.wrapping_mul(0x9E37_79B9) >> (2 * (i % 31))) & 3) as usize)
+                .collect()
+        })
+        .collect();
+    let expected: Vec<f64> = configs.iter().map(|c| serial.evaluate(c).energy).collect();
+    // Bit-identity across worker counts within the wide tier.
+    for workers in [2usize, 4, 8] {
+        let sharded =
+            CliffordObjective::new(&ansatz, &hamiltonian).with_engine(ExecEngine::new(workers));
+        for (config, &reference) in configs.iter().zip(&expected) {
+            assert_eq!(
+                sharded.evaluate(config).energy.to_bits(),
+                reference.to_bits(),
+                "wide-tier energy must be bit-identical at {workers} workers"
+            );
+        }
+    }
+    // Association A/B: fold the same per-term expectations under the
+    // legacy 8-chunk association and the association-free per-term
+    // sweep; both must agree with the 32-chunk sum to reassociation
+    // tolerance (the tiers differ only in float fold order).
+    let terms = serial.term_expectations(&configs[0]);
+    let chunk = terms.len().div_ceil(8);
+    let eight_chunk: f64 =
+        terms.chunks(chunk).map(|ch| ch.iter().map(|(_, c, e)| c * *e as f64).sum::<f64>()).sum();
+    let per_term: f64 = terms.iter().map(|(_, c, e)| c * *e as f64).sum();
+    let scale = expected[0].abs().max(1.0);
+    assert!(
+        (eight_chunk - expected[0]).abs() <= 1e-9 * scale,
+        "8-chunk vs 32-chunk must differ only by reassociation: {eight_chunk} vs {}",
+        expected[0]
+    );
+    assert!(
+        (per_term - expected[0]).abs() <= 1e-9 * scale,
+        "per-term vs 32-chunk must differ only by reassociation: {per_term} vs {}",
+        expected[0]
+    );
+    // Serial wide-tier evaluation cost: meaningful on any host.
+    let run_serial = || configs.iter().map(|c| serial.evaluate(c).energy).sum::<f64>();
+    black_box(run_serial());
+    let serial_elapsed = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(run_serial());
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    if host_cores == 1 {
+        eprintln!(
+            "[{GROUP}] 1-core host: bit-identity and association contracts checked; \
+             skipping the serial-vs-serial sharded timing"
+        );
+        record_bench_json(
+            "wide_chunk_tier_20q_81920terms",
+            format!(
+                "{{\"qubits\": 20, \"terms\": 81920, \"chunks\": 32, \"host_cores\": 1, \
+                 \"candidates\": {}, \"serial_ms\": {:.3}, \
+                 \"sharded_timing\": \"skipped_1core\", \
+                 \"workers_bit_identical\": [2, 4, 8], \
+                 \"eight_chunk_association_delta\": {:.3e}, \
+                 \"per_term_association_delta\": {:.3e}}}",
+                configs.len(),
+                serial_elapsed.as_secs_f64() * 1e3,
+                (eight_chunk - expected[0]).abs(),
+                (per_term - expected[0]).abs()
+            ),
+        );
+        let mut group = c.benchmark_group(GROUP);
+        group.bench_function("serial_32chunk", |b| b.iter(|| black_box(run_serial())));
+        group.finish();
+        return;
+    }
+    let sharded =
+        CliffordObjective::new(&ansatz, &hamiltonian).with_engine(ExecEngine::new(timing_workers));
+    let run_sharded = || configs.iter().map(|c| sharded.evaluate(c).energy).sum::<f64>();
+    black_box(run_sharded());
+    let sharded_elapsed = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(run_sharded());
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    let speedup = serial_elapsed.as_secs_f64() / sharded_elapsed.as_secs_f64();
+    record_bench_json(
+        "wide_chunk_tier_20q_81920terms",
+        format!(
+            "{{\"qubits\": 20, \"terms\": 81920, \"chunks\": 32, \
+             \"timing_workers\": {timing_workers}, \"host_cores\": {host_cores}, \
+             \"candidates\": {}, \"serial_ms\": {:.3}, \"sharded_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"workers_bit_identical\": [2, 4, 8], \
+             \"eight_chunk_association_delta\": {:.3e}, \
+             \"per_term_association_delta\": {:.3e}}}",
+            configs.len(),
+            serial_elapsed.as_secs_f64() * 1e3,
+            sharded_elapsed.as_secs_f64() * 1e3,
+            speedup,
+            (eight_chunk - expected[0]).abs(),
+            (per_term - expected[0]).abs()
+        ),
+    );
+    // The acceptance gate: wider sharding must be at least at serial
+    // throughput at the host-fitting worker count (5 % timer tolerance).
+    assert!(
+        sharded_elapsed.as_secs_f64() <= serial_elapsed.as_secs_f64() * 1.05,
+        "wide-chunk sharded slower than serial ({timing_workers} workers, \
+         {host_cores} cores): {sharded_elapsed:?} vs {serial_elapsed:?}"
+    );
+
+    let mut group = c.benchmark_group(GROUP);
+    group.bench_function("serial_32chunk", |b| b.iter(|| black_box(run_serial())));
+    group.bench_function("sharded_32chunk", |b| b.iter(|| black_box(run_sharded())));
     group.finish();
 }
 
@@ -1070,7 +1550,9 @@ criterion_group! {
     targets = bench_expectation_kernel, bench_candidate_evaluation,
               bench_h2_candidate_evaluation, bench_h2_oracle,
               bench_h2o_pooled_vs_spawn, bench_bo_batched_vs_single_proposal,
-              bench_term_sharded_vs_chunked_serial, bench_windowed_vs_full_refit,
+              bench_term_sharded_vs_chunked_serial, bench_lane_blocked_kernel,
+              bench_backward_seek_polish, bench_wide_chunk_tier,
+              bench_windowed_vs_full_refit,
               bench_incremental_polish, bench_kt_tableau_vs_dense,
               bench_kt_engine_vs_reference
 }

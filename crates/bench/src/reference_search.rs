@@ -316,7 +316,9 @@ pub fn reference_run_cafqa(
         evaluations: trace.len(),
         iterations_to_best,
         polish_evaluations: trace.len() - bo_evaluations,
+        bo_seconds: 0.0,
         polish_seconds,
+        polish_seek_stats: (0, 0),
         trace,
     }
 }

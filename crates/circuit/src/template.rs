@@ -54,6 +54,12 @@ pub enum TemplateOp {
 const SENTINEL_BASE: u64 = 0x7FF8_CAFA_0000_0000;
 const SENTINEL_PAYLOAD_MASK: u64 = 0x0000_0000_FFFF_FFFF;
 
+/// Cap on recorded layer boundaries: deeper templates are downsampled to
+/// at most this many starts, bounding the per-session checkpoint-stack
+/// memory (each boundary costs one tableau snapshot in the polish
+/// sessions) while keeping restore hops short.
+const MAX_LAYER_STARTS: usize = 16;
+
 /// An [`Ansatz`] lowered once into primitive Clifford gates plus rotation
 /// slots, for allocation-free batched candidate evaluation.
 ///
@@ -87,6 +93,10 @@ pub struct CompiledAnsatz {
     /// incremental neighbor evaluation: everything before
     /// `param_first_op[k]` is unaffected by a change to slot `k`.
     param_first_op: Vec<usize>,
+    /// Ansatz layer boundaries (see [`Self::layer_starts`]): strictly
+    /// increasing op indices in `1..ops.len()` where a parameterized run
+    /// begins after fixed structure, downsampled to [`MAX_LAYER_STARTS`].
+    layer_starts: Vec<usize>,
 }
 
 impl CompiledAnsatz {
@@ -177,11 +187,26 @@ impl CompiledAnsatz {
                 }
             }
         }
+        // Layer boundaries: each op index (> 0) where a parameterized run
+        // (rotation slots / branch points) begins after fixed structure —
+        // the natural checkpoint grid of alternating-layer ansätze.
+        let mut layer_starts: Vec<usize> = (1..ops.len())
+            .filter(|&i| {
+                !matches!(ops[i], TemplateOp::Fixed(_))
+                    && matches!(ops[i - 1], TemplateOp::Fixed(_))
+            })
+            .collect();
+        if layer_starts.len() > MAX_LAYER_STARTS {
+            let len = layer_starts.len();
+            layer_starts =
+                (0..MAX_LAYER_STARTS).map(|k| layer_starts[k * len / MAX_LAYER_STARTS]).collect();
+        }
         Some(CompiledAnsatz {
             num_qubits: ansatz.num_qubits(),
             num_parameters: d,
             ops,
             param_first_op,
+            layer_starts,
         })
     }
 
@@ -217,6 +242,22 @@ impl CompiledAnsatz {
     #[inline]
     pub fn first_op_of(&self, param: usize) -> usize {
         self.param_first_op[param]
+    }
+
+    /// Ansatz layer boundaries: strictly increasing op indices in
+    /// `1..ops.len()`, each the start of a run of parameterized ops
+    /// (rotation slots or branch points) immediately after fixed
+    /// structure (entanglement layers). These are the natural checkpoint
+    /// positions for a layered prefix cache: a tableau snapshotted at
+    /// boundary `b` is valid for every configuration agreeing on the
+    /// parameters whose [`Self::first_op_of`] index is `< b`, so a
+    /// backward seek can restore the nearest dominating snapshot instead
+    /// of re-preparing the whole prefix from `|0…0⟩`. Downsampled to at
+    /// most 16 boundaries on very deep templates. Empty when the template
+    /// has no parameterized run after its first op.
+    #[inline]
+    pub fn layer_starts(&self) -> &[usize] {
+        &self.layer_starts
     }
 
     /// Renders the primitive-gate circuit for one configuration — the
@@ -389,6 +430,36 @@ mod tests {
         // polish sweeps advance (rather than rebuild) the prefix cache.
         let firsts: Vec<usize> = (0..t.num_parameters()).map(|p| t.first_op_of(p)).collect();
         assert!(firsts.windows(2).all(|w| w[0] <= w[1]), "{firsts:?}");
+    }
+
+    #[test]
+    fn layer_starts_mark_parameterized_runs_after_fixed_structure() {
+        let ansatz = EfficientSu2::new(4, 2);
+        let t = CompiledAnsatz::compile(&ansatz).unwrap();
+        let starts = t.layer_starts();
+        // EfficientSu2(reps = 2) alternates three rotation layers with two
+        // entanglement layers: two post-entanglement boundaries.
+        assert_eq!(starts.len(), 2, "{starts:?}");
+        assert!(starts.windows(2).all(|w| w[0] < w[1]), "{starts:?}");
+        for &b in starts {
+            assert!(b > 0 && b < t.ops().len());
+            assert!(!matches!(t.ops()[b], TemplateOp::Fixed(_)), "boundary {b} not a slot");
+            assert!(matches!(t.ops()[b - 1], TemplateOp::Fixed(_)), "boundary {b} mid-run");
+        }
+    }
+
+    #[test]
+    fn layer_starts_are_capped_on_deep_templates() {
+        // 40 reps ⇒ 40 post-entanglement boundaries, downsampled to 16.
+        let ansatz = EfficientSu2::new(3, 40);
+        let t = CompiledAnsatz::compile(&ansatz).unwrap();
+        let starts = t.layer_starts();
+        assert_eq!(starts.len(), 16, "{starts:?}");
+        assert!(starts.windows(2).all(|w| w[0] < w[1]), "{starts:?}");
+        for &b in starts {
+            assert!(!matches!(t.ops()[b], TemplateOp::Fixed(_)));
+            assert!(matches!(t.ops()[b - 1], TemplateOp::Fixed(_)));
+        }
     }
 
     #[test]

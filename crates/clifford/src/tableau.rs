@@ -200,6 +200,11 @@ pub(crate) fn conjugate_rows_rotation(
     }
 }
 
+/// Rows folded per iteration of the lane-blocked expectation kernel
+/// (see [`Tableau::expectation_masks`]): the parities of this many rows
+/// are combined branchlessly before the screen's single early-exit test.
+const LANE_BLOCK: usize = 4;
+
 /// A stabilizer state on `n ≤ 64` qubits, tracked as `n` stabilizer and
 /// `n` destabilizer generators (Aaronson–Gottesman 2004).
 ///
@@ -445,12 +450,84 @@ impl Tableau {
     /// accumulation over the `(x, z, sign)` row words, with no intermediate
     /// `PauliString` values (see [`cafqa_pauli::phase_exponent`]).
     ///
+    /// The row loops are *lane-blocked*: [`LANE_BLOCK`] rows are folded per
+    /// iteration with branchless single-popcount parities
+    /// (`parity(|x∧pz| + |z∧px|) = parity((x∧pz) ⊕ (z∧px))`, since the
+    /// double-counted overlap `|x∧pz∧z∧px|` enters twice), so the
+    /// stabilizer screen takes one branch per block instead of one per
+    /// row, and the destabilizer anticommutation pattern is packed into a
+    /// single `u64` selection mask (the register caps at 64 qubits) whose
+    /// set bits drive the inherently sequential phase fold. The pre-block
+    /// scalar loop survives as [`Self::expectation_masks_scalar`], the
+    /// pinned reference the kernel-equivalence proptests compare against.
+    ///
     /// Mask bits at or above [`Self::num_qubits`] are a caller error: the
     /// register has no such qubits, so the result would be meaningless.
     /// Checked with a `debug_assert!` only, to keep the release-mode hot
     /// loop branch-free ([`Self::expectation_pauli`] guarantees the
     /// invariant structurally via `PauliString`'s own width check).
     pub fn expectation_masks(&self, px: u64, pz: u64) -> i8 {
+        debug_assert!(
+            self.n == 64 || (px | pz) >> self.n == 0,
+            "mask bits above the register width"
+        );
+        // 1 when the row anticommutes with P(px, pz), else 0.
+        let parity = |r: &Row| ((r.x & pz) ^ (r.z & px)).count_ones() & 1;
+        // Zipped contiguous slices keep the loops free of bounds checks.
+        let (destab, stab) = self.rows.split_at(self.n);
+        // Any anticommuting stabilizer ⇒ expectation 0. OR-fold the block
+        // parities so each block costs one branch, not LANE_BLOCK.
+        let mut blocks = stab.chunks_exact(LANE_BLOCK);
+        for block in blocks.by_ref() {
+            if parity(&block[0]) | parity(&block[1]) | parity(&block[2]) | parity(&block[3]) != 0 {
+                return 0;
+            }
+        }
+        if blocks.remainder().iter().fold(0, |acc, r| acc | parity(r)) != 0 {
+            return 0;
+        }
+        // P = ± Π_{i ∈ I} S_i where I = { i : P anticommutes with D_i }.
+        // Pack I into one u64 (bit i set ⇔ destabilizer i anticommutes).
+        let mut select = 0u64;
+        let mut shift = 0u32;
+        let mut dblocks = destab.chunks_exact(LANE_BLOCK);
+        for block in dblocks.by_ref() {
+            let bits = u64::from(parity(&block[0]))
+                | u64::from(parity(&block[1])) << 1
+                | u64::from(parity(&block[2])) << 2
+                | u64::from(parity(&block[3])) << 3;
+            select |= bits << shift;
+            shift += LANE_BLOCK as u32;
+        }
+        for r in dblocks.remainder() {
+            select |= u64::from(parity(r)) << shift;
+            shift += 1;
+        }
+        // Accumulate the product phase over the set bits of `select`; the
+        // (ax, az) accumulator chain is inherently sequential.
+        let mut ax = 0u64;
+        let mut az = 0u64;
+        let mut k: i32 = 0; // phase exponent of i
+        while select != 0 {
+            let s = &stab[select.trailing_zeros() as usize];
+            select &= select - 1;
+            k += phase_exponent(ax, az, s.x, s.z) + if s.sign { 2 } else { 0 };
+            ax ^= s.x;
+            az ^= s.z;
+        }
+        debug_assert_eq!((ax, az), (px, pz), "destabilizer decomposition failed");
+        match k.rem_euclid(4) {
+            0 => 1,
+            2 => -1,
+            _ => unreachable!("hermitian pauli product acquired an odd i power"),
+        }
+    }
+
+    /// The pre-lane-blocking scalar [`Self::expectation_masks`], kept
+    /// verbatim as the pinned reference for the kernel-equivalence
+    /// proptests and the lane-blocked A/B bench. Not used on any hot
+    /// path.
+    pub fn expectation_masks_scalar(&self, px: u64, pz: u64) -> i8 {
         debug_assert!(
             self.n == 64 || (px | pz) >> self.n == 0,
             "mask bits above the register width"
@@ -739,6 +816,53 @@ mod tests {
             let (px, pz) = (code & 3, code >> 2);
             let p = PauliString::from_masks(2, px, pz);
             assert_eq!(t.expectation_masks(px, pz), t.expectation_pauli(&p));
+        }
+    }
+
+    #[test]
+    fn lane_blocked_kernel_matches_scalar_reference() {
+        // Widths straddling the LANE_BLOCK boundary (remainder 0..=3),
+        // exhaustive masks at small n, xorshift-sampled masks above.
+        for n in [1usize, 3, 4, 5, 7, 8, 9] {
+            let mut c = Circuit::new(n);
+            for q in 0..n {
+                c.h(q);
+                if q % 2 == 0 {
+                    c.s(q);
+                }
+                if q + 1 < n {
+                    c.cx(q, q + 1);
+                }
+            }
+            let t = Tableau::from_circuit(&c).unwrap();
+            let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            if n <= 7 {
+                for code in 0..(1u64 << (2 * n)) {
+                    let (px, pz) = (code & mask, code >> n);
+                    assert_eq!(
+                        t.expectation_masks(px, pz),
+                        t.expectation_masks_scalar(px, pz),
+                        "n={n} px={px:#b} pz={pz:#b}"
+                    );
+                }
+            } else {
+                let mut seed = 0x5EEDu64 + n as u64;
+                for _ in 0..512 {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    let px = seed & mask;
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    let pz = seed & mask;
+                    assert_eq!(
+                        t.expectation_masks(px, pz),
+                        t.expectation_masks_scalar(px, pz),
+                        "n={n} px={px:#b} pz={pz:#b}"
+                    );
+                }
+            }
         }
     }
 

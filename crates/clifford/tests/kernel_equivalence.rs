@@ -101,6 +101,59 @@ proptest! {
         );
     }
 
+    /// The lane-blocked `expectation_masks` equals the pinned scalar
+    /// reference on a width that exercises full lane blocks plus a
+    /// remainder (6 = 4 + 2).
+    #[test]
+    fn lane_blocked_masks_match_scalar(c in clifford_circuit(6, 48), p in pauli_string(6)) {
+        let t = Tableau::from_circuit(&c).unwrap();
+        prop_assert_eq!(
+            t.expectation_masks(p.x_mask(), p.z_mask()),
+            t.expectation_masks_scalar(p.x_mask(), p.z_mask())
+        );
+    }
+
+    /// Same pin across every width straddling the 4-row lane-block
+    /// boundary (3, 4, 5) and one spanning two full blocks plus a
+    /// remainder (9 = 2·4 + 1), so block, remainder, and select-mask
+    /// packing paths are all hit.
+    #[test]
+    fn lane_blocked_masks_match_scalar_across_boundary_widths(
+        seed_moves in proptest::collection::vec((0usize..11, 0usize..9, 1usize..9, 0usize..4), 0..48),
+        codes in proptest::collection::vec(0u8..4, 9),
+    ) {
+        for n in [3usize, 4, 5, 9] {
+            let mut c = Circuit::new(n);
+            for &(kind, q, offset, rot) in &seed_moves {
+                let q = q % n;
+                let q2 = (q + offset) % n;
+                match kind {
+                    0 => c.h(q),
+                    1 => c.s(q),
+                    2 => c.sdg(q),
+                    3 => c.x(q),
+                    4 => c.y(q),
+                    5 => c.z(q),
+                    6 if q != q2 => c.cx(q, q2),
+                    7 if q != q2 => c.cz(q, q2),
+                    6 | 7 => &mut c,
+                    8 => c.ry(q, rot as f64 * std::f64::consts::FRAC_PI_2),
+                    9 => c.rz(q, rot as f64 * std::f64::consts::FRAC_PI_2),
+                    _ => c.rx(q, rot as f64 * std::f64::consts::FRAC_PI_2),
+                };
+            }
+            let t = Tableau::from_circuit(&c).unwrap();
+            let mut p = PauliString::identity(n);
+            for (q, &code) in codes.iter().take(n).enumerate() {
+                p = p.with_pauli(q, Pauli::from_bits(code & 1 == 1, code >> 1 == 1));
+            }
+            prop_assert_eq!(
+                t.expectation_masks(p.x_mask(), p.z_mask()),
+                t.expectation_masks_scalar(p.x_mask(), p.z_mask())
+            );
+        }
+    }
+
     /// Measurement collapse: after measuring every qubit (exercising the
     /// bitwise row products on both stabilizer and destabilizer rows), the
     /// collapsed state must still satisfy the reference kernel on random

@@ -229,13 +229,42 @@ pub struct KtPolishSession {
     prefix: Arc<BranchEnsemble>,
     prefix_config: Vec<usize>,
     prefix_end: usize,
+    /// The template's layer boundaries (`CompiledAnsatz::layer_starts`).
+    layers: Vec<usize>,
+    /// Per-boundary snapshots, mirroring the Clifford
+    /// `PolishSession` stack: `stack[i]` (when `Some`) holds the state
+    /// after ops `0..layers[i]` under a configuration agreeing with
+    /// `prefix_config` on every parameter read before `layers[i]` — so
+    /// rewinds restore a snapshot instead of rebuilding from `|0…0⟩`.
+    stack: Vec<Option<Arc<BranchEnsemble>>>,
+    backward_seeks: u64,
+    stack_restores: u64,
 }
 
 impl KtPolishSession {
     pub(crate) fn new(core: Arc<KtCore>, engine: ExecEngine) -> Self {
         let d = core.template.num_parameters();
         let prefix = Arc::new(BranchEnsemble::zero_state(core.num_qubits));
-        KtPolishSession { core, engine, prefix, prefix_config: vec![0; d], prefix_end: 0 }
+        let layers = core.template.layer_starts().to_vec();
+        let stack = vec![None; layers.len()];
+        KtPolishSession {
+            core,
+            engine,
+            prefix,
+            prefix_config: vec![0; d],
+            prefix_end: 0,
+            layers,
+            stack,
+            backward_seeks: 0,
+            stack_restores: 0,
+        }
+    }
+
+    /// `(backward_seeks, stack_restores)`: seeks that could not reuse the
+    /// running checkpoint, and how many of those restored a layer
+    /// snapshot instead of rebuilding the prefix from `|0…0⟩`.
+    pub fn seek_stats(&self) -> (u64, u64) {
+        (self.backward_seeks, self.stack_restores)
     }
 
     /// Evaluates arbitrary full configurations (no shared prefix): the
@@ -267,30 +296,71 @@ impl KtPolishSession {
         self.evaluate_from_prefix(variants)
     }
 
-    /// Advances (or rebuilds) the prefix checkpoint to cover template
-    /// ops `0..target_end` under `base`. The existing checkpoint is
+    /// Advances (or rewinds) the prefix checkpoint to cover template
+    /// ops `0..target_end` under `base`. The running checkpoint is
     /// reused when every parameter it already consumed agrees with
-    /// `base` — so ascending coordinate sweeps extend it incrementally
-    /// instead of re-preparing from `|0…0⟩`.
+    /// `base` — so ascending coordinate sweeps extend it incrementally;
+    /// when it cannot be (a rewind, or a stale prefix), the deepest
+    /// still-valid layer snapshot at or below the target is restored and
+    /// only the ops past it replay, with a rebuild from `|0…0⟩` as the
+    /// last resort. Forward advances snapshot every layer boundary they
+    /// cross, so the stack refills as the sweep proceeds.
     fn seek(&mut self, base: &[usize], target_end: usize) {
         let template = &self.core.template;
-        let reusable = target_end >= self.prefix_end
-            && base
-                .iter()
-                .zip(&self.prefix_config)
-                .enumerate()
-                .all(|(p, (a, b))| template.first_op_of(p) >= self.prefix_end || a == b);
-        if !reusable {
-            Arc::make_mut(&mut self.prefix)
-                .run_compiled_prefix(template, base, 0)
-                .expect("an empty prefix opens no branches");
-            self.prefix_end = 0;
+        // Earliest op reading a parameter where `base` disagrees with
+        // the configuration the checkpoint and snapshots were built
+        // under; snapshots past it are not prefix states of `base`.
+        let diff_first = base
+            .iter()
+            .zip(&self.prefix_config)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(p, _)| template.first_op_of(p))
+            .min()
+            .unwrap_or(usize::MAX);
+        for (i, slot) in self.stack.iter_mut().enumerate() {
+            if self.layers[i] > diff_first {
+                *slot = None;
+            }
         }
-        if target_end > self.prefix_end {
-            Arc::make_mut(&mut self.prefix)
-                .apply_range(template, base, self.prefix_end, target_end)
+        let reusable = target_end >= self.prefix_end && self.prefix_end <= diff_first;
+        if !reusable {
+            self.backward_seeks += 1;
+            let restore = (0..self.layers.len())
+                .rev()
+                .find(|&i| self.layers[i] <= target_end && self.stack[i].is_some());
+            match restore {
+                Some(i) => {
+                    let ckpt = Arc::clone(self.stack[i].as_ref().expect("found Some above"));
+                    Arc::make_mut(&mut self.prefix).copy_from(&ckpt);
+                    self.prefix_end = self.layers[i];
+                    self.stack_restores += 1;
+                }
+                None => {
+                    Arc::make_mut(&mut self.prefix)
+                        .run_compiled_prefix(template, base, 0)
+                        .expect("an empty prefix opens no branches");
+                    self.prefix_end = 0;
+                }
+            }
+        }
+        while self.prefix_end < target_end {
+            let next = self.layers.iter().position(|&b| b > self.prefix_end && b <= target_end);
+            let prefix = Arc::make_mut(&mut self.prefix);
+            let stop = match next {
+                Some(i) => self.layers[i],
+                None => target_end,
+            };
+            prefix
+                .apply_range(template, base, self.prefix_end, stop)
                 .expect("a prefix of a feasible configuration stays within the branch budget");
-            self.prefix_end = target_end;
+            self.prefix_end = stop;
+            if let Some(i) = next {
+                match &mut self.stack[i] {
+                    Some(ckpt) => Arc::make_mut(ckpt).copy_from(prefix),
+                    slot => *slot = Some(Arc::new(prefix.clone())),
+                }
+            }
         }
         self.prefix_config.clear();
         self.prefix_config.extend_from_slice(base);

@@ -65,6 +65,29 @@ pub(crate) const CHUNKED_TERM_THRESHOLD: usize = 4096;
 /// worker counts, which the engine's determinism contract requires.
 const TERM_CHUNKS: usize = 8;
 
+/// Hamiltonians at or above this term count use the *wide* chunk
+/// association ([`TERM_CHUNKS_WIDE`]): at Cr2 scale (76k–149k terms) 8
+/// chunks leave pools beyond 8 workers idle and make each chunk several
+/// milliseconds of latency. The tier choice is a pure function of the
+/// term count (never of the host or worker count), so energies remain
+/// host-independent and bit-identical at any worker count *within* a
+/// tier; the two associations differ by FP reassociation like any two
+/// chunk counts would.
+pub(crate) const WIDE_TERM_THRESHOLD: usize = 65_536;
+
+/// Fixed partial-sum count for the ≥[`WIDE_TERM_THRESHOLD`]-term tier.
+const TERM_CHUNKS_WIDE: usize = 32;
+
+/// The frozen term-count → chunk-count association shared by every
+/// evaluation path (see [`EvalCore::term_chunk_ranges`]).
+const fn term_chunks_for(len: usize) -> usize {
+    if len >= WIDE_TERM_THRESHOLD {
+        TERM_CHUNKS_WIDE
+    } else {
+        TERM_CHUNKS
+    }
+}
+
 /// Batches below this many row-update units stay on the calling thread:
 /// dispatching to the pool costs a few microseconds per shard, so tiny
 /// workloads are faster serial.
@@ -124,8 +147,9 @@ impl EvalCore {
 
     /// `⟨H⟩` on a prepared tableau. Small Hamiltonians sum straight
     /// through; large ones (18/34-qubit systems) accumulate
-    /// [`TERM_CHUNKS`] partial sums combined in chunk order — one fixed
-    /// association shared by every evaluation path, so energies are
+    /// [`TERM_CHUNKS`] (or, at Cr2 scale, [`TERM_CHUNKS_WIDE`]) partial
+    /// sums combined in chunk order — one fixed association per term
+    /// count shared by every evaluation path, so energies are
     /// bit-identical serial vs. batched vs. term-sharded, at any worker
     /// count, on any host.
     fn hamiltonian_expectation(&self, tableau: &Tableau) -> f64 {
@@ -145,12 +169,15 @@ impl EvalCore {
     }
 
     /// The fixed chunk boundaries of the large-Hamiltonian association —
-    /// exactly the ranges `terms.chunks(len.div_ceil(TERM_CHUNKS))`
+    /// exactly the ranges `terms.chunks(len.div_ceil(term_chunks_for(len)))`
     /// visits, as one definition shared by every sharded path (so the
-    /// bit-identity contract cannot drift between them).
+    /// bit-identity contract cannot drift between them). The chunk count
+    /// is [`TERM_CHUNKS`], widening to [`TERM_CHUNKS_WIDE`] at
+    /// [`WIDE_TERM_THRESHOLD`] terms — a pure function of the term count,
+    /// so the association (and the energy) never depends on the host.
     fn term_chunk_ranges(&self) -> impl Iterator<Item = std::ops::Range<usize>> {
         let len = self.terms.len();
-        let chunk = len.div_ceil(TERM_CHUNKS);
+        let chunk = len.div_ceil(term_chunks_for(len));
         (0..len).step_by(chunk).map(move |start| start..(start + chunk).min(len))
     }
 
@@ -375,6 +402,8 @@ impl<'a> CliffordObjective<'a> {
     pub fn polish_session(&self, base: Vec<usize>) -> Option<PolishSession> {
         let template = self.core.template.as_ref()?;
         assert_eq!(base.len(), template.num_parameters(), "base config length mismatch");
+        let layers = template.layer_starts().to_vec();
+        let stack = vec![None; layers.len()];
         Some(PolishSession {
             core: Arc::clone(&self.core),
             engine: self.engine.clone(),
@@ -383,6 +412,11 @@ impl<'a> CliffordObjective<'a> {
             scratch: self.core.scratch(),
             config_buf: base.clone(),
             base,
+            layers,
+            stack,
+            use_stack: true,
+            backward_seeks: 0,
+            stack_restores: 0,
         })
     }
 
@@ -583,8 +617,14 @@ pub type PolishMove = Vec<(usize, usize)>;
 /// full-re-preparation cost of a polish evaluation into work
 /// proportional to the suffix length. Forward sweeps (slots in
 /// increasing op order, the shape of both polish phases) *advance* the
-/// checkpoint incrementally; out-of-order seeks rebuild it from
-/// `|0…0⟩`, which is always correct, merely slower.
+/// checkpoint incrementally; a *backward* seek restores the deepest
+/// still-valid entry of a per-layer checkpoint stack (one snapshot per
+/// `CompiledAnsatz::layer_starts` boundary, taken as forward advances
+/// cross it) and replays only from that boundary — falling back to a
+/// rebuild from `|0…0⟩` when no dominating snapshot survives, which is
+/// always correct, merely slower. Accepted moves invalidate exactly the
+/// snapshots past the earliest changed op, so every surviving entry is
+/// a true prefix state of the current base.
 ///
 /// # Determinism
 ///
@@ -608,6 +648,19 @@ pub struct PolishSession {
     prefix_end: usize,
     scratch: EvalScratch,
     config_buf: Vec<usize>,
+    /// The template's layer boundaries (`CompiledAnsatz::layer_starts`),
+    /// strictly increasing, each in `1..ops.len()`.
+    layers: Vec<usize>,
+    /// Per-boundary snapshots: `stack[i]` (when `Some`) holds the state
+    /// after ops `0..layers[i]` of a configuration agreeing with `base`
+    /// on every parameter whose first op is `< layers[i]` — i.e. a valid
+    /// restore point for any seek target `>= layers[i]`.
+    stack: Vec<Option<Arc<Tableau>>>,
+    /// The A/B seam: `false` freezes the pre-stack behavior (backward
+    /// seeks always rebuild from `|0…0⟩`) for the frozen-reference bench.
+    use_stack: bool,
+    backward_seeks: u64,
+    stack_restores: u64,
 }
 
 impl PolishSession {
@@ -620,39 +673,125 @@ impl PolishSession {
         self.core.template.as_ref().expect("polish sessions require a compiled template")
     }
 
+    /// Disables (or re-enables) the layered checkpoint stack — the A/B
+    /// seam for the backward-seek bench. With the stack off, backward
+    /// seeks always rebuild the prefix from `|0…0⟩` (the pre-stack
+    /// behavior); results are bit-identical either way, only the seek
+    /// cost differs. Disabling drops any snapshots already taken.
+    pub fn with_checkpoint_stack(mut self, enabled: bool) -> Self {
+        self.use_stack = enabled;
+        if !enabled {
+            for slot in &mut self.stack {
+                *slot = None;
+            }
+        }
+        self
+    }
+
+    /// `(backward_seeks, stack_restores)`: how many seeks moved the
+    /// checkpoint backwards this session, and how many of those restored
+    /// a layer snapshot instead of rebuilding the prefix from `|0…0⟩`.
+    pub fn seek_stats(&self) -> (u64, u64) {
+        (self.backward_seeks, self.stack_restores)
+    }
+
     /// Moves the prefix checkpoint to exactly `start` ops: advancing
-    /// applies the missing base ops on top of the current checkpoint;
-    /// moving backwards rebuilds from `|0…0⟩`.
+    /// applies the missing base ops on top of the current checkpoint
+    /// (snapshotting each layer boundary it crosses); moving backwards
+    /// restores the deepest valid snapshot at or below `start` and
+    /// advances from there, rebuilding from `|0…0⟩` only when no
+    /// snapshot dominates the target.
     fn seek(&mut self, start: usize) {
         if start == self.prefix_end {
             return;
         }
-        // The Arc is uniquely owned between batches (engine shards drop
-        // their clones before `map` returns), so this stays in place.
+        if start < self.prefix_end {
+            self.backward_seeks += 1;
+            let mut restored = false;
+            if self.use_stack {
+                // Deepest Some entry whose boundary is ≤ the target.
+                for i in (0..self.layers.len()).rev() {
+                    if self.layers[i] > start {
+                        continue;
+                    }
+                    if let Some(ckpt) = &self.stack[i] {
+                        let ckpt = Arc::clone(ckpt);
+                        // The Arc is uniquely owned between batches
+                        // (engine shards drop their clones before `map`
+                        // returns), so make_mut stays in place.
+                        Arc::make_mut(&mut self.prefix).copy_from(&ckpt);
+                        self.prefix_end = self.layers[i];
+                        self.stack_restores += 1;
+                        restored = true;
+                        break;
+                    }
+                }
+            }
+            if !restored {
+                let core = Arc::clone(&self.core);
+                let template = core.template.as_ref().expect("checked at session creation");
+                // ops 0..0 of anything is |0…0⟩: a pure reset.
+                Arc::make_mut(&mut self.prefix).run_compiled_prefix(template, &self.base, 0);
+                self.prefix_end = 0;
+            }
+        }
+        self.advance_to(start);
+    }
+
+    /// Forward half of [`Self::seek`]: applies base ops
+    /// `prefix_end..start` on top of the checkpoint, segment by segment,
+    /// snapshotting the state into the stack at every layer boundary
+    /// crossed (so later backward seeks have restore points).
+    fn advance_to(&mut self, start: usize) {
+        debug_assert!(start >= self.prefix_end);
         let core = Arc::clone(&self.core);
         let template = core.template.as_ref().expect("checked at session creation");
-        let prefix = Arc::make_mut(&mut self.prefix);
-        if start > self.prefix_end {
-            prefix.apply_range(template, &self.base, self.prefix_end, start);
-        } else {
-            prefix.run_compiled_prefix(template, &self.base, start);
+        while self.prefix_end < start {
+            let next = if self.use_stack {
+                self.layers.iter().position(|&b| b > self.prefix_end && b <= start)
+            } else {
+                None
+            };
+            let prefix = Arc::make_mut(&mut self.prefix);
+            match next {
+                Some(i) => {
+                    let boundary = self.layers[i];
+                    prefix.apply_range(template, &self.base, self.prefix_end, boundary);
+                    self.prefix_end = boundary;
+                    match &mut self.stack[i] {
+                        Some(ckpt) => Arc::make_mut(ckpt).copy_from(prefix),
+                        slot => *slot = Some(Arc::new(prefix.clone())),
+                    }
+                }
+                None => {
+                    prefix.apply_range(template, &self.base, self.prefix_end, start);
+                    self.prefix_end = start;
+                }
+            }
         }
-        self.prefix_end = start;
     }
 
     /// Applies an accepted move to the session base. Checkpoints at or
     /// before the move's earliest affected op stay valid (the forward
-    /// sweep case); a checkpoint past it is rewound, so acceptance is
-    /// always safe, in any order.
+    /// sweep case); a checkpoint past it is rewound — and every stack
+    /// snapshot past it is dropped — so acceptance is always safe, in
+    /// any order.
     pub fn accept(&mut self, mv: &[(usize, usize)]) {
-        let mut stale = self.prefix_end;
+        let mut first = usize::MAX;
         for &(slot, value) in mv {
             self.base[slot] = value;
             self.config_buf[slot] = value;
-            stale = stale.min(self.template().first_op_of(slot));
+            first = first.min(self.template().first_op_of(slot));
         }
-        if stale < self.prefix_end {
-            self.seek(stale);
+        // A snapshot at boundary b is a prefix state of the *new* base
+        // iff no changed parameter is read before b.
+        for (i, slot) in self.stack.iter_mut().enumerate() {
+            if self.layers[i] > first {
+                *slot = None;
+            }
+        }
+        if first < self.prefix_end {
+            self.seek(first);
         }
     }
 

@@ -64,6 +64,34 @@ use crate::objective::{CliffordObjective, ObjectiveValue, Penalty, PolishMove, P
 ///    given [`seed`](Self::seed); the greedy fold only ever accepts
 ///    improvements, so the final energy can never exceed the BO
 ///    incumbent's.
+///
+/// # Chunking and worker tiers
+///
+/// How an evaluation parallelises is a pure function of the problem
+/// size, never of the host — this section is the single source of truth
+/// for the three thresholds involved:
+///
+/// - **Term chunking** (`crates/core/src/objective.rs`): Hamiltonians
+///   with fewer than `CHUNKED_TERM_THRESHOLD = 4096` terms sum serially
+///   in term order. At or above it, the term list splits into a *fixed*
+///   number of contiguous chunks — 8 for the standard tier, widening to
+///   `TERM_CHUNKS_WIDE = 32` at `WIDE_TERM_THRESHOLD = 65_536` terms
+///   (the Cr2-surrogate scale, 76k–149k terms) so a single candidate
+///   can occupy more of the pool. Chunk partial sums always fold in
+///   chunk order, so the chunk count — not the worker count — fixes the
+///   floating-point association: energies are bit-identical at any
+///   worker count *within* a tier, and the tier is decided by the term
+///   count alone.
+/// - **Worker count** (`crates/core/src/engine.rs`): the process-global
+///   [`ExecEngine`] sizes itself to the available cores (capped at 16),
+///   overridable with the `CAFQA_WORKERS` environment variable. Because
+///   of the fixed chunk associations above, `CAFQA_WORKERS` is a pure
+///   throughput knob — it never changes any reported energy.
+/// - **Within-candidate vs across-candidate sharding**: batches of
+///   candidates shard across the pool one candidate per task; a single
+///   big-Hamiltonian candidate additionally term-shards its chunk list
+///   from inside the pool. Both reassemble results in submission order
+///   before any fold, preserving the serial trace exactly.
 #[derive(Debug, Clone)]
 pub struct CafqaOptions {
     /// Random warm-up evaluations (the paper uses 1000 for H2O).
@@ -153,10 +181,21 @@ pub struct CafqaResult {
     pub evaluations: usize,
     /// Evaluations spent in the polish endgame (the tail of `trace`).
     pub polish_evaluations: usize,
+    /// Wall-clock seconds spent in the warm-up + BO phase — phase-level
+    /// profiling metadata (Fig. 12 reports it); carries no physics and
+    /// is excluded from every bit-identity contract.
+    pub bo_seconds: f64,
     /// Wall-clock seconds spent in the polish endgame — phase-level
     /// profiling metadata (Fig. 12 reports it); carries no physics and
     /// is excluded from every bit-identity contract.
     pub polish_seconds: f64,
+    /// Polish seeks that had to rewind (target before the standing
+    /// prefix) and how many of those restored a layer checkpoint instead
+    /// of rebuilding from `|0…0⟩`, as `(backward_seeks,
+    /// stack_restores)`. Profiling metadata like the phase timers: the
+    /// restored state replays the same integer gate sequence either way,
+    /// so these counters are excluded from every bit-identity contract.
+    pub polish_seek_stats: (u64, u64),
 }
 
 /// One evaluation in the search trace.
@@ -228,6 +267,7 @@ pub fn run_cafqa_on(
     // The BO layer minimizes the penalized value; raw energies are
     // recovered per configuration afterwards from the recorded configs.
     let mut raw_trace: Vec<(f64, f64)> = Vec::new();
+    let bo_clock = Instant::now();
     let bo_opts = BoOptions {
         warmup: opts.warmup,
         iterations: opts.iterations,
@@ -264,6 +304,7 @@ pub fn run_cafqa_on(
         Vec::new()
     };
     let bo_evaluations = raw_trace.len();
+    let bo_seconds = bo_clock.elapsed().as_secs_f64();
     let polish_clock = Instant::now();
     let outcome = polish_on(engine, &objective, &result.best_config, opts, &history);
     let polish_seconds = polish_clock.elapsed().as_secs_f64();
@@ -288,7 +329,9 @@ pub fn run_cafqa_on(
         iterations_to_best,
         trace,
         polish_evaluations: outcome.trace.len(),
+        bo_seconds,
         polish_seconds,
+        polish_seek_stats: outcome.seek_stats,
     }
 }
 
@@ -355,6 +398,11 @@ pub struct PolishOutcome {
     /// `polish_screen_top = 0`, the forest-screened subset otherwise
     /// (empty when `polish_sweeps` is 0).
     pub pairs: Vec<(usize, usize)>,
+    /// `(backward_seeks, stack_restores)` from the incremental session's
+    /// layered checkpoint stack ([`PolishSession::seek_stats`]) —
+    /// `(0, 0)` on the full-re-preparation fallback. Profiling metadata,
+    /// excluded from every bit-identity contract.
+    pub seek_stats: (u64, u64),
 }
 
 /// The polish endgame as a standalone phase: greedy coordinate-descent
@@ -493,7 +541,8 @@ pub fn polish_on(
         }
         swept_pairs = pairs;
     }
-    PolishOutcome { best_config, best_value, trace, last_accept, pairs: swept_pairs }
+    let seek_stats = session.as_ref().map_or((0, 0), PolishSession::seek_stats);
+    PolishOutcome { best_config, best_value, trace, last_accept, pairs: swept_pairs, seek_stats }
 }
 
 /// Applies [`CafqaOptions::polish_screen_top`] to the full pair list:

@@ -169,7 +169,9 @@ fn frozen_run_cafqa(
         evaluations: trace.len(),
         iterations_to_best,
         polish_evaluations: 0, // metadata, not compared
+        bo_seconds: 0.0,
         polish_seconds: 0.0,
+        polish_seek_stats: (0, 0),
         trace,
     }
 }

@@ -87,6 +87,59 @@ fn threshold_boundary_bit_identical_across_workers() {
     }
 }
 
+/// The wide-tier counterpart: 65 535 (still the 8-chunk association),
+/// 65 536 (the 32-chunk wide tier turns on) and 65 537 term counts are
+/// all bit-identical to the serial chunked sum at every worker count, on
+/// both evaluation entry points — the tier is a pure function of the
+/// term count, so widening the chunk fan-out never changes a number.
+#[test]
+fn wide_tier_boundary_bit_identical_across_workers() {
+    let ansatz = EfficientSu2::new(QUBITS, 1);
+    let configs = probe_configs(2, ansatz.num_parameters());
+    for n_terms in [65_535usize, 65_536, 65_537] {
+        let hamiltonian = dense_hamiltonian(n_terms);
+        let reference =
+            CliffordObjective::new(&ansatz, &hamiltonian).with_engine(ExecEngine::serial());
+        let expected: Vec<ObjectiveValue> = configs.iter().map(|c| reference.evaluate(c)).collect();
+        for workers in [1usize, 2, 8] {
+            let label = format!("{n_terms} terms, {workers} workers");
+            let objective =
+                CliffordObjective::new(&ansatz, &hamiltonian).with_engine(ExecEngine::new(workers));
+            let singles: Vec<ObjectiveValue> =
+                configs.iter().map(|c| objective.evaluate(c)).collect();
+            assert_values_bit_identical(&singles, &expected, &format!("{label}, single"));
+            let batch = objective.evaluate_batch(&configs);
+            assert_values_bit_identical(&batch, &expected, &format!("{label}, batch"));
+        }
+    }
+}
+
+/// Crossing the wide-tier threshold changes only the fold association
+/// (8 chunks → 32 chunks), never the physics: summing the same terms
+/// under both associations agrees to floating-point reassociation noise.
+#[test]
+fn wide_tier_association_change_is_reassociation_only() {
+    let ansatz = EfficientSu2::new(QUBITS, 1);
+    let config = &probe_configs(1, ansatz.num_parameters())[0];
+    // Both tiers against the association-free per-term sweep: the
+    // 8-chunk fold at 65 535 terms and the 32-chunk fold at 65 536 terms
+    // must each match the plain term-order sum to reassociation noise,
+    // so crossing the threshold can only move an energy within that
+    // same tolerance band.
+    for n_terms in [65_535usize, 65_536] {
+        let op = dense_hamiltonian(n_terms);
+        let objective = CliffordObjective::new(&ansatz, &op).with_engine(ExecEngine::serial());
+        let chunked = objective.evaluate(config).energy;
+        let per_term: f64 =
+            objective.term_expectations(config).iter().map(|(_, c, e)| c * *e as f64).sum();
+        let scale = chunked.abs().max(1.0);
+        assert!(
+            (per_term - chunked).abs() <= 1e-9 * scale,
+            "{n_terms} terms: chunked fold must be reassociation-only: {chunked} vs {per_term}"
+        );
+    }
+}
+
 /// The neighbor-evaluation boundary case: incremental polish
 /// evaluations on a ≥ 4096-term Hamiltonian must reuse the *same* fixed
 /// 8-chunk association as full evaluations — at 4095 (below threshold),

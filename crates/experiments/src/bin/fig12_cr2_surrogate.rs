@@ -89,10 +89,16 @@ fn main() {
         };
         let result = runner.run_on(&engine, &opts);
         if polish_this_bond {
+            let (seeks, restores) = result.polish_seek_stats;
             println!(
                 "polish phase at {bond:.2} Å: {} evaluation(s) in {:.1} s \
-                 (incremental replay, screened top-{} pairs)",
-                result.polish_evaluations, result.polish_seconds, opts.polish_screen_top
+                 (incremental replay, screened top-{} pairs; {} backward seek(s), \
+                 {} restored from the layer-checkpoint stack)",
+                result.polish_evaluations,
+                result.polish_seconds,
+                opts.polish_screen_top,
+                seeks,
+                restores,
             );
             polish_timed = true;
         }
@@ -128,7 +134,15 @@ fn main() {
             format!("{:.4}", hf - result.energy),
             terms.to_string(),
             format!("{:.0}s", start.elapsed().as_secs_f64()),
-            format!("{}ev/{:.1}s", result.polish_evaluations, result.polish_seconds),
+            // Per-phase split: BO (warm-up + acquisition) vs polish, with
+            // the polish endgame's backward-seek profile — restores are
+            // the layer-checkpoint-stack hits that replaced full prefix
+            // rebuilds (the backward-seek win).
+            format!("bo{:.1}s/pol{:.1}s", result.bo_seconds, result.polish_seconds),
+            format!(
+                "{}ev {}bk/{}rst",
+                result.polish_evaluations, result.polish_seek_stats.0, result.polish_seek_stats.1
+            ),
             if conv { "yes".into() } else { "NO".into() },
         ]);
     }
@@ -141,6 +155,7 @@ fn main() {
             "CAFQA_gain",
             "H_terms",
             "time",
+            "phases",
             "polish",
             "scf_ok",
         ],
