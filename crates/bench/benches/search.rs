@@ -32,7 +32,8 @@ use cafqa_circuit::{Ansatz, EfficientSu2};
 use cafqa_clifford::{BranchEnsemble, CliffordTState, Tableau};
 use cafqa_core::exhaustive::{exhaustive_search_serial, exhaustive_search_with_workers};
 use cafqa_core::{
-    polish_on, run_cafqa_kt_on, widen_clifford_config, CafqaOptions, CliffordObjective, ExecEngine,
+    kt_session, polish_on, run_cafqa_kt_on, widen_clifford_config, CafqaOptions, CliffordObjective,
+    ExecEngine, KtPolishSession,
 };
 use cafqa_linalg::Complex64;
 use cafqa_pauli::{PauliOp, PauliString};
@@ -51,11 +52,54 @@ fn filter_matches(name: &str) -> bool {
     }
 }
 
+/// Rewrites every numeric token equal to negative zero (`-0.0`,
+/// `-0.000000`, `-0e5`, …) without its sign, so formatted values like
+/// `{:.6}` of an exactly-zero-but-negative f64 never land in the
+/// recorded JSON as `-0.0`. Tokens that merely *start* with `-0` (e.g.
+/// `-0.05`) parse nonzero and pass through untouched.
+fn normalize_negative_zero(json: &str) -> String {
+    let bytes = json.as_bytes();
+    let mut out = String::with_capacity(json.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let is_number_start = bytes[i] == b'-'
+            && i + 1 < bytes.len()
+            && bytes[i + 1].is_ascii_digit()
+            && !matches!(out.as_bytes().last(), Some(p) if p.is_ascii_alphanumeric() || *p == b'.');
+        if is_number_start {
+            let mut j = i + 1;
+            while j < bytes.len()
+                && (bytes[j].is_ascii_digit()
+                    || bytes[j] == b'.'
+                    || bytes[j] == b'e'
+                    || bytes[j] == b'E'
+                    || ((bytes[j] == b'+' || bytes[j] == b'-')
+                        && matches!(bytes[j - 1], b'e' | b'E')))
+            {
+                j += 1;
+            }
+            let token = &json[i..j];
+            if token.parse::<f64>() == Ok(0.0) {
+                out.push_str(&token[1..]); // drop the sign: −0 → 0
+            } else {
+                out.push_str(token);
+            }
+            i = j;
+        } else {
+            out.push(json.as_bytes()[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
 /// Accumulates `name → json` entries and rewrites `BENCH_search.json`
 /// (workspace root) on every record. Entries already on disk from
 /// *other* (e.g. filtered) runs are preserved — a `-- term_sharded`
 /// smoke must not clobber the pooled or windowed numbers — with
-/// in-process entries overriding same-named ones.
+/// in-process entries overriding same-named ones. Keys are emitted in
+/// sorted order and negative zeros normalized away (both for new and
+/// merged-from-disk entries), so re-recorded runs produce clean diffs.
 fn record_bench_json(name: &str, json: String) {
     static RESULTS: OnceLock<Mutex<Vec<(String, String)>>> = OnceLock::new();
     let results = RESULTS.get_or_init(|| Mutex::new(Vec::new()));
@@ -82,7 +126,9 @@ fn record_bench_json(name: &str, json: String) {
         merged.retain(|(k, _)| k != n);
         merged.push((n.clone(), j.clone()));
     }
-    let body: Vec<String> = merged.iter().map(|(n, j)| format!("  \"{n}\": {j}")).collect();
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    let body: Vec<String> =
+        merged.iter().map(|(n, j)| format!("  \"{n}\": {}", normalize_negative_zero(j))).collect();
     let _ = std::fs::write(path, format!("{{\n{}\n}}\n", body.join(",\n")));
 }
 
@@ -1537,6 +1583,161 @@ fn bench_kt_engine_vs_reference(c: &mut Criterion) {
     group.finish();
 }
 
+/// A Clifford+T objective with *tiered* coefficient weights (heavy,
+/// mid, light, feather), the workload shape screening is built for: the
+/// per-term tolerance `tol / |w|` prunes nearly every cross-term class
+/// of the feather tiers while leaving the heavy tier exact.
+fn kt_screened_objective() -> (EfficientSu2, PauliOp) {
+    let ansatz = EfficientSu2::new(12, 1);
+    let mut seed = 0x5C4EE_u64;
+    let tier = [0.15, 0.01, 1e-3, 1e-4];
+    let op = PauliOp::from_terms(
+        12,
+        (0..192).map(|i| {
+            let c = tier[i % 4] * ((i % 7) as f64 + 1.0);
+            (Complex64::from(c), random_pauli(12, &mut seed))
+        }),
+    );
+    (ansatz, op)
+}
+
+/// 8-ary configurations with exactly `t` odd (branching) entries each —
+/// the `2^t`-branch evaluation shape of a `k_max = t` search endgame.
+fn kt_screened_configs(num_parameters: usize, t: usize, count: usize) -> Vec<Vec<usize>> {
+    (0..count)
+        .map(|s| {
+            let mut config: Vec<usize> =
+                (0..num_parameters).map(|i| 2 * ((s.wrapping_mul(31) + i * 7) % 4)).collect();
+            for j in 0..t {
+                let slot = (s.wrapping_mul(13) + j * 5) % num_parameters;
+                config[(slot + j) % num_parameters] |= 1;
+            }
+            config
+        })
+        .collect()
+}
+
+/// The screened-pair-sum A/B: `screen_tolerance = 2e-3` vs the exact
+/// `screen_tolerance = 0` evaluator on the same candidates, at 12
+/// qubits and `t = 4..=6`. Before any timing, every screened candidate
+/// is asserted within the configured tolerance of its exact energy, the
+/// skipped-class counters are asserted nonzero and their fraction
+/// *growing* with `t` (the quadratic-Clifford bounds `2^{-ν/2}` shrink
+/// as classes get heavier, so deeper branch spaces screen harder).
+/// The throughput gate holds at `t = 4` — the screening advantage is
+/// algorithmic (fewer class sums), not parallelism, so it applies on
+/// any host — and the growing advantage with `t` is recorded in
+/// `BENCH_search.json`.
+fn bench_kt_screened_vs_exact(c: &mut Criterion) {
+    const GROUP: &str = "kt_screened_vs_exact_12q";
+    if !filter_matches(GROUP) {
+        return;
+    }
+    const EPS: f64 = 2e-3;
+    const CANDIDATES: usize = 12;
+    let (ansatz, hamiltonian) = kt_screened_objective();
+    let d = ansatz.num_parameters();
+    let engine = ExecEngine::new(4);
+    let mut exact_ms = Vec::new();
+    let mut screened_ms = Vec::new();
+    let mut speedups = Vec::new();
+    let mut skip_fractions: Vec<f64> = Vec::new();
+    let mut drifts = Vec::new();
+    let mut t4_gate = None;
+    for t in 4..=6usize {
+        let configs = kt_screened_configs(d, t, CANDIDATES);
+        for config in &configs {
+            assert_eq!(cafqa_core::t_count_of(config), t);
+        }
+        let mut exact =
+            kt_session(&engine, &ansatz, &hamiltonian, &[], 0.0).expect("template compiles");
+        let mut screened =
+            kt_session(&engine, &ansatz, &hamiltonian, &[], EPS).expect("template compiles");
+        let ev = exact.evaluate_batch(&configs);
+        let sv = screened.evaluate_batch(&configs);
+        assert_eq!(exact.skipped_classes(), 0, "tol = 0 must never skip");
+        let skipped = screened.skipped_classes();
+        assert!(skipped > 0, "tolerance {EPS} never fired at t = {t}");
+        // Every candidate within the configured tolerance of exact.
+        let mut max_drift = 0.0f64;
+        for (e, s) in ev.iter().zip(&sv) {
+            let drift = (e.energy - s.energy).abs();
+            assert!(
+                drift <= EPS,
+                "t = {t}: screened {} vs exact {} beyond {EPS}",
+                s.energy,
+                e.energy
+            );
+            max_drift = max_drift.max(drift);
+        }
+        // Skipped fraction of all (candidate, term, class) triples —
+        // must grow with t as class weights ν climb.
+        let total = (CANDIDATES * hamiltonian.num_terms() * (1 << t)) as f64;
+        let fraction = skipped as f64 / total;
+        if let Some(prev) = skip_fractions.last() {
+            assert!(
+                fraction > *prev,
+                "skip fraction must grow with t: {fraction:.4} at t = {t} vs {prev:.4}"
+            );
+        }
+        let time_best3 = |session: &mut KtPolishSession| {
+            black_box(session.evaluate_batch(&configs)); // warm
+            (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    black_box(session.evaluate_batch(&configs));
+                    t0.elapsed()
+                })
+                .min()
+                .unwrap()
+        };
+        let exact_elapsed = time_best3(&mut exact);
+        let screened_elapsed = time_best3(&mut screened);
+        if t == 4 {
+            t4_gate = Some((exact_elapsed, screened_elapsed));
+        }
+        exact_ms.push(format!("{:.3}", exact_elapsed.as_secs_f64() * 1e3));
+        screened_ms.push(format!("{:.3}", screened_elapsed.as_secs_f64() * 1e3));
+        speedups
+            .push(format!("{:.3}", exact_elapsed.as_secs_f64() / screened_elapsed.as_secs_f64()));
+        skip_fractions.push(fraction);
+        drifts.push(format!("{max_drift:.3e}"));
+    }
+    record_bench_json(
+        "kt_screened_vs_exact_12q_t4to6_192terms",
+        format!(
+            "{{\"qubits\": 12, \"terms\": 192, \"candidates\": {CANDIDATES}, \
+             \"tolerance\": {EPS}, \"t\": [4, 5, 6], \"exact_ms\": [{}], \
+             \"screened_ms\": [{}], \"speedup\": [{}], \"skip_fraction\": [{}], \
+             \"max_drift\": [{}], \"within_tolerance\": true}}",
+            exact_ms.join(", "),
+            screened_ms.join(", "),
+            speedups.join(", "),
+            skip_fractions.iter().map(|f| format!("{f:.4}")).collect::<Vec<_>>().join(", "),
+            drifts.join(", ")
+        ),
+    );
+    // The acceptance gate: screened evaluation must be at least at exact
+    // throughput already at t = 4 (5 % timer tolerance) — the advantage
+    // then grows with t, which the recorded speedups show.
+    let (exact_t4, screened_t4) = t4_gate.unwrap();
+    assert!(
+        screened_t4.as_secs_f64() <= exact_t4.as_secs_f64() * 1.05,
+        "screened evaluation slower than exact at t = 4: {screened_t4:?} vs {exact_t4:?}"
+    );
+
+    let configs = kt_screened_configs(d, 6, CANDIDATES);
+    let mut exact =
+        kt_session(&engine, &ansatz, &hamiltonian, &[], 0.0).expect("template compiles");
+    let mut screened =
+        kt_session(&engine, &ansatz, &hamiltonian, &[], EPS).expect("template compiles");
+    let mut group = c.benchmark_group(GROUP);
+    group.bench_function("exact_t6", |b| b.iter(|| black_box(exact.evaluate_batch(&configs))));
+    group
+        .bench_function("screened_t6", |b| b.iter(|| black_box(screened.evaluate_batch(&configs))));
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -1554,6 +1755,6 @@ criterion_group! {
               bench_backward_seek_polish, bench_wide_chunk_tier,
               bench_windowed_vs_full_refit,
               bench_incremental_polish, bench_kt_tableau_vs_dense,
-              bench_kt_engine_vs_reference
+              bench_kt_engine_vs_reference, bench_kt_screened_vs_exact
 }
 criterion_main!(search);

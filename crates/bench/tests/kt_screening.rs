@@ -1,0 +1,172 @@
+//! The kT screening equivalence suite (tier-1): `screen_tolerance = 0`
+//! must reproduce the PR 6 kT search — the pre-screening
+//! compiled/engine path — **bit for bit** at any worker count, and keep
+//! the frozen `reference_kt` relations (equal-or-better energy on the
+//! same seeds and budget, zero rejected evaluations against the
+//! rejection-sampled baseline). A *binding* tolerance must actually
+//! skip classes, stay within the configured tolerance on every
+//! candidate, and report worker-count-independent counters.
+
+use cafqa_bench::reference_kt;
+use cafqa_circuit::{Ansatz, EfficientSu2};
+use cafqa_core::{kt_session, run_cafqa_kt_on, CafqaKtResult, CafqaOptions, ExecEngine};
+use cafqa_linalg::Complex64;
+use cafqa_pauli::{PauliOp, PauliString};
+
+/// A deterministic random Pauli operator with tiered coefficient
+/// weights (heavy, mid, light, feather) so a mid-sized tolerance
+/// screens some terms' classes and not others'.
+fn tiered_op(nq: usize, terms: usize, seed: u64) -> PauliOp {
+    let mask = (1u64 << nq) - 1;
+    let mut state = seed;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let tier = [0.35, 0.05, 1e-3, 1e-4];
+    PauliOp::from_terms(
+        nq,
+        (0..terms).map(|i| {
+            let x = next() & mask;
+            let z = next() & mask;
+            let c = tier[i % 4] * f64::from((i % 7) as u32 + 1);
+            (Complex64::new(c, 0.0), PauliString::from_masks(nq, x, z))
+        }),
+    )
+}
+
+/// 8-ary configurations with exactly `t` odd (branching) entries.
+fn configs_with_t(d: usize, t: usize, count: usize) -> Vec<Vec<usize>> {
+    (0..count)
+        .map(|s| {
+            let mut config: Vec<usize> =
+                (0..d).map(|i| 2 * ((s.wrapping_mul(31) + i * 7) % 4)).collect();
+            for j in 0..t {
+                let slot = (s.wrapping_mul(13) + j * 5) % d;
+                config[(slot + j) % d] |= 1;
+            }
+            config
+        })
+        .collect()
+}
+
+fn bits_of(r: &CafqaKtResult) -> Vec<(u64, u64)> {
+    r.trace.iter().map(|p| (p.energy.to_bits(), p.penalized.to_bits())).collect()
+}
+
+/// `screen_tolerance = 0.0` (and `kt_rank_top = 0`) is the PR 6 search,
+/// bit for bit, at workers 1, 2 and 8 — and beats the frozen
+/// rejection-sampled `reference_kt` on the same seeds and budget.
+#[test]
+fn zero_tolerance_reproduces_the_pr6_search_against_reference_kt() {
+    let ansatz = EfficientSu2::new(3, 1);
+    let h = tiered_op(3, 24, 0x5C4EE);
+    let opts = CafqaOptions { warmup: 20, iterations: 30, polish_sweeps: 1, ..Default::default() };
+    let k_max = 2;
+    // The PR 6 path: the options predate screening, so the legacy
+    // defaults *are* the pre-screening search.
+    let legacy = {
+        let engine = ExecEngine::new(1);
+        run_cafqa_kt_on(&engine, &ansatz, &h, Vec::new(), k_max, &[], &opts).unwrap()
+    };
+    let explicit = CafqaOptions { screen_tolerance: 0.0, kt_rank_top: 0, ..opts.clone() };
+    for workers in [1usize, 2, 8] {
+        let engine = ExecEngine::new(workers);
+        let run = run_cafqa_kt_on(&engine, &ansatz, &h, Vec::new(), k_max, &[], &explicit).unwrap();
+        assert_eq!(run.best_config, legacy.best_config, "workers {workers}");
+        assert_eq!(run.energy.to_bits(), legacy.energy.to_bits(), "workers {workers}");
+        assert_eq!(bits_of(&run), bits_of(&legacy), "workers {workers}");
+        assert_eq!(run.iterations_to_best, legacy.iterations_to_best, "workers {workers}");
+        assert_eq!(run.screened_classes, 0, "workers {workers}");
+        assert_eq!(run.screened_moves, 0, "workers {workers}");
+    }
+    // The frozen pre-port loop on the same seeds and budget: the genome
+    // search must match or beat it without wasting a single evaluation,
+    // while the 8-ary rejection loop keeps burning budget.
+    let reference = reference_kt(&ansatz, &h, &[], k_max, &[], &opts);
+    assert!(
+        legacy.energy <= reference.energy + 1e-9,
+        "engine {} vs reference {}",
+        legacy.energy,
+        reference.energy
+    );
+    assert_eq!(legacy.rejected_evaluations, 0);
+    assert!(reference.rejected_evaluations > 0, "the 8-ary reference should reject some");
+}
+
+/// A binding tolerance skips classes, stays within the configured
+/// tolerance on every candidate, and its counters are identical at any
+/// worker count.
+#[test]
+fn binding_tolerance_screens_within_tolerance_at_any_worker_count() {
+    let nq = 6;
+    let ansatz = EfficientSu2::new(nq, 1);
+    let d = ansatz.num_parameters();
+    let h = tiered_op(nq, 48, 0x2B7);
+    let tol = 2e-3;
+    let configs = configs_with_t(d, 5, 24);
+    let mut baseline: Option<(Vec<u64>, u64)> = None;
+    for workers in [1usize, 2, 8] {
+        let engine = ExecEngine::new(workers);
+        let mut exact = kt_session(&engine, &ansatz, &h, &[], 0.0).expect("template compiles");
+        let mut screened = kt_session(&engine, &ansatz, &h, &[], tol).expect("template compiles");
+        let ev = exact.evaluate_batch(&configs);
+        let sv = screened.evaluate_batch(&configs);
+        assert_eq!(exact.skipped_classes(), 0);
+        assert!(screened.skipped_classes() > 0, "tolerance {tol} never fired");
+        for (e, s) in ev.iter().zip(&sv) {
+            assert!(
+                (e.energy - s.energy).abs() <= tol,
+                "screened {} vs exact {} beyond tol {tol}",
+                s.energy,
+                e.energy
+            );
+        }
+        let bits: Vec<u64> = sv.iter().map(|v| v.energy.to_bits()).collect();
+        match &baseline {
+            None => baseline = Some((bits, screened.skipped_classes())),
+            Some((b_bits, b_skipped)) => {
+                assert_eq!(&bits, b_bits, "workers {workers}");
+                assert_eq!(screened.skipped_classes(), *b_skipped, "workers {workers}");
+            }
+        }
+    }
+}
+
+/// The coarse ranking scores order candidate moves consistently with
+/// the exact objective on bound-dominated gaps: the exact best of a
+/// batch is always within the top half of the ranking.
+#[test]
+fn rank_scores_keep_the_exact_winner_near_the_top() {
+    let nq = 4;
+    let ansatz = EfficientSu2::new(nq, 1);
+    let d = ansatz.num_parameters();
+    let h = tiered_op(nq, 32, 0xA11CE);
+    let engine = ExecEngine::new(2);
+    let mut session = kt_session(&engine, &ansatz, &h, &[], 0.0).expect("template compiles");
+    let base: Vec<usize> = configs_with_t(d, 3, 1).remove(0);
+    // A coordinate batch at parameter 0, like the polish builds.
+    let variants: Vec<Vec<usize>> = (0..8)
+        .filter(|&v| v != base[0] && v % 2 == base[0] % 2)
+        .map(|v| {
+            let mut c = base.clone();
+            c[0] = v;
+            c
+        })
+        .collect();
+    let exact = session.evaluate_variants(&base, &[0], &variants);
+    let scores = session.rank_variants(&base, &[0], &variants);
+    assert_eq!(scores.len(), variants.len());
+    let exact_best = exact
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.penalized.total_cmp(&b.1.penalized))
+        .map(|(i, _)| i)
+        .unwrap();
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let position = order.iter().position(|&i| i == exact_best).unwrap();
+    assert!(position <= scores.len() / 2, "exact winner ranked {position} of {}", scores.len());
+}

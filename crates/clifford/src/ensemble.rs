@@ -62,6 +62,7 @@ pub struct BranchFrames {
     sz: Vec<u64>,
     k: Vec<u8>,
     w: Vec<Complex64>,
+    bound: Vec<f64>,
 }
 
 impl BranchFrames {
@@ -70,6 +71,40 @@ impl BranchFrames {
     pub fn num_branches(&self) -> usize {
         self.w.len()
     }
+
+    /// The quadratic-Clifford magnitude bound of XOR class `c`:
+    /// `|Σ_{a⊕b=c} conj(w_a)·w_b·⟨φ_a|P|φ_b⟩| ≤ Π_{j∈c} |sin θ_j|`
+    /// for **any** Pauli `P` (amplitude product summed over the class,
+    /// with `|⟨φ_a|P|φ_b⟩| ≤ 1`). For `±π/4` branch angles (`T`/`T†`)
+    /// every factor is `1/√2`, so the bound is `2^{-ν(c)/2}` with `ν(c)`
+    /// the overlap rank (popcount) of the class — the stabilizer-overlap
+    /// decay of the quadratic Clifford expansion (arXiv 2011.09927).
+    ///
+    /// Cached at [`BranchEnsemble::frames`] time via the same
+    /// lowest-set-bit recursion as the subset products, so a screen
+    /// query is one array read instead of a phase-sensitive inner
+    /// product. Strictly positive: a branch angle with `sin θ = 0`
+    /// would be an on-grid (Clifford) rotation and never opens a frame.
+    #[inline]
+    pub fn class_bound(&self, c: usize) -> f64 {
+        self.bound[c]
+    }
+}
+
+/// The result of a [`BranchEnsemble::pair_sum_screened`] fold: the sum
+/// over the surviving classes plus what the bound screen dropped.
+///
+/// `|pair_sum − sum| ≤ skipped_mass` always (each skipped class
+/// contributes at most its [`BranchFrames::class_bound`]), so the caller
+/// can turn the reported mass into a rigorous per-term error bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScreenedSum {
+    /// The pair sum over classes whose bound cleared the tolerance.
+    pub sum: f64,
+    /// Number of classes skipped by the bound screen.
+    pub skipped_classes: usize,
+    /// Total class-bound mass of the skipped classes.
+    pub skipped_mass: f64,
 }
 
 /// A Clifford+T state held as a base stabilizer tableau plus suffix-
@@ -323,6 +358,9 @@ impl BranchEnsemble {
         let mut sz = vec![0u64; size];
         let mut k = vec![0u8; size];
         let mut w = vec![Complex64::ZERO; size];
+        // Per-class screen bounds Π_{j∈c} |sin θ_j| (2·|cos(θ/2)·sin(θ/2)|
+        // per branch point), built by the same recursion as the products.
+        let mut bound = vec![1.0f64; size];
         for a in 1..size {
             let low = a.trailing_zeros() as usize;
             let rest = a & (a - 1);
@@ -333,6 +371,8 @@ impl BranchEnsemble {
             sx[a] = sx[rest] ^ f.x;
             sz[a] = sz[rest] ^ f.z;
             k[a] = e.rem_euclid(4) as u8;
+            let (cos_half, sin_half) = self.half_weights[low];
+            bound[a] = bound[rest] * 2.0 * (cos_half * sin_half).abs();
         }
         for (a, slot) in w.iter_mut().enumerate() {
             let mut wa = Complex64::ONE;
@@ -345,7 +385,65 @@ impl BranchEnsemble {
             }
             *slot = wa;
         }
-        BranchFrames { sx, sz, k, w }
+        BranchFrames { sx, sz, k, w, bound }
+    }
+
+    /// One XOR class of the branch-pair sum: `eps_c · Σ_{a⊕b=c} …` with
+    /// `eps_c` the base-tableau expectation of the class-shifted Pauli.
+    /// Shared verbatim by [`Self::pair_sum`] and
+    /// [`Self::pair_sum_screened`], so the two fold bit-identical class
+    /// values (a vanishing `eps` returns exactly `0.0`, which leaves any
+    /// accumulator's bits unchanged).
+    fn class_sum(&self, frames: &BranchFrames, px: u64, pz: u64, c: usize) -> f64 {
+        let size = frames.w.len();
+        let eps = self.base.expectation_masks(px ^ frames.sx[c], pz ^ frames.sz[c]);
+        if eps == 0 {
+            return 0.0;
+        }
+        let eps = f64::from(eps);
+        if c == 0 {
+            // Diagonal class: ⟨φ_a|P|φ_a⟩ = ±eps with the sign from
+            // conjugating P by the (Hermitian) subset product S_a.
+            let mut diag = 0.0;
+            for a in 0..size {
+                let e1 = phase_exponent(frames.sx[a], frames.sz[a], px, pz);
+                let e2 = phase_exponent(
+                    frames.sx[a] ^ px,
+                    frames.sz[a] ^ pz,
+                    frames.sx[a],
+                    frames.sz[a],
+                );
+                let kk = (e1 + e2).rem_euclid(4);
+                debug_assert!(kk % 2 == 0, "diagonal cross term acquired an odd i power");
+                let sign = if kk == 0 { 1.0 } else { -1.0 };
+                diag += frames.w[a].norm_sqr() * sign;
+            }
+            eps * diag
+        } else {
+            // Each unordered pair {a, b = a⊕c} appears once: fix the
+            // top set bit of c clear in a (so b has it set, b > a) and
+            // fold both orientations via 2·Re(conj(w_a)·w_b·i^K).
+            let high = 1usize << (usize::BITS - 1 - c.leading_zeros());
+            let mut cls = 0.0;
+            for a in 0..size {
+                if a & high != 0 {
+                    continue;
+                }
+                let b = a ^ c;
+                let e1 = phase_exponent(frames.sx[a], frames.sz[a], px, pz);
+                let e2 = phase_exponent(
+                    frames.sx[a] ^ px,
+                    frames.sz[a] ^ pz,
+                    frames.sx[b],
+                    frames.sz[b],
+                );
+                let kk = (i32::from(frames.k[b]) - i32::from(frames.k[a]) + e1 + e2).rem_euclid(4)
+                    as usize;
+                let z = frames.w[a].conj() * frames.w[b] * I_POW[kk];
+                cls += 2.0 * z.re;
+            }
+            eps * cls
+        }
     }
 
     /// The branch-pair sum `Σ_{a⊕b ∈ classes} conj(w_a)·w_b·⟨φ_a|P|φ_b⟩`
@@ -360,60 +458,48 @@ impl BranchEnsemble {
     /// `⟨φ_0|P(px⊕sx_c, pz⊕sz_c)|φ_0⟩ = 0`, all `2^{t−1}` pairs of the
     /// class vanish together.
     pub fn pair_sum(&self, frames: &BranchFrames, px: u64, pz: u64, classes: Range<usize>) -> f64 {
-        let size = frames.w.len();
-        debug_assert!(classes.end <= size, "class range beyond 2^t");
+        debug_assert!(classes.end <= frames.w.len(), "class range beyond 2^t");
         let mut acc = 0.0;
         for c in classes {
-            let eps = self.base.expectation_masks(px ^ frames.sx[c], pz ^ frames.sz[c]);
-            if eps == 0 {
-                continue;
-            }
-            let eps = f64::from(eps);
-            if c == 0 {
-                // Diagonal class: ⟨φ_a|P|φ_a⟩ = ±eps with the sign from
-                // conjugating P by the (Hermitian) subset product S_a.
-                let mut diag = 0.0;
-                for a in 0..size {
-                    let e1 = phase_exponent(frames.sx[a], frames.sz[a], px, pz);
-                    let e2 = phase_exponent(
-                        frames.sx[a] ^ px,
-                        frames.sz[a] ^ pz,
-                        frames.sx[a],
-                        frames.sz[a],
-                    );
-                    let kk = (e1 + e2).rem_euclid(4);
-                    debug_assert!(kk % 2 == 0, "diagonal cross term acquired an odd i power");
-                    let sign = if kk == 0 { 1.0 } else { -1.0 };
-                    diag += frames.w[a].norm_sqr() * sign;
-                }
-                acc += eps * diag;
-            } else {
-                // Each unordered pair {a, b = a⊕c} appears once: fix the
-                // top set bit of c clear in a (so b has it set, b > a) and
-                // fold both orientations via 2·Re(conj(w_a)·w_b·i^K).
-                let high = 1usize << (usize::BITS - 1 - c.leading_zeros());
-                let mut cls = 0.0;
-                for a in 0..size {
-                    if a & high != 0 {
-                        continue;
-                    }
-                    let b = a ^ c;
-                    let e1 = phase_exponent(frames.sx[a], frames.sz[a], px, pz);
-                    let e2 = phase_exponent(
-                        frames.sx[a] ^ px,
-                        frames.sz[a] ^ pz,
-                        frames.sx[b],
-                        frames.sz[b],
-                    );
-                    let kk = (i32::from(frames.k[b]) - i32::from(frames.k[a]) + e1 + e2)
-                        .rem_euclid(4) as usize;
-                    let z = frames.w[a].conj() * frames.w[b] * I_POW[kk];
-                    cls += 2.0 * z.re;
-                }
-                acc += eps * cls;
-            }
+            acc += self.class_sum(frames, px, pz, c);
         }
         acc
+    }
+
+    /// [`Self::pair_sum`] behind the quadratic-Clifford bound screen:
+    /// folds only the classes whose [`BranchFrames::class_bound`] exceeds
+    /// `tol`, and reports the skipped classes and their total bound mass
+    /// alongside the sum. The true discarded contribution is at most
+    /// [`ScreenedSum::skipped_mass`], so
+    /// `|pair_sum − pair_sum_screened.sum| ≤ skipped_mass`.
+    ///
+    /// `tol = 0.0` skips nothing (bounds are strictly positive) and is
+    /// **bit-identical** to [`Self::pair_sum`] on any class range — the
+    /// surviving classes fold through the same per-class kernel in the
+    /// same order. Partial sums over a fixed chunking of the class range
+    /// compose exactly as for `pair_sum`: per-chunk `sum`s fold to the
+    /// full-range result up to f64 association, and `skipped_classes`
+    /// counts add exactly.
+    pub fn pair_sum_screened(
+        &self,
+        frames: &BranchFrames,
+        px: u64,
+        pz: u64,
+        classes: Range<usize>,
+        tol: f64,
+    ) -> ScreenedSum {
+        debug_assert!(classes.end <= frames.w.len(), "class range beyond 2^t");
+        let mut out = ScreenedSum::default();
+        for c in classes {
+            let bound = frames.bound[c];
+            if bound <= tol {
+                out.skipped_classes += 1;
+                out.skipped_mass += bound;
+                continue;
+            }
+            out.sum += self.class_sum(frames, px, pz, c);
+        }
+        out
     }
 
     /// Expectation value of a Pauli-sum operator, cross terms included:
@@ -591,6 +677,88 @@ mod tests {
         assert_ne!(scratch, checkpoint);
         scratch.copy_from(&checkpoint);
         assert_eq!(scratch, checkpoint);
+    }
+
+    #[test]
+    fn class_bounds_match_the_overlap_rank_for_t_gates() {
+        // All-T branch points: every factor is |sin(π/4)| = 1/√2, so the
+        // cached bound is exactly 2^{-popcount(c)/2}.
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).cx(0, 1).t(1).h(1).t(0);
+        let e = BranchEnsemble::from_circuit(&c).unwrap();
+        let frames = e.frames();
+        for cls in 0..frames.num_branches() {
+            let nu = cls.count_ones();
+            let expected = FRAC_1_SQRT_2.powi(nu as i32);
+            assert!(
+                (frames.class_bound(cls) - expected).abs() < 1e-12,
+                "class {cls}: bound {} vs 2^(-{nu}/2) = {expected}",
+                frames.class_bound(cls)
+            );
+        }
+        // And the bound really bounds each class contribution.
+        for h in ["XY", "ZZ", "YI", "IX"] {
+            let p = op(h);
+            for (s, _) in p.iter() {
+                for cls in 0..frames.num_branches() {
+                    let v = e.pair_sum(&frames, s.x_mask(), s.z_mask(), cls..cls + 1);
+                    assert!(
+                        v.abs() <= frames.class_bound(cls) + 1e-12,
+                        "{h} class {cls}: |{v}| above bound {}",
+                        frames.class_bound(cls)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn screened_at_zero_tolerance_is_bit_identical() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).cx(0, 1).ry(2, 1.1).t(1).cx(1, 2).rz(2, 0.4).push(Gate::Tdg(2)).h(1);
+        let e = BranchEnsemble::from_circuit(&c).unwrap();
+        let frames = e.frames();
+        let n = frames.num_branches();
+        for h in ["ZZZ", "XIY", "YYY", "IZZ"] {
+            let p = op(h);
+            for (s, _) in p.iter() {
+                let exact = e.pair_sum(&frames, s.x_mask(), s.z_mask(), 0..n);
+                let screened = e.pair_sum_screened(&frames, s.x_mask(), s.z_mask(), 0..n, 0.0);
+                assert_eq!(exact.to_bits(), screened.sum.to_bits(), "{h}");
+                assert_eq!(screened.skipped_classes, 0, "{h}");
+                assert_eq!(screened.skipped_mass, 0.0, "{h}");
+            }
+        }
+    }
+
+    #[test]
+    fn screened_error_stays_within_the_reported_mass() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(0).cx(0, 1).ry(2, 0.9).t(1).cx(1, 2).t(2).h(1).rz(0, 2.2);
+        let e = BranchEnsemble::from_circuit(&c).unwrap();
+        let frames = e.frames();
+        let n = frames.num_branches();
+        for tol in [0.1, 0.4, 0.8, 2.0] {
+            for h in ["ZZZ", "XIY", "YYY"] {
+                let p = op(h);
+                for (s, _) in p.iter() {
+                    let exact = e.pair_sum(&frames, s.x_mask(), s.z_mask(), 0..n);
+                    let scr = e.pair_sum_screened(&frames, s.x_mask(), s.z_mask(), 0..n, tol);
+                    assert!(
+                        (exact - scr.sum).abs() <= scr.skipped_mass + 1e-12,
+                        "{h} tol {tol}: |{exact} - {}| above mass {}",
+                        scr.sum,
+                        scr.skipped_mass
+                    );
+                }
+            }
+            // At tol ≥ 1 every class (bound ≤ 1) is skipped.
+            if tol >= 1.0 {
+                let scr = e.pair_sum_screened(&frames, 0, 1, 0..n, tol);
+                assert_eq!(scr.skipped_classes, n);
+                assert_eq!(scr.sum, 0.0);
+            }
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod ensemble;
 mod tableau;
 
 pub use clifford_t::{BranchDecomposition, CliffordTError, CliffordTState, MAX_BRANCH_GATES};
-pub use ensemble::{BranchEnsemble, BranchFrames};
+pub use ensemble::{BranchEnsemble, BranchFrames, ScreenedSum};
 pub use tableau::{NonCliffordError, Tableau};
 
 #[cfg(test)]

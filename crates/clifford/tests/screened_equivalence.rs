@@ -1,0 +1,198 @@
+//! The screened-pair-sum equivalence suite: `pair_sum_screened` at
+//! `tol = 0` must be **bit-identical** to the frozen `pair_sum` — on any
+//! class sub-range, including ranges straddling the power-of-two
+//! boundaries of the lowest-set-bit subset recursion — and a *binding*
+//! screen must stay within its own reported skipped-class mass, with
+//! sharded folds composing exactly like the unscreened kernel. The kT
+//! screening layer in `cafqa-core` is built entirely on these
+//! guarantees, at the class-sum level.
+
+use cafqa_circuit::Circuit;
+use cafqa_clifford::{BranchEnsemble, ScreenedSum};
+use proptest::prelude::*;
+
+/// A deterministic pseudo-random Clifford+T circuit with `t` branch
+/// points (T or off-grid rotations) interleaved with Clifford gates.
+fn circuit_for(seed: u64, nq: usize, t: usize) -> Circuit {
+    let mut state = seed.wrapping_mul(0x9E37_79B9).wrapping_add(0xCAF9A);
+    let mut next = move |m: u64| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % m) as usize
+    };
+    let mut c = Circuit::new(nq);
+    for q in 0..nq {
+        c.h(q);
+    }
+    for _ in 0..t {
+        // A couple of Clifford gates, then one branch point.
+        for _ in 0..2 {
+            match next(4) {
+                0 => {
+                    c.h(next(nq as u64));
+                }
+                1 => {
+                    c.s(next(nq as u64));
+                }
+                2 if nq > 1 => {
+                    let a = next(nq as u64);
+                    let b = (a + 1 + next(nq as u64 - 1)) % nq;
+                    c.cx(a, b);
+                }
+                _ => {
+                    c.rz(next(nq as u64), std::f64::consts::FRAC_PI_2);
+                }
+            }
+        }
+        match next(3) {
+            // Mixed branch angles so class bounds are not all 2^{-ν/2}.
+            0 => {
+                c.t(next(nq as u64));
+            }
+            1 => {
+                c.ry(next(nq as u64), 0.9);
+            }
+            _ => {
+                c.rz(next(nq as u64), 2.0);
+            }
+        }
+    }
+    c
+}
+
+/// A deterministic pseudo-random Pauli mask pair within `nq` qubits.
+fn masks_for(seed: u64, nq: usize) -> (u64, u64) {
+    let m = (1u64 << nq) - 1;
+    let x = seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let z = x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 7;
+    (x & m, z & m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `tol = 0` is bit-identical to `pair_sum` on arbitrary sub-ranges,
+    /// with nothing skipped.
+    #[test]
+    fn zero_tolerance_is_bit_identical_on_any_subrange(
+        seed in 0u64..10_000,
+        nq in 1usize..5,
+        t in 0usize..6,
+        lo_pick in 0usize..64,
+        len_pick in 0usize..64,
+    ) {
+        let e = BranchEnsemble::from_circuit(&circuit_for(seed, nq, t)).unwrap();
+        let frames = e.frames();
+        let n = frames.num_branches();
+        let lo = lo_pick % n;
+        let hi = (lo + 1 + len_pick % n).min(n);
+        let (px, pz) = masks_for(seed, nq);
+        let exact = e.pair_sum(&frames, px, pz, lo..hi);
+        let screened = e.pair_sum_screened(&frames, px, pz, lo..hi, 0.0);
+        prop_assert_eq!(exact.to_bits(), screened.sum.to_bits());
+        prop_assert_eq!(screened.skipped_classes, 0);
+        prop_assert_eq!(screened.skipped_mass.to_bits(), 0.0f64.to_bits());
+    }
+
+    /// Ranges straddling every power-of-two boundary of the subset
+    /// recursion (where the lowest-set-bit parent flips from dense to
+    /// sparse masks): `[2^k − 1, 2^k + 1)` and the two half-open sides.
+    #[test]
+    fn zero_tolerance_across_recursion_boundaries(
+        seed in 0u64..10_000,
+        nq in 1usize..4,
+        t in 2usize..6,
+    ) {
+        let e = BranchEnsemble::from_circuit(&circuit_for(seed, nq, t)).unwrap();
+        let frames = e.frames();
+        let n = frames.num_branches();
+        let (px, pz) = masks_for(seed, nq);
+        for k in 1..frames.num_branches().trailing_zeros() {
+            let b = 1usize << k;
+            for range in [b - 1..b + 1, b - 1..b, b..(2 * b).min(n)] {
+                let exact = e.pair_sum(&frames, px, pz, range.clone());
+                let screened = e.pair_sum_screened(&frames, px, pz, range.clone(), 0.0);
+                prop_assert_eq!(exact.to_bits(), screened.sum.to_bits());
+                prop_assert_eq!(screened.skipped_classes, 0);
+            }
+        }
+    }
+
+    /// Sharded screened folds agree with the full-range screened fold:
+    /// integer counters add exactly, sums and masses to f64 rounding,
+    /// and repeating a chunking is bit-reproducible.
+    #[test]
+    fn sharded_screened_folds_compose(
+        seed in 0u64..10_000,
+        nq in 1usize..4,
+        t in 1usize..6,
+        chunk_pick in 1usize..8,
+        tol_pick in 0usize..5,
+    ) {
+        let tol = [0.0, 0.05, 0.2, 0.5, 0.9][tol_pick];
+        let e = BranchEnsemble::from_circuit(&circuit_for(seed, nq, t)).unwrap();
+        let frames = e.frames();
+        let n = frames.num_branches();
+        let (px, pz) = masks_for(seed, nq);
+        let full = e.pair_sum_screened(&frames, px, pz, 0..n, tol);
+        let fold = || {
+            let mut acc = ScreenedSum::default();
+            let mut lo = 0;
+            while lo < n {
+                let hi = (lo + chunk_pick).min(n);
+                let part = e.pair_sum_screened(&frames, px, pz, lo..hi, tol);
+                acc.sum += part.sum;
+                acc.skipped_classes += part.skipped_classes;
+                acc.skipped_mass += part.skipped_mass;
+                lo = hi;
+            }
+            acc
+        };
+        let once = fold();
+        prop_assert_eq!(once, fold());
+        prop_assert_eq!(once.skipped_classes, full.skipped_classes);
+        prop_assert!((once.sum - full.sum).abs() < 1e-12);
+        prop_assert!((once.skipped_mass - full.skipped_mass).abs() < 1e-12);
+    }
+
+    /// A binding screen stays within its own error certificate:
+    /// `|pair_sum − screened.sum| ≤ skipped_mass`, with the mass the sum
+    /// of the skipped classes' cached bounds.
+    #[test]
+    fn screened_error_is_bounded_by_the_skipped_mass(
+        seed in 0u64..10_000,
+        nq in 1usize..5,
+        t in 1usize..6,
+        tol_pick in 0usize..5,
+    ) {
+        let tol = [0.05, 0.2, 0.5, 0.9, 2.0][tol_pick];
+        let e = BranchEnsemble::from_circuit(&circuit_for(seed, nq, t)).unwrap();
+        let frames = e.frames();
+        let n = frames.num_branches();
+        let (px, pz) = masks_for(seed, nq);
+        let exact = e.pair_sum(&frames, px, pz, 0..n);
+        let scr = e.pair_sum_screened(&frames, px, pz, 0..n, tol);
+        prop_assert!(
+            (exact - scr.sum).abs() <= scr.skipped_mass + 1e-12,
+            "|{} - {}| above mass {}", exact, scr.sum, scr.skipped_mass
+        );
+        // The mass itself is the sum of the skipped bounds, and every
+        // surviving class's bound clears the tolerance.
+        let mut mass = 0.0;
+        let mut skipped = 0usize;
+        for c in 0..n {
+            if frames.class_bound(c) <= tol {
+                mass += frames.class_bound(c);
+                skipped += 1;
+            }
+        }
+        prop_assert_eq!(scr.skipped_classes, skipped);
+        prop_assert!((scr.skipped_mass - mass).abs() < 1e-12);
+        // And each class contribution really is below its bound.
+        for c in 0..n {
+            let v = e.pair_sum(&frames, px, pz, c..c + 1);
+            prop_assert!(v.abs() <= frames.class_bound(c) + 1e-12, "class {}", c);
+        }
+    }
+}

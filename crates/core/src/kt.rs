@@ -101,6 +101,16 @@ pub struct CafqaKtResult {
     pub rejected_evaluations: usize,
     /// Evaluations spent in the polish endgame (the tail of `trace`).
     pub polish_evaluations: usize,
+    /// XOR classes skipped by the quadratic-Clifford bound screen across
+    /// every branch-pair sum of the search. Always 0 when
+    /// [`CafqaOptions::screen_tolerance`] is 0. Integer accumulation is
+    /// order-independent, so the counter is deterministic at any worker
+    /// count, like the trace itself.
+    pub screened_classes: u64,
+    /// Polish candidate moves pruned by bound ranking before any exact
+    /// evaluation ran ([`CafqaOptions::kt_rank_top`]). Always 0 when
+    /// ranking is off.
+    pub screened_moves: u64,
 }
 
 /// Number of odd (non-Clifford) indices in an 8-ary configuration.
@@ -201,6 +211,84 @@ fn value_of(
     ObjectiveValue { energy, penalized }
 }
 
+/// The per-term class tolerance: a class may be skipped only when its
+/// bound, scaled by the term's (effective) coefficient magnitude, cannot
+/// move the objective past `tol` — i.e. `bound(c) ≤ tol / |coeff|`.
+#[inline]
+fn term_tol(tol: f64, coeff: f64) -> f64 {
+    if coeff == 0.0 {
+        f64::INFINITY
+    } else {
+        tol / coeff.abs()
+    }
+}
+
+/// [`value_of`] behind the quadratic-Clifford bound screen: each term's
+/// class loop runs [`BranchEnsemble::pair_sum_screened`] at the term's
+/// [`term_tol`] (penalty terms screen at their weighted coefficient), and
+/// the second return is the total skipped-class count. `tol = 0.0`
+/// delegates to [`value_of`] — the exact path stays frozen, bit for bit,
+/// with zero screening overhead.
+fn value_of_screened(
+    terms: &[MaskTerm],
+    penalties: &[MaskPenalty],
+    state: &BranchEnsemble,
+    tol: f64,
+) -> (ObjectiveValue, u64) {
+    if tol == 0.0 {
+        return (value_of(terms, penalties, state), 0);
+    }
+    let frames = state.frames();
+    let classes = frames.num_branches();
+    let mut skipped = 0u64;
+    let mut energy = 0.0;
+    for &(px, pz, c) in terms {
+        let s = state.pair_sum_screened(&frames, px, pz, 0..classes, term_tol(tol, c));
+        energy += c * s.sum;
+        skipped += s.skipped_classes as u64;
+    }
+    let mut penalized = energy;
+    for &(weight, ref ops) in penalties {
+        let mut v = 0.0;
+        for &(px, pz, c) in ops {
+            let s = state.pair_sum_screened(&frames, px, pz, 0..classes, term_tol(tol, weight * c));
+            v += c * s.sum;
+            skipped += s.skipped_classes as u64;
+        }
+        penalized += weight * v;
+    }
+    (ObjectiveValue { energy, penalized }, skipped)
+}
+
+/// Bound threshold of the coarse *ranking* evaluation: keep only classes
+/// whose quadratic-Clifford bound exceeds 1/2 — for `±π/4` branch angles
+/// that is the diagonal class and the single-branch-point classes
+/// (overlap rank `ν ≤ 1`) — so scoring a move costs `O((1+t)·2^t)` per
+/// term instead of the full `O(4^t)`.
+const KT_RANK_BOUND: f64 = 0.5;
+
+/// The coarse penalized score used to rank candidate moves before exact
+/// evaluation: every term screened at the uniform [`KT_RANK_BOUND`].
+/// Scores are compared against each other only — they never enter the
+/// trace or the greedy acceptance chain.
+fn rank_value_of(terms: &[MaskTerm], penalties: &[MaskPenalty], state: &BranchEnsemble) -> f64 {
+    let frames = state.frames();
+    let classes = frames.num_branches();
+    let mut energy = 0.0;
+    for &(px, pz, c) in terms {
+        energy += c * state.pair_sum_screened(&frames, px, pz, 0..classes, KT_RANK_BOUND).sum;
+    }
+    let mut penalized = energy;
+    for &(weight, ref ops) in penalties {
+        let mut v = 0.0;
+        for &(px, pz, c) in ops {
+            v += c * state.pair_sum_screened(&frames, px, pz, 0..classes, KT_RANK_BOUND).sum;
+        }
+        penalized += weight * v;
+    }
+    penalized
+}
+
 /// The shared, engine-shippable core of a kT search: the Clifford+T
 /// compiled template plus the Hamiltonian and penalty terms in mask
 /// form. Mirrors the Clifford search's `EvalCore` — cheap to clone into
@@ -211,6 +299,9 @@ pub(crate) struct KtCore {
     template: CompiledAnsatz,
     terms: Vec<MaskTerm>,
     penalties: Vec<MaskPenalty>,
+    /// [`CafqaOptions::screen_tolerance`]: 0.0 runs the frozen exact
+    /// [`value_of`] path, anything larger the bound-screened one.
+    screen_tolerance: f64,
 }
 
 /// An incremental evaluator for 8-ary configurations sharing a common
@@ -239,6 +330,7 @@ pub struct KtPolishSession {
     stack: Vec<Option<Arc<BranchEnsemble>>>,
     backward_seeks: u64,
     stack_restores: u64,
+    skipped_classes: u64,
 }
 
 impl KtPolishSession {
@@ -257,6 +349,7 @@ impl KtPolishSession {
             stack,
             backward_seeks: 0,
             stack_restores: 0,
+            skipped_classes: 0,
         }
     }
 
@@ -265,6 +358,13 @@ impl KtPolishSession {
     /// snapshot instead of rebuilding the prefix from `|0…0⟩`.
     pub fn seek_stats(&self) -> (u64, u64) {
         (self.backward_seeks, self.stack_restores)
+    }
+
+    /// Total XOR classes the bound screen skipped across every evaluation
+    /// this session ran. 0 while `screen_tolerance = 0`; deterministic at
+    /// any worker count (integer accumulation is order-independent).
+    pub fn skipped_classes(&self) -> u64 {
+        self.skipped_classes
     }
 
     /// Evaluates arbitrary full configurations (no shared prefix): the
@@ -294,6 +394,27 @@ impl KtPolishSession {
             changed.iter().map(|&p| self.core.template.first_op_of(p)).min().unwrap_or(0);
         self.seek(base, target_end);
         self.evaluate_from_prefix(variants)
+    }
+
+    /// Coarse bound-screened scores for variants of `base` (same prefix
+    /// contract as [`Self::evaluate_variants`]) — the move-*ranking*
+    /// probe: every term's class loop truncated at [`KT_RANK_BOUND`], so
+    /// a score costs `O((1+t)·2^t)` per term instead of `O(4^t)`. Scores
+    /// shard over the engine exactly like exact values (pure per-variant
+    /// functions reassembled in submission order) and never enter the
+    /// trace.
+    pub fn rank_variants(
+        &mut self,
+        base: &[usize],
+        changed: &[usize],
+        variants: &[Vec<usize>],
+    ) -> Vec<f64> {
+        let target_end =
+            changed.iter().map(|&p| self.core.template.first_op_of(p)).min().unwrap_or(0);
+        self.seek(base, target_end);
+        self.shard_from_prefix(variants, |core, state| {
+            rank_value_of(&core.terms, &core.penalties, state)
+        })
     }
 
     /// Advances (or rewinds) the prefix checkpoint to cover template
@@ -366,10 +487,34 @@ impl KtPolishSession {
         self.prefix_config.extend_from_slice(base);
     }
 
-    /// Checkpoint + suffix replay for every variant, sharded over the
-    /// engine in candidate chunks (chunking cannot change any value:
-    /// each variant is evaluated wholly by one task).
-    fn evaluate_from_prefix(&self, variants: &[Vec<usize>]) -> Vec<ObjectiveValue> {
+    /// Checkpoint + suffix replay for every variant through the
+    /// (possibly screened) objective, with the skipped-class counts
+    /// folded into the session counter. The fold is a plain integer sum,
+    /// so the counter — like the values — does not depend on chunking or
+    /// worker count.
+    fn evaluate_from_prefix(&mut self, variants: &[Vec<usize>]) -> Vec<ObjectiveValue> {
+        let results = self.shard_from_prefix(variants, |core, state| {
+            value_of_screened(&core.terms, &core.penalties, state, core.screen_tolerance)
+        });
+        results
+            .into_iter()
+            .map(|(value, skipped)| {
+                self.skipped_classes += skipped;
+                value
+            })
+            .collect()
+    }
+
+    /// The sharding skeleton shared by exact evaluation and move
+    /// ranking: checkpoint + suffix replay per variant, in candidate
+    /// chunks over the engine (chunking cannot change any result: each
+    /// variant is processed wholly by one task, and results reassemble
+    /// in submission order).
+    fn shard_from_prefix<T, F>(&self, variants: &[Vec<usize>], kernel: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(&KtCore, &BranchEnsemble) -> T + Send + Sync + Clone + 'static,
+    {
         let end = self.prefix_end;
         let ops_len = self.core.template.ops().len();
         if variants.len() > 1 && self.engine.is_pooled() {
@@ -380,6 +525,7 @@ impl KtPolishSession {
                     let core = Arc::clone(&self.core);
                     let prefix = Arc::clone(&self.prefix);
                     let chunk = chunk.to_vec();
+                    let kernel = kernel.clone();
                     move || {
                         let mut scratch = (*prefix).clone();
                         chunk
@@ -389,7 +535,7 @@ impl KtPolishSession {
                                 scratch
                                     .apply_range(&core.template, config, end, ops_len)
                                     .expect("feasible suffix stays within the branch budget");
-                                value_of(&core.terms, &core.penalties, &scratch)
+                                kernel(&core, &scratch)
                             })
                             .collect::<Vec<_>>()
                     }
@@ -405,11 +551,34 @@ impl KtPolishSession {
                     scratch
                         .apply_range(&self.core.template, config, end, ops_len)
                         .expect("feasible suffix stays within the branch budget");
-                    value_of(&self.core.terms, &self.core.penalties, &scratch)
+                    kernel(&self.core, &scratch)
                 })
                 .collect()
         }
     }
+}
+
+/// Builds a standalone [`KtPolishSession`] for a template-expressible
+/// ansatz — the screened-vs-exact A/B hook the benches and equivalence
+/// tests drive directly (the search itself builds its session
+/// internally). Returns `None` when the ansatz cannot compile to a
+/// Clifford+T template.
+pub fn kt_session(
+    engine: &ExecEngine,
+    ansatz: &dyn Ansatz,
+    hamiltonian: &PauliOp,
+    penalties: &[Penalty],
+    screen_tolerance: f64,
+) -> Option<KtPolishSession> {
+    let template = CompiledAnsatz::compile_clifford_t(ansatz)?;
+    let core = KtCore {
+        num_qubits: ansatz.num_qubits(),
+        template,
+        terms: masks_of(hamiltonian),
+        penalties: penalties.iter().map(|p| (p.weight, masks_of(p.squared_op()))).collect(),
+        screen_tolerance,
+    };
+    Some(KtPolishSession::new(Arc::new(core), engine.clone()))
 }
 
 /// The polish endgame's accumulated outcome.
@@ -418,11 +587,46 @@ struct KtPolish {
     best_value: ObjectiveValue,
     trace: Vec<(f64, f64)>,
     last_accept: Option<usize>,
+    screened_moves: u64,
 }
 
-/// The batch evaluator the polish driver calls:
-/// `(base config, changed params, variants) → values`.
-type KtBatchEval<'a> = dyn FnMut(&[usize], &[usize], &[Vec<usize>]) -> Vec<ObjectiveValue> + 'a;
+/// The evaluator the polish driver calls, always with
+/// `(base config, changed params, variants)`: `exact` values enter the
+/// trace and the greedy chain; `rank` scores only order a batch before
+/// the survivors are evaluated exactly.
+trait KtPolishEval {
+    fn exact(
+        &mut self,
+        base: &[usize],
+        changed: &[usize],
+        variants: &[Vec<usize>],
+    ) -> Vec<ObjectiveValue>;
+    fn rank(&mut self, base: &[usize], changed: &[usize], variants: &[Vec<usize>]) -> Vec<f64>;
+}
+
+/// Ranks a variant batch with the coarse bound-screened scores and keeps
+/// the `rank_top` best-looking moves, restored to sweep order — the kT
+/// counterpart of the Clifford polish's `polish_screen_top` surrogate
+/// screen. The stable sort breaks score ties on batch index, so the
+/// pruned set (and hence the trace over the survivors) is deterministic.
+fn screen_moves(
+    eval: &mut dyn KtPolishEval,
+    base: &[usize],
+    changed: &[usize],
+    variants: Vec<Vec<usize>>,
+    rank_top: usize,
+) -> (Vec<Vec<usize>>, u64) {
+    if rank_top == 0 || variants.len() <= rank_top {
+        return (variants, 0);
+    }
+    let scores = eval.rank(base, changed, &variants);
+    let mut order: Vec<usize> = (0..variants.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut keep = order[..rank_top].to_vec();
+    keep.sort_unstable();
+    let pruned = (variants.len() - rank_top) as u64;
+    (keep.into_iter().map(|k| variants[k].clone()).collect(), pruned)
+}
 
 /// 8-ary greedy polish: coordinate sweeps over the eighth-turn grid
 /// (budget-filtered: a move may open a branch only while `t < k_max`)
@@ -432,18 +636,25 @@ type KtBatchEval<'a> = dyn FnMut(&[usize], &[usize], &[Vec<usize>]) -> Vec<Objec
 /// budget or crossing an energy barrier. Acceptance replays the serial
 /// greedy chain via [`chain_accept`], so the trace is independent of how
 /// the variant batches were computed.
+///
+/// With `rank_top > 0` every batch larger than `rank_top` is first
+/// ordered by the coarse bound-screened score ([`screen_moves`]) and
+/// only the top `rank_top` moves are evaluated exactly; pruned moves
+/// never enter the trace.
 fn polish_kt(
-    eval: &mut KtBatchEval<'_>,
+    eval: &mut dyn KtPolishEval,
     start: Vec<usize>,
     start_value: ObjectiveValue,
     k_max: usize,
     sweeps: usize,
+    rank_top: usize,
 ) -> KtPolish {
     let d = start.len();
     let mut best_config = start;
     let mut best_value = start_value;
     let mut trace: Vec<(f64, f64)> = Vec::new();
     let mut last_accept: Option<usize> = None;
+    let mut screened_moves = 0u64;
     for _sweep in 0..sweeps {
         let mut improved = false;
         // Coordinate phase: every alternative eighth-turn per parameter
@@ -463,7 +674,9 @@ fn polish_kt(
             if variants.is_empty() {
                 continue;
             }
-            let values = eval(&best_config, &[i], &variants);
+            let (variants, pruned) = screen_moves(eval, &best_config, &[i], variants, rank_top);
+            screened_moves += pruned;
+            let values = eval.exact(&best_config, &[i], &variants);
             let base_len = trace.len();
             trace.extend(values.iter().map(|v| (v.energy, v.penalized)));
             if let Some(idx) = chain_accept(&values, best_value.penalized, 1e-12) {
@@ -494,7 +707,10 @@ fn polish_kt(
                             variants.push(config);
                         }
                     }
-                    let values = eval(&best_config, &[i, j], &variants);
+                    let (variants, pruned) =
+                        screen_moves(eval, &best_config, &[i, j], variants, rank_top);
+                    screened_moves += pruned;
+                    let values = eval.exact(&best_config, &[i, j], &variants);
                     let base_len = trace.len();
                     trace.extend(values.iter().map(|v| (v.energy, v.penalized)));
                     if let Some(idx) = chain_accept(&values, best_value.penalized, 1e-12) {
@@ -510,7 +726,74 @@ fn polish_kt(
             break;
         }
     }
-    KtPolish { best_config, best_value, trace, last_accept }
+    KtPolish { best_config, best_value, trace, last_accept, screened_moves }
+}
+
+/// The search's evaluator: the compiled incremental session when the
+/// ansatz is template-expressible, per-candidate circuit lowering
+/// otherwise (serial: the borrowed ansatz cannot ship to pool workers).
+/// Both paths run the same (possibly screened) objective and accumulate
+/// the same counters.
+struct KtEvaluator<'a> {
+    session: Option<KtPolishSession>,
+    ansatz: &'a dyn Ansatz,
+    terms: &'a [MaskTerm],
+    penalties: &'a [MaskPenalty],
+    screen_tolerance: f64,
+    fallback_skipped: u64,
+}
+
+impl KtEvaluator<'_> {
+    fn fallback_state(&self, config: &[usize]) -> BranchEnsemble {
+        BranchEnsemble::from_circuit(&self.ansatz.bind_eighth(config))
+            .expect("t budget keeps the branch count in range")
+    }
+
+    fn fallback_value(&mut self, config: &[usize]) -> ObjectiveValue {
+        let state = self.fallback_state(config);
+        let (value, skipped) =
+            value_of_screened(self.terms, self.penalties, &state, self.screen_tolerance);
+        self.fallback_skipped += skipped;
+        value
+    }
+
+    /// Arbitrary full configurations — the BO phase's candidate path.
+    fn eval_batch(&mut self, configs: &[Vec<usize>]) -> Vec<ObjectiveValue> {
+        match &mut self.session {
+            Some(session) => session.evaluate_batch(configs),
+            None => configs.iter().map(|config| self.fallback_value(config)).collect(),
+        }
+    }
+
+    fn skipped_classes(&self) -> u64 {
+        self.fallback_skipped + self.session.as_ref().map_or(0, |s| s.skipped_classes())
+    }
+}
+
+impl KtPolishEval for KtEvaluator<'_> {
+    fn exact(
+        &mut self,
+        base: &[usize],
+        changed: &[usize],
+        variants: &[Vec<usize>],
+    ) -> Vec<ObjectiveValue> {
+        match &mut self.session {
+            Some(session) => session.evaluate_variants(base, changed, variants),
+            None => variants.iter().map(|config| self.fallback_value(config)).collect(),
+        }
+    }
+
+    fn rank(&mut self, base: &[usize], changed: &[usize], variants: &[Vec<usize>]) -> Vec<f64> {
+        match &mut self.session {
+            Some(session) => session.rank_variants(base, changed, variants),
+            None => variants
+                .iter()
+                .map(|config| {
+                    rank_value_of(self.terms, self.penalties, &self.fallback_state(config))
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Runs the CAFQA+kT search with at most `k_max` T-like rotations, on
@@ -571,6 +854,14 @@ pub fn run_cafqa_kt(
 /// T-migration pair moves at constant T count; its greedy acceptance
 /// fold only ever improves on the BO incumbent.
 ///
+/// With [`CafqaOptions::screen_tolerance`] or
+/// [`CafqaOptions::kt_rank_top`] nonzero, evaluations run behind the
+/// quadratic-Clifford bound screen and polish batches are bound-ranked —
+/// see the [screening and
+/// tolerance](CafqaOptions#screening-and-tolerance) notes for the
+/// tolerance semantics and what stays deterministic. At the defaults
+/// (`0.0` / `0`) every path above is the frozen exact one, bit for bit.
+///
 /// # Errors
 ///
 /// As for [`run_cafqa_kt`].
@@ -613,6 +904,8 @@ pub fn run_cafqa_kt_on(
             iterations_to_best: r.iterations_to_best,
             polish_evaluations: r.polish_evaluations,
             trace: r.trace,
+            screened_classes: 0,
+            screened_moves: 0,
         });
     }
 
@@ -622,29 +915,24 @@ pub fn run_cafqa_kt_on(
     // Template-expressible ansätze get the compiled incremental path;
     // anything else falls back to per-candidate circuit lowering (serial:
     // the borrowed ansatz cannot ship to pool workers).
-    let mut session = CompiledAnsatz::compile_clifford_t(ansatz).map(|template| {
+    let session = CompiledAnsatz::compile_clifford_t(ansatz).map(|template| {
         let core = KtCore {
             num_qubits: ansatz.num_qubits(),
             template,
             terms: terms.clone(),
             penalties: penalty_masks.clone(),
+            screen_tolerance: opts.screen_tolerance,
         };
         KtPolishSession::new(Arc::new(core), engine.clone())
     });
-    let eval_full =
-        |session: &mut Option<KtPolishSession>, configs: &[Vec<usize>]| -> Vec<ObjectiveValue> {
-            match session {
-                Some(session) => session.evaluate_batch(configs),
-                None => configs
-                    .iter()
-                    .map(|config| {
-                        let state = BranchEnsemble::from_circuit(&ansatz.bind_eighth(config))
-                            .expect("t budget keeps the branch count in range");
-                        value_of(&terms, &penalty_masks, &state)
-                    })
-                    .collect(),
-            }
-        };
+    let mut evaluator = KtEvaluator {
+        session,
+        ansatz,
+        terms: &terms,
+        penalties: &penalty_masks,
+        screen_tolerance: opts.screen_tolerance,
+        fallback_skipped: 0,
+    };
 
     let space = kt_search_space(d, k_max);
     let mut raw_trace: Vec<(f64, f64)> = Vec::new();
@@ -662,7 +950,7 @@ pub fn run_cafqa_kt_on(
         |batch: &[Vec<usize>]| {
             let decoded: Vec<Vec<usize>> =
                 batch.iter().map(|genome| decode_genome(genome, d)).collect();
-            let values = eval_full(&mut session, &decoded);
+            let values = evaluator.eval_batch(&decoded);
             values
                 .iter()
                 .map(|v| {
@@ -684,22 +972,11 @@ pub fn run_cafqa_kt_on(
     let best8 = decode_genome(&best_genome, d);
     let start_value = match raw_trace.get(result.iterations_to_best.wrapping_sub(1)) {
         Some(&(energy, penalized)) => ObjectiveValue { energy, penalized },
-        None => eval_full(&mut session, std::slice::from_ref(&best8))[0],
+        None => evaluator.eval_batch(std::slice::from_ref(&best8))[0],
     };
 
-    let mut eval_variants =
-        |base: &[usize], changed: &[usize], variants: &[Vec<usize>]| match &mut session {
-            Some(session) => session.evaluate_variants(base, changed, variants),
-            None => variants
-                .iter()
-                .map(|config| {
-                    let state = BranchEnsemble::from_circuit(&ansatz.bind_eighth(config))
-                        .expect("t budget keeps the branch count in range");
-                    value_of(&terms, &penalty_masks, &state)
-                })
-                .collect(),
-        };
-    let polish = polish_kt(&mut eval_variants, best8, start_value, k_max, opts.polish_sweeps);
+    let polish =
+        polish_kt(&mut evaluator, best8, start_value, k_max, opts.polish_sweeps, opts.kt_rank_top);
 
     let mut iterations_to_best = result.iterations_to_best;
     if let Some(accept) = polish.last_accept {
@@ -724,6 +1001,8 @@ pub fn run_cafqa_kt_on(
         iterations_to_best,
         polish_evaluations: polish.trace.len(),
         trace,
+        screened_classes: evaluator.skipped_classes(),
+        screened_moves: polish.screened_moves,
     })
 }
 
@@ -864,6 +1143,74 @@ mod tests {
             assert_eq!(run.trace.len(), reference.trace.len());
             for (a, b) in run.trace.iter().zip(&reference.trace) {
                 assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+                assert_eq!(a.penalized.to_bits(), b.penalized.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn screening_counters_are_zero_at_the_defaults() {
+        let h: PauliOp = "-0.70710678*Z - 0.70710678*X".parse().unwrap();
+        let ansatz = EfficientSu2::new(1, 0);
+        let opts = CafqaOptions { warmup: 10, iterations: 15, ..Default::default() };
+        let kt = run_cafqa_kt(&ansatz, &h, Vec::new(), 1, &[], &opts).unwrap();
+        assert_eq!(kt.screened_classes, 0);
+        assert_eq!(kt.screened_moves, 0);
+    }
+
+    #[test]
+    fn rank_top_prunes_polish_moves_and_counts_them() {
+        let h: PauliOp = "0.5*ZZ + 0.25*XI - 0.3*IZ + 0.1*YY".parse().unwrap();
+        let ansatz = EfficientSu2::new(2, 0);
+        let base =
+            CafqaOptions { warmup: 15, iterations: 20, polish_sweeps: 2, ..Default::default() };
+        let full = run_cafqa_kt(&ansatz, &h, Vec::new(), 2, &[], &base).unwrap();
+        let ranked_opts = CafqaOptions { kt_rank_top: 2, ..base };
+        let ranked = run_cafqa_kt(&ansatz, &h, Vec::new(), 2, &[], &ranked_opts).unwrap();
+        // Coordinate batches have up to 7 variants; rank_top = 2 must
+        // have pruned some, and every pruned move is one the trace never
+        // paid for.
+        assert!(ranked.screened_moves > 0, "no moves pruned");
+        assert!(
+            ranked.polish_evaluations < full.polish_evaluations,
+            "ranked polish {} vs full {}",
+            ranked.polish_evaluations,
+            full.polish_evaluations
+        );
+        // The greedy fold still only ever improves on its BO incumbent,
+        // and the BO phase itself (rank-agnostic) is unchanged.
+        assert!(ranked.penalized <= full.trace[full.iterations_to_best - 1].penalized + 1e-9);
+        assert_eq!(ranked.rejected_evaluations, 0);
+        assert_eq!(ranked.screened_classes, 0, "ranking alone skips no classes");
+    }
+
+    #[test]
+    fn screened_search_reports_skips_and_stays_deterministic() {
+        // Mixed coefficient weights so a mid-sized tolerance screens the
+        // light term's classes but not the heavy ones'.
+        let h: PauliOp = "0.6*ZZ + 0.4*XX + 0.001*YY + 0.0005*XY".parse().unwrap();
+        let ansatz = EfficientSu2::new(2, 0);
+        let opts = CafqaOptions {
+            warmup: 15,
+            iterations: 20,
+            polish_sweeps: 1,
+            screen_tolerance: 1e-3,
+            ..Default::default()
+        };
+        let runs: Vec<CafqaKtResult> = [1usize, 2, 8]
+            .iter()
+            .map(|&workers| {
+                let engine = ExecEngine::new(workers);
+                run_cafqa_kt_on(&engine, &ansatz, &h, Vec::new(), 2, &[], &opts).unwrap()
+            })
+            .collect();
+        assert!(runs[0].screened_classes > 0, "tolerance 1e-3 never fired");
+        for run in &runs[1..] {
+            assert_eq!(run.screened_classes, runs[0].screened_classes);
+            assert_eq!(run.best_config, runs[0].best_config);
+            assert_eq!(run.energy.to_bits(), runs[0].energy.to_bits());
+            assert_eq!(run.trace.len(), runs[0].trace.len());
+            for (a, b) in run.trace.iter().zip(&runs[0].trace) {
                 assert_eq!(a.penalized.to_bits(), b.penalized.to_bits());
             }
         }

@@ -48,8 +48,8 @@ mod runner;
 
 pub use engine::{default_workers, ExecEngine};
 pub use kt::{
-    run_cafqa_kt, run_cafqa_kt_on, t_count_of, widen_clifford_config, CafqaKtResult, KtError,
-    KtPolishSession,
+    kt_session, run_cafqa_kt, run_cafqa_kt_on, t_count_of, widen_clifford_config, CafqaKtResult,
+    KtError, KtPolishSession,
 };
 pub use objective::{
     CliffordObjective, EvalScratch, ObjectiveValue, Penalty, PolishMove, PolishSession,

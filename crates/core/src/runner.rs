@@ -92,6 +92,44 @@ use crate::objective::{CliffordObjective, ObjectiveValue, Penalty, PolishMove, P
 ///   big-Hamiltonian candidate additionally term-shards its chunk list
 ///   from inside the pool. Both reassemble results in submission order
 ///   before any fold, preserving the serial trace exactly.
+///
+/// # Screening and tolerance
+///
+/// Two knobs govern the Clifford+T (kT) tier's quadratic-Clifford
+/// screening, and this section is the single source of truth for them.
+/// Both only affect [`run_cafqa_kt`](crate::run_cafqa_kt) searches with
+/// `k_max > 0`; the Clifford-only search never reads them.
+///
+/// - [`screen_tolerance`](Self::screen_tolerance): per-term class
+///   screening of the `O(4^t)` branch-pair sum. Every XOR class `c` of
+///   a term with coefficient `w` carries a cached magnitude bound
+///   `Π_{j∈c} |sin θ_j|` (`2^{-ν(c)/2}` for T angles, with `ν` the
+///   overlap rank — the quadratic Clifford expansion's stabilizer
+///   cross-term decay, arXiv 2011.09927); classes with
+///   `|w| · bound(c) ≤ screen_tolerance` are skipped. The discarded
+///   contribution per evaluation is rigorously below the sum of the
+///   skipped `|w| · bound(c)` masses, and the skipped-class total is
+///   reported as [`CafqaKtResult::screened_classes`](crate::CafqaKtResult::screened_classes).
+///   `0.0` (the default) runs the frozen exact path **bit for bit** —
+///   not just within tolerance (asserted in
+///   `crates/bench/tests/kt_screening.rs` and the `kt_screened_vs_exact`
+///   bench gate).
+/// - [`kt_rank_top`](Self::kt_rank_top): move *ranking* in the kT
+///   polish. A positive value scores each candidate batch with a coarse
+///   bound-truncated evaluation (classes of overlap rank `ν ≤ 1` only,
+///   `O((1+t)·2^t)` per term instead of `O(4^t)`) and evaluates only the
+///   `kt_rank_top` best-looking moves exactly, mirroring
+///   [`polish_screen_top`](Self::polish_screen_top)'s surrogate screen;
+///   pruned moves are counted in
+///   [`CafqaKtResult::screened_moves`](crate::CafqaKtResult::screened_moves)
+///   and never enter the trace. `0` (the default) evaluates every move,
+///   bit-for-bit the legacy sweep.
+///
+/// The determinism contract carries over unchanged: for any fixed
+/// `(screen_tolerance, kt_rank_top)` the trace — and both counters —
+/// are identical at any worker count; a binding screen or rank is a
+/// different-but-still-deterministic search whose greedy polish still
+/// only ever improves on its BO incumbent.
 #[derive(Debug, Clone)]
 pub struct CafqaOptions {
     /// Random warm-up evaluations (the paper uses 1000 for H2O).
@@ -134,6 +172,17 @@ pub struct CafqaOptions {
     /// sweep, bit-for-bit. See the [polish determinism and
     /// screening](Self#polish-determinism-and-screening) notes.
     pub polish_screen_top: usize,
+    /// Quadratic-Clifford class screening of the kT tier's branch-pair
+    /// sums: skip XOR classes whose coefficient-weighted bound cannot
+    /// move the objective past this tolerance. `0.0` (the default) keeps
+    /// the exact legacy `pair_sum` path, bit-for-bit. See the [screening
+    /// and tolerance](Self#screening-and-tolerance) notes.
+    pub screen_tolerance: f64,
+    /// kT polish move ranking: evaluate only this many bound-ranked
+    /// moves per candidate batch exactly. `0` (the default) evaluates
+    /// every move, bit-for-bit. See the [screening and
+    /// tolerance](Self#screening-and-tolerance) notes.
+    pub kt_rank_top: usize,
 }
 
 impl Default for CafqaOptions {
@@ -151,6 +200,8 @@ impl Default for CafqaOptions {
             proposals_per_refit: BoOptions::default().proposals_per_refit,
             forest_window: 0,
             polish_screen_top: 0,
+            screen_tolerance: 0.0,
+            kt_rank_top: 0,
         }
     }
 }
