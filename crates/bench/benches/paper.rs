@@ -189,6 +189,9 @@ fn bench_fig15(c: &mut Criterion) {
                 warmup: 20,
                 iterations: 20,
                 number_penalty: 0.0,
+                // This bench measures the BO search itself; the routed
+                // fast path has its own A/B (`ising_fast_path_vs_bo`).
+                ising_fast_path: cafqa_core::IsingFastPath::Off,
                 ..Default::default()
             };
             black_box(cafqa_core::run_cafqa(&ansatz, &h, vec![], &[], &opts))

@@ -10,9 +10,10 @@
 //! polish layer-checkpoint stack vs rebuild-from-zero backward seeks,
 //! the 32-chunk wide association on a ≥ 65 536-term sum,
 //! windowed vs full-history surrogate refits, the Clifford+T branch
-//! evaluator (tableau ensemble vs dense branch sum), and the full
+//! evaluator (tableau ensemble vs dense branch sum), the full
 //! CAFQA+kT search (branch-engine stack vs the frozen dense/serial
-//! rejection-sampling loop).
+//! rejection-sampling loop), and the Ising fast path (structure-routed
+//! reduced-space solve vs the full BO pipeline, in instances/second).
 //!
 //! The engine and BO A/Bs additionally time themselves with raw
 //! `Instant` measurements (independent of the harness sampling), assert
@@ -31,9 +32,11 @@ use cafqa_chem::{ChemPipeline, MoleculeKind, ScfKind};
 use cafqa_circuit::{Ansatz, EfficientSu2};
 use cafqa_clifford::{BranchEnsemble, CliffordTState, Tableau};
 use cafqa_core::exhaustive::{exhaustive_search_serial, exhaustive_search_with_workers};
+use cafqa_core::maxcut::{maxcut_hamiltonian, Graph};
 use cafqa_core::{
-    kt_session, polish_on, run_cafqa_kt_on, widen_clifford_config, CafqaOptions, CliffordObjective,
-    ExecEngine, KtPolishSession,
+    kt_session, polish_on, run_cafqa_kt_on, run_cafqa_on, solve_ising_batch_on,
+    widen_clifford_config, CafqaOptions, CafqaResult, CliffordObjective, ExecEngine, IsingFastPath,
+    IsingInstance, KtPolishSession,
 };
 use cafqa_linalg::Complex64;
 use cafqa_pauli::{PauliOp, PauliString};
@@ -1738,6 +1741,157 @@ fn bench_kt_screened_vs_exact(c: &mut Criterion) {
     group.finish();
 }
 
+/// The serving-shape instance pool for the Ising throughput A/B:
+/// 16–24-vertex MaxCut across all four generator families (sparse and
+/// dense Erdős–Rényi, structured rings, complete, weighted), each an
+/// `EfficientSu2(n, 1)` instance exactly as a service would submit it.
+fn ising_instance_pool() -> Vec<IsingInstance> {
+    let graphs = [
+        Graph::random(16, 0.4, 101),
+        Graph::random(20, 0.3, 103),
+        Graph::random(24, 0.25, 107),
+        Graph::ring(18),
+        Graph::ring(24),
+        Graph::complete(16),
+        Graph::random_weighted(20, 0.35, 109),
+        Graph::random_weighted(24, 0.3, 113),
+    ];
+    graphs
+        .into_iter()
+        .map(|g| IsingInstance::new(EfficientSu2::new(g.n, 1), maxcut_hamiltonian(&g)))
+        .collect()
+}
+
+fn assert_cafqa_results_bitwise(a: &CafqaResult, b: &CafqaResult, what: &str) {
+    assert_eq!(a.best_config, b.best_config, "{what}: best_config");
+    assert_eq!(a.energy.to_bits(), b.energy.to_bits(), "{what}: energy");
+    assert_eq!(a.penalized.to_bits(), b.penalized.to_bits(), "{what}: penalized");
+    assert_eq!(a.evaluations, b.evaluations, "{what}: evaluations");
+    assert_eq!(a.iterations_to_best, b.iterations_to_best, "{what}: iterations_to_best");
+    assert_eq!(a.trace.len(), b.trace.len(), "{what}: trace length");
+    for (i, (x, y)) in a.trace.iter().zip(&b.trace).enumerate() {
+        assert_eq!(x.energy.to_bits(), y.energy.to_bits(), "{what}: trace[{i}].energy");
+        assert_eq!(x.penalized.to_bits(), y.penalized.to_bits(), "{what}: trace[{i}].penalized");
+    }
+}
+
+/// The Ising fast path vs the full BO pipeline on a 16–24-vertex MaxCut
+/// batch — the per-instance *throughput* asymmetry a high-traffic
+/// service would serve, both arms through the same
+/// [`solve_ising_batch_on`] serving layer on the same engine, differing
+/// only in [`CafqaOptions::ising_fast_path`] (`Auto` vs `Off`).
+///
+/// Asserted before any timing: the fast path routes every instance in
+/// one evaluation and its energy is ≤ the full-BO energy per instance;
+/// the routed batch is bit-identical at worker counts {1, 2, 8}; and a
+/// non-Ising instance under `Auto` is bit-identical to the unrouted
+/// path. The timing gate requires ≥ 100× instance throughput; both
+/// arms' instances/second land in `BENCH_search.json`.
+fn bench_ising_fast_path(c: &mut Criterion) {
+    const GROUP: &str = "ising_fast_path_vs_bo";
+    if !filter_matches(GROUP) {
+        return;
+    }
+    let engine = ExecEngine::from_env();
+    let instances = ising_instance_pool();
+    // A modest-but-honest full-pipeline budget: warm-up + BO + one
+    // polish round (coordinate and pair sweeps) per instance.
+    let bo_opts = CafqaOptions {
+        warmup: 60,
+        iterations: 120,
+        polish_sweeps: 1,
+        ising_fast_path: IsingFastPath::Off,
+        ..Default::default()
+    };
+    let fast_opts = CafqaOptions { ising_fast_path: IsingFastPath::Auto, ..bo_opts.clone() };
+
+    // Warm both arms and keep the results (deterministic given the seed).
+    let fast = solve_ising_batch_on(&engine, &instances, &fast_opts);
+    let bo = solve_ising_batch_on(&engine, &instances, &bo_opts);
+    for (i, (f, b)) in fast.iter().zip(&bo).enumerate() {
+        assert_eq!(f.evaluations, 1, "instance {i} must route in one evaluation");
+        assert!(
+            f.energy <= b.energy + 1e-9,
+            "instance {i}: fast path {} worse than BO {}",
+            f.energy,
+            b.energy
+        );
+    }
+    // Worker invariance of the routed batch: a pure throughput knob.
+    let reference = solve_ising_batch_on(&ExecEngine::new(1), &instances, &fast_opts);
+    for workers in [2usize, 8] {
+        let routed = solve_ising_batch_on(&ExecEngine::new(workers), &instances, &fast_opts);
+        for (i, (r, s)) in reference.iter().zip(&routed).enumerate() {
+            assert_cafqa_results_bitwise(r, s, &format!("instance {i} at {workers} workers"));
+        }
+    }
+    // Non-Ising inputs are untouched by the hook: Auto == Off bitwise.
+    {
+        let h: PauliOp = "0.5*XX + 0.25*ZZ - 0.1*YI + 0.7*IZ".parse().expect("mixed-axis op");
+        let ansatz = EfficientSu2::new(2, 1);
+        let tiny = CafqaOptions { warmup: 10, iterations: 15, polish_sweeps: 1, ..bo_opts.clone() };
+        let auto = CafqaOptions { ising_fast_path: IsingFastPath::Auto, ..tiny.clone() };
+        let routed = run_cafqa_on(&engine, &ansatz, &h, vec![], &[], &auto);
+        let unrouted = run_cafqa_on(&engine, &ansatz, &h, vec![], &[], &tiny);
+        assert_cafqa_results_bitwise(&routed, &unrouted, "non-Ising fallback");
+    }
+
+    // Raw throughput, best of 3 batch passes per arm.
+    let fast_elapsed = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(solve_ising_batch_on(&engine, &instances, &fast_opts));
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    let bo_elapsed = (0..3)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(solve_ising_batch_on(&engine, &instances, &bo_opts));
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    let count = instances.len() as f64;
+    let fast_per_s = count / fast_elapsed.as_secs_f64();
+    let bo_per_s = count / bo_elapsed.as_secs_f64();
+    let speedup = bo_elapsed.as_secs_f64() / fast_elapsed.as_secs_f64();
+    record_bench_json(
+        "ising_fast_path_vs_bo_16to24v_8instances",
+        format!(
+            "{{\"instances\": {}, \"vertices\": \"16-24\", \"workers\": {}, \
+             \"fast_ms\": {:.3}, \"bo_ms\": {:.3}, \"fast_instances_per_s\": {:.1}, \
+             \"bo_instances_per_s\": {:.3}, \"speedup\": {:.1}, \
+             \"fast_never_worse\": true, \"batch_bit_identical_workers_1_2_8\": true, \
+             \"non_ising_bit_identical\": true}}",
+            instances.len(),
+            engine.workers(),
+            fast_elapsed.as_secs_f64() * 1e3,
+            bo_elapsed.as_secs_f64() * 1e3,
+            fast_per_s,
+            bo_per_s,
+            speedup,
+        ),
+    );
+    // The headline gate: the routed batch serves ≥ 100× the instance
+    // throughput of the full pipeline (measured gaps are far larger).
+    assert!(
+        speedup >= 100.0,
+        "fast path only {speedup:.1}× the BO route: {fast_elapsed:?} vs {bo_elapsed:?}"
+    );
+
+    let single_bo = vec![instances[0].clone()];
+    let mut group = c.benchmark_group(GROUP);
+    group.bench_function("fast_path_batch8", |b| {
+        b.iter(|| black_box(solve_ising_batch_on(&engine, &instances, &fast_opts)))
+    });
+    group.bench_function("full_bo_single_16v", |b| {
+        b.iter(|| black_box(solve_ising_batch_on(&engine, &single_bo, &bo_opts)))
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -1755,6 +1909,7 @@ criterion_group! {
               bench_backward_seek_polish, bench_wide_chunk_tier,
               bench_windowed_vs_full_refit,
               bench_incremental_polish, bench_kt_tableau_vs_dense,
-              bench_kt_engine_vs_reference, bench_kt_screened_vs_exact
+              bench_kt_engine_vs_reference, bench_kt_screened_vs_exact,
+              bench_ising_fast_path
 }
 criterion_main!(search);

@@ -9,6 +9,26 @@
 use crate::circuit::Circuit;
 use crate::gate::CliffordAngle;
 
+/// The single-qubit measurement basis a qubit is rotated into by a
+/// per-qubit single-Clifford change of basis.
+///
+/// The Ising fast path (`cafqa_core::ising`) classifies Hamiltonians
+/// whose every qubit column is I/Z-only, I/X-only, or I/Y-only; the
+/// per-qubit basis records which, so the winning ±1 eigenvalue
+/// assignment can be lifted back to a product eigenstate through
+/// [`Ansatz::eigenstate_config`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LocalBasis {
+    /// Computational basis (Z eigenstates `|0⟩`/`|1⟩`) — the default for
+    /// qubits outside every term's support.
+    #[default]
+    Z,
+    /// Hadamard basis (X eigenstates `|+⟩`/`|−⟩`).
+    X,
+    /// Circular basis (Y eigenstates `|+i⟩`/`|−i⟩`).
+    Y,
+}
+
 /// A parameterized circuit family that CAFQA can search over.
 ///
 /// Implementors define a fixed structure whose tunable rotation angles are
@@ -43,6 +63,19 @@ pub trait Ansatz: Sync {
     fn bind_eighth(&self, indices: &[usize]) -> Circuit {
         let params: Vec<f64> = indices.iter().map(|&k| crate::gate::eighth_angle(k)).collect();
         self.bind(&params)
+    }
+
+    /// The discrete Clifford configuration preparing the product state
+    /// whose qubit `q` is the `±1` eigenstate of `bases[q]` — eigenvalue
+    /// `+1` where bit `q` of `bits` is 0, `−1` where it is 1.
+    ///
+    /// Returns `None` when this ansatz family cannot express such a
+    /// product state exactly (the default): the Ising fast path then
+    /// declines to route and the full search runs unchanged. `bases`
+    /// must have length [`num_qubits`](Self::num_qubits).
+    fn eigenstate_config(&self, bits: u64, bases: &[LocalBasis]) -> Option<Vec<usize>> {
+        let _ = (bits, bases);
+        None
     }
 }
 
@@ -173,6 +206,33 @@ impl Ansatz for EfficientSu2 {
         2 * self.num_qubits * (self.reps + 1)
     }
 
+    /// All gates before the final rotation layer act as the identity on
+    /// `|0…0⟩` (zero-angle rotations, and CX ladders whose controls are
+    /// all `|0⟩`), so the final RY/RZ pair on each qubit prepares the
+    /// product state directly: `Ry(kπ/2)` selects the eigenstate axis
+    /// (`k ∈ {0,2}` for Z, `{1,3}` for X/Y) and `Rz(π/2)` turns `|±⟩`
+    /// into `|±i⟩` for Y columns.
+    fn eigenstate_config(&self, bits: u64, bases: &[LocalBasis]) -> Option<Vec<usize>> {
+        assert_eq!(bases.len(), self.num_qubits, "one basis per qubit");
+        if self.num_qubits > 64 {
+            return None;
+        }
+        let mut cfg = vec![0usize; self.num_parameters()];
+        let last_ry_base = self.reps * 2 * self.num_qubits;
+        let last_rz_base = last_ry_base + self.num_qubits;
+        for (q, &basis) in bases.iter().enumerate() {
+            let minus = (bits >> q) & 1 == 1;
+            let (k_ry, k_rz) = match basis {
+                LocalBasis::Z => (if minus { 2 } else { 0 }, 0),
+                LocalBasis::X => (if minus { 3 } else { 1 }, 0),
+                LocalBasis::Y => (if minus { 3 } else { 1 }, 1),
+            };
+            cfg[last_ry_base + q] = k_ry;
+            cfg[last_rz_base + q] = k_rz;
+        }
+        Some(cfg)
+    }
+
     fn bind(&self, params: &[f64]) -> Circuit {
         assert_eq!(
             params.len(),
@@ -267,6 +327,46 @@ mod tests {
         assert_eq!(cfg[7], 0);
         assert_eq!(cfg[8], 2);
         assert!(cfg[..6].iter().all(|&k| k == 0));
+    }
+
+    #[test]
+    fn eigenstate_config_z_matches_basis_state_config() {
+        // All-Z bases degenerate to the computational-basis preparation.
+        let a = EfficientSu2::new(4, 1);
+        for bits in [0b0000u64, 0b1010, 0b1111] {
+            let cfg = a.eigenstate_config(bits, &[LocalBasis::Z; 4]).unwrap();
+            assert_eq!(cfg, a.basis_state_config(bits));
+        }
+    }
+
+    #[test]
+    fn eigenstate_config_layout_and_clifford() {
+        let a = EfficientSu2::new(3, 1);
+        let bases = [LocalBasis::X, LocalBasis::Y, LocalBasis::Z];
+        let cfg = a.eigenstate_config(0b110, &bases).unwrap();
+        // Only the final layer (indices 6..12) is touched.
+        assert!(cfg[..6].iter().all(|&k| k == 0));
+        // q0: |+⟩ → Ry(π/2); q1: |−i⟩ → Ry(3π/2)Rz(π/2); q2: |1⟩ → Ry(π).
+        assert_eq!(&cfg[6..9], &[1, 3, 2]);
+        assert_eq!(&cfg[9..12], &[0, 1, 0]);
+        assert!(a.bind_clifford(&cfg).is_clifford());
+    }
+
+    #[test]
+    fn eigenstate_config_default_is_none() {
+        struct Opaque;
+        impl Ansatz for Opaque {
+            fn num_qubits(&self) -> usize {
+                1
+            }
+            fn num_parameters(&self) -> usize {
+                0
+            }
+            fn bind(&self, _params: &[f64]) -> Circuit {
+                Circuit::new(1)
+            }
+        }
+        assert!(Opaque.eigenstate_config(0, &[LocalBasis::Z]).is_none());
     }
 
     #[test]

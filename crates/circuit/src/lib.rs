@@ -27,7 +27,7 @@ mod circuit;
 mod gate;
 mod template;
 
-pub use ansatz::{Ansatz, EfficientSu2, Entanglement};
+pub use ansatz::{Ansatz, EfficientSu2, Entanglement, LocalBasis};
 pub use circuit::Circuit;
 pub use gate::{
     clifford_rotation, eighth_angle, CliffordAngle, Gate, RotationAxis, CLIFFORD_ANGLES,

@@ -39,6 +39,7 @@
 
 pub mod engine;
 pub mod exhaustive;
+pub mod ising;
 mod kt;
 pub mod maxcut;
 pub mod metrics;
@@ -47,6 +48,7 @@ mod objective;
 mod runner;
 
 pub use engine::{default_workers, ExecEngine};
+pub use ising::{classify_ising, solve_ising_batch_on, IsingFastPath, IsingForm, IsingInstance};
 pub use kt::{
     kt_session, run_cafqa_kt, run_cafqa_kt_on, t_count_of, widen_clifford_config, CafqaKtResult,
     KtError, KtPolishSession,

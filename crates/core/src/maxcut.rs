@@ -33,6 +33,47 @@ impl Graph {
         Graph { n, edges }
     }
 
+    /// A seeded ring (cycle) graph `0−1−…−(n−1)−0` with unit weights.
+    /// Rings are bipartite for even `n` (max cut = n) and frustrated for
+    /// odd `n` (max cut = n − 1) — the structured rows of the throughput
+    /// bench and the fig15 extension.
+    ///
+    /// # Panics
+    ///
+    /// Panics below 3 vertices.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 vertices");
+        let mut edges: Vec<(usize, usize, f64)> = (0..n - 1).map(|u| (u, u + 1, 1.0)).collect();
+        edges.push((0, n - 1, 1.0));
+        edges.sort_unstable_by_key(|e| (e.0, e.1));
+        Graph { n, edges }
+    }
+
+    /// The complete graph `K_n` with unit weights — the densest (and for
+    /// the Ising solver, highest-degree) instance class; its max cut is
+    /// `⌊n/2⌋·⌈n/2⌉`.
+    pub fn complete(n: usize) -> Self {
+        let edges = (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v, 1.0))).collect();
+        Graph { n, edges }
+    }
+
+    /// A seeded Erdős–Rényi graph with uniform random weights in
+    /// `[0.1, 1.0)` — same topology stream as [`Graph::random`] would
+    /// draw, but every edge also consumes one weight draw, so the two
+    /// generators are distinct deterministic families.
+    pub fn random_weighted(n: usize, edge_probability: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen::<f64>() < edge_probability {
+                    edges.push((u, v, rng.gen_range(0.1..1.0)));
+                }
+            }
+        }
+        Graph { n, edges }
+    }
+
     /// The cut value of a vertex bipartition given as a bitmask.
     pub fn cut_value(&self, assignment: u64) -> f64 {
         self.edges
@@ -42,13 +83,53 @@ impl Graph {
             .sum()
     }
 
-    /// Exact maximum cut by exhaustive search.
+    /// Exact maximum cut by exhaustive search over a Gray-code walk:
+    /// step `k` moves exactly vertex `trailing_zeros(k)` across the
+    /// partition, so each of the `2^n` assignments costs one O(degree)
+    /// cut update instead of an O(|E|) rescan. The walk visits the same
+    /// assignments as the plain enumeration
+    /// ([`max_cut_exact_rescan`](Self::max_cut_exact_rescan), kept as
+    /// the test oracle) and agrees with it to floating-point
+    /// accumulation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics above 28 vertices (the rescan capped at 24; the
+    /// incremental walk buys the extra headroom).
+    pub fn max_cut_exact(&self) -> f64 {
+        assert!(self.n <= 28, "exhaustive max-cut limited to 28 vertices");
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v, w) in &self.edges {
+            adj[u].push((v, w));
+            adj[v].push((u, w));
+        }
+        // side[v] ∈ {0, 1}; crossing edges flip in or out as one
+        // endpoint moves: an edge whose endpoints agree gains w, one
+        // whose endpoints differ loses it.
+        let mut side = vec![0u8; self.n];
+        let mut cut = 0.0f64;
+        let mut best = 0.0f64;
+        for k in 1u64..(1u64 << self.n) {
+            let q = k.trailing_zeros() as usize;
+            for &(v, w) in &adj[q] {
+                cut += if side[q] == side[v] { w } else { -w };
+            }
+            side[q] ^= 1;
+            best = best.max(cut);
+        }
+        best
+    }
+
+    /// The pre-Gray-code exhaustive loop, one full `O(|E|)` rescan per
+    /// assignment — quadratically slower, but with no incremental state
+    /// at all, which makes it the oracle the fast walk is tested
+    /// against.
     ///
     /// # Panics
     ///
     /// Panics above 24 vertices.
-    pub fn max_cut_exact(&self) -> f64 {
-        assert!(self.n <= 24, "exhaustive max-cut limited to 24 vertices");
+    pub fn max_cut_exact_rescan(&self) -> f64 {
+        assert!(self.n <= 24, "exhaustive max-cut rescan limited to 24 vertices");
         (0..(1u64 << self.n)).map(|a| self.cut_value(a)).fold(f64::MIN, f64::max)
     }
 }
@@ -127,5 +208,42 @@ mod tests {
         let a = Graph::random(10, 0.4, 5);
         let b = Graph::random(10, 0.4, 5);
         assert_eq!(a.edges, b.edges);
+        let a = Graph::random_weighted(10, 0.4, 5);
+        let b = Graph::random_weighted(10, 0.4, 5);
+        assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn gray_code_walk_matches_rescan_oracle() {
+        for g in [
+            Graph::random(9, 0.4, 13),
+            Graph::random_weighted(9, 0.6, 21),
+            Graph::ring(7),
+            Graph::complete(6),
+            Graph { n: 4, edges: Vec::new() },
+        ] {
+            let fast = g.max_cut_exact();
+            let slow = g.max_cut_exact_rescan();
+            assert!((fast - slow).abs() < 1e-9, "fast {fast} vs rescan {slow}");
+        }
+    }
+
+    #[test]
+    fn structured_generators_have_known_optima() {
+        // Even rings are bipartite (cut = n), odd rings frustrated
+        // (cut = n − 1); K_n cuts ⌊n/2⌋·⌈n/2⌉ edges.
+        assert_eq!(Graph::ring(8).max_cut_exact(), 8.0);
+        assert_eq!(Graph::ring(9).max_cut_exact(), 8.0);
+        assert_eq!(Graph::complete(6).max_cut_exact(), 9.0);
+        assert_eq!(Graph::complete(7).max_cut_exact(), 12.0);
+        assert_eq!(Graph::ring(5).edges.len(), 5);
+        assert_eq!(Graph::complete(5).edges.len(), 10);
+    }
+
+    #[test]
+    fn weighted_generator_bounds_and_topology() {
+        let g = Graph::random_weighted(12, 0.5, 99);
+        assert!(!g.edges.is_empty());
+        assert!(g.edges.iter().all(|&(u, v, w)| u < v && v < 12 && (0.1..1.0).contains(&w)));
     }
 }

@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::engine::ExecEngine;
+use crate::ising::{try_ising_fast_path, IsingFastPath};
 use crate::objective::{CliffordObjective, ObjectiveValue, Penalty, PolishMove, PolishSession};
 
 /// Configuration for a CAFQA run.
@@ -130,6 +131,43 @@ use crate::objective::{CliffordObjective, ObjectiveValue, Penalty, PolishMove, P
 /// are identical at any worker count; a binding screen or rank is a
 /// different-but-still-deterministic search whose greedy polish still
 /// only ever improves on its BO incumbent.
+///
+/// # Problem-structure routing
+///
+/// [`ising_fast_path`](Self::ising_fast_path) governs the structured
+/// fast path in front of the full search (module
+/// [`ising`](crate::ising), after arXiv 2312.01036): when the
+/// Hamiltonian classifies as Ising-class — every term weight ≤ 2 and
+/// every qubit column single-axis, i.e. diagonal after a per-qubit
+/// single-Clifford basis rotation — the optimal Clifford point lies in
+/// the `2^n` product-eigenstate subspace, and [`run_cafqa_on`] solves
+/// the reduced binary quadratic objective instead of searching `4^d`.
+///
+/// - [`IsingFastPath::Auto`] (the default) routes exactly the instances
+///   that can take the fast path end to end: classified structure, no
+///   penalties, and an ansatz with an
+///   [`eigenstate_config`](cafqa_circuit::Ansatz::eigenstate_config)
+///   lift. **Everything else runs the full pipeline bit-for-bit
+///   unchanged** — the classifier reads the term set and routes before
+///   any search state exists (asserted in
+///   `crates/core/tests/ising_routing.rs`).
+/// - [`IsingFastPath::Off`] disables routing entirely; use it to
+///   measure the unrouted baseline or pin a legacy BO trace on an
+///   Ising-class instance.
+/// - [`IsingFastPath::Force`] panics instead of falling back — for
+///   services that know their workload is Ising-class and want
+///   misclassification loud rather than 100× slower.
+///
+/// On routed instances the result is an ordinary [`CafqaResult`]: the
+/// reduced-space winner and every provided seed are evaluated through
+/// the ordinary tableau objective (one engine batch, first minimiser
+/// wins), so the reported energy is the simulator's, the
+/// never-worse-than-seed guarantee holds, and the fast-path energy is
+/// ≤ the full search's on every instance the solver handles exactly
+/// (≤ [`ising::EXACT_SOLVE_CAP`](crate::ising::EXACT_SOLVE_CAP)
+/// qubits; larger instances run a deterministic seeded multi-start
+/// descent, asserted ≤ the BO route in the `ising_fast_path_vs_bo`
+/// bench).
 #[derive(Debug, Clone)]
 pub struct CafqaOptions {
     /// Random warm-up evaluations (the paper uses 1000 for H2O).
@@ -183,6 +221,15 @@ pub struct CafqaOptions {
     /// every move, bit-for-bit. See the [screening and
     /// tolerance](Self#screening-and-tolerance) notes.
     pub kt_rank_top: usize,
+    /// Structured fast-path routing for Ising-class Hamiltonians:
+    /// [`Auto`](IsingFastPath::Auto) (the default) routes classified
+    /// instances through the reduced-space solver and everything else
+    /// through the full search bit-for-bit unchanged;
+    /// [`Off`](IsingFastPath::Off) never routes;
+    /// [`Force`](IsingFastPath::Force) panics on unroutable instances.
+    /// See the [problem-structure
+    /// routing](Self#problem-structure-routing) notes.
+    pub ising_fast_path: IsingFastPath,
 }
 
 impl Default for CafqaOptions {
@@ -202,6 +249,7 @@ impl Default for CafqaOptions {
             polish_screen_top: 0,
             screen_tolerance: 0.0,
             kt_rank_top: 0,
+            ising_fast_path: IsingFastPath::default(),
         }
     }
 }
@@ -310,6 +358,17 @@ pub fn run_cafqa_on(
     seeds: &[Vec<usize>],
     opts: &CafqaOptions,
 ) -> CafqaResult {
+    // Problem-structure routing: Ising-class instances collapse to the
+    // reduced-space solve (see the routing notes on `CafqaOptions`);
+    // everything else continues below, bit-for-bit as if the hook did
+    // not exist.
+    if opts.ising_fast_path != IsingFastPath::Off {
+        if let Some(result) =
+            try_ising_fast_path(engine, ansatz, hamiltonian, &penalties, seeds, opts)
+        {
+            return result;
+        }
+    }
     let mut objective = CliffordObjective::new(ansatz, hamiltonian).with_engine(engine.clone());
     for p in penalties {
         objective = objective.with_penalty(p);

@@ -1,0 +1,96 @@
+//! Fig. 17 (repo extension): per-instance serving throughput of the
+//! Ising fast path vs the full BO pipeline, per vertex-count band.
+//!
+//! The ROADMAP's north star is a high-traffic service; for Ising-class
+//! workloads (arXiv 2312.01036) the structure-routed reduced-space
+//! solver serves orders of magnitude more instances per second than the
+//! warm-up + BO + polish pipeline at the same quality or better — the
+//! asymmetry the `ising_fast_path_vs_bo` bench gates at ≥ 100×. This
+//! binary sweeps it across instance sizes and generator families.
+
+use std::time::Instant;
+
+use cafqa_circuit::EfficientSu2;
+use cafqa_core::maxcut::{maxcut_hamiltonian, Graph};
+use cafqa_core::{solve_ising_batch_on, CafqaOptions, ExecEngine, IsingFastPath, IsingInstance};
+use cafqa_experiments::{print_table, run_cfg};
+
+/// One batch per vertex band, mixing all four generator families so the
+/// row reflects a service's traffic rather than one topology.
+fn band(n: usize, copies: usize) -> Vec<IsingInstance> {
+    let mut graphs = Vec::new();
+    for c in 0..copies {
+        let seed = 1000 * n as u64 + c as u64;
+        graphs.push(Graph::random(n, 0.4, seed));
+        graphs.push(Graph::random_weighted(n, 0.4, seed + 17));
+    }
+    graphs.push(Graph::ring(n));
+    graphs.push(Graph::complete(n));
+    graphs
+        .into_iter()
+        .map(|g| IsingInstance::new(EfficientSu2::new(g.n, 1), maxcut_hamiltonian(&g)))
+        .collect()
+}
+
+fn main() {
+    let cfg = run_cfg();
+    let engine = ExecEngine::from_env();
+    let copies = if cfg.quick { 1 } else { 3 };
+    let bo_opts = CafqaOptions {
+        warmup: if cfg.quick { 40 } else { 60 },
+        iterations: if cfg.quick { 60 } else { 120 },
+        polish_sweeps: 1,
+        ising_fast_path: IsingFastPath::Off,
+        ..Default::default()
+    };
+    let fast_opts = CafqaOptions { ising_fast_path: IsingFastPath::Auto, ..bo_opts.clone() };
+    let mut rows = Vec::new();
+    for n in [16usize, 20, 24] {
+        let instances = band(n, copies);
+        // Warm both arms; the runs are deterministic, so the kept
+        // results double as the quality check.
+        let fast = solve_ising_batch_on(&engine, &instances, &fast_opts);
+        let bo = solve_ising_batch_on(&engine, &instances, &bo_opts);
+        for (i, (f, b)) in fast.iter().zip(&bo).enumerate() {
+            assert!(
+                f.energy <= b.energy + 1e-9,
+                "band {n}, instance {i}: fast {} worse than BO {}",
+                f.energy,
+                b.energy
+            );
+        }
+        let matched = fast.iter().zip(&bo).filter(|(f, b)| f.energy <= b.energy - 1e-9).count();
+        let time = |opts: &CafqaOptions| {
+            let t = Instant::now();
+            std::hint::black_box(solve_ising_batch_on(&engine, &instances, opts));
+            t.elapsed().as_secs_f64()
+        };
+        let fast_s = time(&fast_opts);
+        let bo_s = time(&bo_opts);
+        let count = instances.len() as f64;
+        rows.push(vec![
+            n.to_string(),
+            instances.len().to_string(),
+            format!("{:.1}", count / fast_s),
+            format!("{:.3}", count / bo_s),
+            format!("{:.0}", bo_s / fast_s),
+            format!("{matched}/{}", instances.len()),
+        ]);
+    }
+    print_table(
+        "Fig. 17: Ising fast-path serving throughput vs the full BO pipeline",
+        &[
+            "vertices",
+            "instances",
+            "fast_inst_per_s",
+            "bo_inst_per_s",
+            "speedup",
+            "fast_strictly_better",
+        ],
+        &rows,
+    );
+    println!(
+        "fast path energy asserted <= BO per instance; headline A/B in BENCH_search.json \
+         (cargo bench --bench search -- ising_fast_path)"
+    );
+}

@@ -1,11 +1,17 @@
 //! CAFQA beyond chemistry: classical bootstrap for a MaxCut VQA
 //! (the workload class behind the paper's Fig. 15 MaxCut entries).
 //!
+//! MaxCut Hamiltonians are Ising-class, so the default
+//! (`IsingFastPath::Auto`) routing solves them in the reduced
+//! product-eigenstate space instead of running the 4^d BO search — same
+//! `CafqaResult`, orders of magnitude faster (arXiv 2312.01036). This
+//! example runs both routes and checks the fast path never loses.
+//!
 //! Run with: `cargo run --release --example maxcut_qaoa`
 
 use cafqa::circuit::EfficientSu2;
 use cafqa::core::maxcut::{maxcut_hamiltonian, Graph};
-use cafqa::core::{run_cafqa, CafqaOptions};
+use cafqa::core::{run_cafqa, CafqaOptions, IsingFastPath};
 
 fn main() {
     let graph = Graph::random(10, 0.4, 2024);
@@ -17,12 +23,30 @@ fn main() {
     let ansatz = EfficientSu2::new(graph.n, 1);
     let opts =
         CafqaOptions { warmup: 250, iterations: 400, number_penalty: 0.0, ..Default::default() };
-    let result = run_cafqa(&ansatz, &h, vec![], &[], &opts);
+
+    // The default routing classifies the Hamiltonian as Ising and solves
+    // the reduced space: one objective evaluation instead of hundreds.
+    let fast = run_cafqa(&ansatz, &h, vec![], &[], &opts);
     println!(
-        "CAFQA cut: {} (found at evaluation {} of {})",
-        -result.energy, result.iterations_to_best, result.evaluations
+        "Fast path cut: {} (in {} evaluation{})",
+        -fast.energy,
+        fast.evaluations,
+        if fast.evaluations == 1 { "" } else { "s" }
     );
-    // MaxCut optima are computational basis states, hence stabilizer
-    // states: CAFQA can represent them exactly.
-    assert!(-result.energy <= optimum + 1e-9);
+
+    // The unrouted full pipeline, for comparison at the same seed.
+    let bo_opts = CafqaOptions { ising_fast_path: IsingFastPath::Off, ..opts };
+    let bo = run_cafqa(&ansatz, &h, vec![], &[], &bo_opts);
+    println!(
+        "Full BO cut: {} (found at evaluation {} of {})",
+        -bo.energy, bo.iterations_to_best, bo.evaluations
+    );
+
+    // The fast-path seed matches or beats the BO route, and MaxCut
+    // optima are computational basis states — stabilizer states — so
+    // neither route can beat the exhaustive optimum.
+    assert!(fast.energy <= bo.energy + 1e-9, "fast path must match or beat the BO route");
+    assert!(-fast.energy <= optimum + 1e-9);
+    assert!(-bo.energy <= optimum + 1e-9);
+    assert!((-fast.energy - optimum).abs() < 1e-9, "10-vertex instances solve exactly");
 }
