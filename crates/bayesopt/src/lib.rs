@@ -43,5 +43,8 @@ mod tree;
 
 pub use exec::{map_jobs, Executor, Job, SerialExec};
 pub use forest::{ForestOptions, RandomForest};
-pub use search::{minimize, minimize_with, BoOptions, BoResult, Evaluation, SearchSpace};
+pub use search::{
+    minimize, minimize_suspendable_with, minimize_with, BatchStatus, BoOptions, BoResult,
+    Evaluation, SearchSpace,
+};
 pub use tree::{RegressionTree, TreeOptions};

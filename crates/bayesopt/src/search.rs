@@ -162,6 +162,22 @@ pub struct Evaluation {
     pub best_so_far: f64,
 }
 
+/// One step of an interruptible batch objective
+/// ([`minimize_suspendable_with`]): either the evaluated values for the
+/// proposed batch, or a request to suspend the search *before* the batch
+/// is evaluated.
+#[derive(Debug, Clone)]
+pub enum BatchStatus {
+    /// The batch was evaluated: one value per configuration, in order.
+    Values(Vec<f64>),
+    /// Suspend the search now. The proposed batch is discarded
+    /// unevaluated; the returned history contains only completed
+    /// evaluations, so a deterministic caller can replay it later and
+    /// continue from exactly this point (see the resume notes on
+    /// [`minimize_suspendable_with`]).
+    Suspend,
+}
+
 /// The outcome of a [`minimize`] run.
 #[derive(Debug, Clone)]
 pub struct BoResult {
@@ -213,6 +229,15 @@ impl SearchState {
         self.history.push(Evaluation { config: config.clone(), value, best_so_far: self.best });
         self.xs.push(config);
         self.ys.push(value);
+    }
+
+    fn into_result(self) -> BoResult {
+        BoResult {
+            best_config: self.best_config,
+            best_value: self.best,
+            history: self.history,
+            iterations_to_best: self.iterations_to_best,
+        }
     }
 }
 
@@ -268,6 +293,46 @@ pub fn minimize_with(
     opts: &BoOptions,
     exec: &dyn Executor,
 ) -> BoResult {
+    let (result, completed) = minimize_suspendable_with(
+        space,
+        |batch| BatchStatus::Values(objective(batch)),
+        seeds,
+        opts,
+        exec,
+    );
+    debug_assert!(completed, "an always-Values objective can never suspend");
+    result
+}
+
+/// [`minimize_with`] with a cooperative suspension point before every
+/// objective batch — the seam behind checkpoint/resume and the job
+/// server's fair-share time slicing.
+///
+/// The objective is consulted once per batch (the whole seeds + warm-up
+/// phase is one batch, then one batch per acquisition cycle) and may
+/// answer [`BatchStatus::Suspend`] instead of evaluating. The search
+/// stops immediately: the proposed batch is discarded and the returned
+/// [`BoResult`] holds only the completed evaluations, with the second
+/// tuple element `false` (`true` means the budget ran to completion).
+///
+/// # Resuming
+///
+/// Every decision the loop makes — RNG draws, pool construction,
+/// surrogate fits, acquisition ranking — is a pure function of
+/// ([`BoOptions::seed`], the values returned by the objective). A caller
+/// that re-runs this function and serves the recorded history values
+/// back (instead of recomputing them) therefore reproduces the exact
+/// pre-suspension state — same RNG cursor, same incumbent, same pending
+/// proposals — and the continuation is **bit-identical to an
+/// uninterrupted run**. `cafqa_core::run_cafqa_resumable_on` wraps
+/// exactly that replay contract.
+pub fn minimize_suspendable_with(
+    space: &SearchSpace,
+    mut objective: impl FnMut(&[Vec<usize>]) -> BatchStatus,
+    seeds: &[Vec<usize>],
+    opts: &BoOptions,
+    exec: &dyn Executor,
+) -> (BoResult, bool) {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut state = SearchState::new();
 
@@ -284,7 +349,9 @@ pub fn minimize_with(
     for _ in 0..opts.warmup {
         warmup_batch.push(space.sample(&mut rng));
     }
-    evaluate_batch(&mut objective, warmup_batch, &mut state);
+    if evaluate_batch(&mut objective, warmup_batch, &mut state).is_none() {
+        return (state.into_result(), false);
+    }
 
     let proposals = opts.proposals_per_refit.max(1);
     let mut forest: Option<Arc<RandomForest>> = None;
@@ -371,7 +438,9 @@ pub fn minimize_with(
         };
 
         let batch_len = picks.len();
-        let best_transitions = evaluate_batch(&mut objective, picks, &mut state);
+        let Some(best_transitions) = evaluate_batch(&mut objective, picks, &mut state) else {
+            return (state.into_result(), false);
+        };
         evaluated += batch_len;
         cycle += 1;
         if opts.patience > 0 {
@@ -388,27 +457,27 @@ pub fn minimize_with(
         }
     }
 
-    BoResult {
-        best_config: state.best_config,
-        best_value: state.best,
-        history: state.history,
-        iterations_to_best: state.iterations_to_best,
-    }
+    (state.into_result(), true)
 }
 
 /// Evaluates `batch` through the objective and folds the results into
 /// the state in submission order. Returns the `(before, after)`
 /// best-so-far transition of each evaluation — the patience counter
-/// replays them exactly as the classic per-evaluation loop would.
+/// replays them exactly as the classic per-evaluation loop would —
+/// or `None` when the objective chose to suspend (the batch is then
+/// discarded unevaluated and the state is untouched).
 fn evaluate_batch(
-    objective: &mut impl FnMut(&[Vec<usize>]) -> Vec<f64>,
+    objective: &mut impl FnMut(&[Vec<usize>]) -> BatchStatus,
     batch: Vec<Vec<usize>>,
     state: &mut SearchState,
-) -> Vec<(f64, f64)> {
+) -> Option<Vec<(f64, f64)>> {
     if batch.is_empty() {
-        return Vec::new();
+        return Some(Vec::new());
     }
-    let values = objective(&batch);
+    let values = match objective(&batch) {
+        BatchStatus::Values(values) => values,
+        BatchStatus::Suspend => return None,
+    };
     assert_eq!(
         values.len(),
         batch.len(),
@@ -420,7 +489,7 @@ fn evaluate_batch(
         state.record(config, value);
         transitions.push((before, state.best));
     }
-    transitions
+    Some(transitions)
 }
 
 #[cfg(test)]
@@ -658,6 +727,72 @@ mod tests {
         for (x, y) in a.history.iter().zip(&b.history) {
             assert_eq!(x.value.to_bits(), y.value.to_bits());
             assert_eq!(x.config, y.config);
+        }
+    }
+
+    #[test]
+    fn suspend_then_replay_is_bit_identical_to_uninterrupted() {
+        // The resume contract: suspend after `cut` batches, then re-run
+        // serving the recorded values back — the continuation must
+        // reproduce the uninterrupted trace bit for bit (same configs,
+        // same value bits, same incumbent).
+        let space = SearchSpace::uniform(6, 4);
+        let f = |c: &[usize]| {
+            c.iter().enumerate().map(|(i, &v)| (v as f64 - (i % 3) as f64).powi(2)).sum::<f64>()
+                / 1.7
+        };
+        let opts = BoOptions { warmup: 20, iterations: 37, seed: 9, ..Default::default() };
+        let full = minimize(&space, batched(f), &[], &opts);
+        for cut in [0usize, 1, 4, 9] {
+            // Phase 1: evaluate `cut` batches, then suspend.
+            let mut recorded: Vec<f64> = Vec::new();
+            let mut batches = 0usize;
+            let (partial, completed) = minimize_suspendable_with(
+                &space,
+                |batch: &[Vec<usize>]| {
+                    if batches == cut {
+                        return BatchStatus::Suspend;
+                    }
+                    batches += 1;
+                    let values: Vec<f64> = batch.iter().map(|c| f(c)).collect();
+                    recorded.extend(values.iter().copied());
+                    BatchStatus::Values(values)
+                },
+                &[],
+                &opts,
+                &SerialExec,
+            );
+            assert!(!completed, "cut {cut}");
+            assert_eq!(partial.history.len(), recorded.len(), "cut {cut}");
+            // Phase 2: replay the recorded values, evaluate live beyond.
+            let mut cursor = 0usize;
+            let resumed = minimize_with(
+                &space,
+                |batch: &[Vec<usize>]| {
+                    batch
+                        .iter()
+                        .map(|c| {
+                            if cursor < recorded.len() {
+                                cursor += 1;
+                                recorded[cursor - 1]
+                            } else {
+                                f(c)
+                            }
+                        })
+                        .collect()
+                },
+                &[],
+                &opts,
+                &SerialExec,
+            );
+            assert_eq!(cursor, recorded.len(), "cut {cut}: whole prefix replayed");
+            assert_eq!(resumed.history.len(), full.history.len(), "cut {cut}");
+            for (a, b) in resumed.history.iter().zip(&full.history) {
+                assert_eq!(a.config, b.config, "cut {cut}");
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "cut {cut}");
+            }
+            assert_eq!(resumed.best_config, full.best_config, "cut {cut}");
+            assert_eq!(resumed.best_value.to_bits(), full.best_value.to_bits(), "cut {cut}");
         }
     }
 

@@ -28,6 +28,14 @@ pub enum ChemError {
         /// Requested register width.
         qubits: usize,
     },
+    /// The geometry is malformed (non-finite or non-positive bond
+    /// length, coincident atoms, no atoms, or a charge stripping more
+    /// electrons than the molecule has). Surfaced as a structured error
+    /// so server-called paths never hit the downstream asserts.
+    BadGeometry {
+        /// What is wrong with the geometry.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ChemError {
@@ -38,6 +46,7 @@ impl std::fmt::Display for ChemError {
             ChemError::TooManyQubits { qubits } => {
                 write!(f, "{qubits} qubits exceed the 64-qubit limit")
             }
+            ChemError::BadGeometry { reason } => write!(f, "bad geometry: {reason}"),
         }
     }
 }
@@ -91,7 +100,14 @@ impl ChemPipeline {
     ///
     /// Returns [`ChemError::Scf`] on hard SCF failures; slow convergence
     /// is tolerated and reported through [`Self::scf_converged`].
+    /// A non-finite or non-positive bond length is
+    /// [`ChemError::BadGeometry`].
     pub fn build(kind: MoleculeKind, bond: f64, scf_kind: &ScfKind) -> Result<Self, ChemError> {
+        if !bond.is_finite() || bond <= 0.0 {
+            return Err(ChemError::BadGeometry {
+                reason: format!("bond length {bond} Å is not a positive finite number"),
+            });
+        }
         let molecule = kind.geometry(bond);
         Self::from_molecule(molecule, Some(kind), scf_kind, &ScfOptions::default())
     }
@@ -103,18 +119,63 @@ impl ChemPipeline {
         scf_kind: &ScfKind,
         opts: &ScfOptions,
     ) -> Result<Self, ChemError> {
+        if !bond.is_finite() || bond <= 0.0 {
+            return Err(ChemError::BadGeometry {
+                reason: format!("bond length {bond} Å is not a positive finite number"),
+            });
+        }
         let molecule = kind.geometry(bond);
         Self::from_molecule(molecule, Some(kind), scf_kind, opts)
     }
 
+    /// Checks the structural invariants the downstream pipeline assumes
+    /// (asserts on, or silently NaN-poisons without): at least one atom,
+    /// finite positions, no coincident nuclei, and a charge that leaves
+    /// a non-negative electron count.
+    fn validate_geometry(molecule: &Molecule) -> Result<(), ChemError> {
+        if molecule.atoms.is_empty() {
+            return Err(ChemError::BadGeometry { reason: "no atoms".into() });
+        }
+        for (i, atom) in molecule.atoms.iter().enumerate() {
+            if atom.position.iter().any(|c| !c.is_finite()) {
+                return Err(ChemError::BadGeometry {
+                    reason: format!("atom {i} has a non-finite coordinate"),
+                });
+            }
+        }
+        for i in 0..molecule.atoms.len() {
+            for j in (i + 1)..molecule.atoms.len() {
+                let d =
+                    crate::geometry::dist(molecule.atoms[i].position, molecule.atoms[j].position);
+                if d <= 0.0 {
+                    return Err(ChemError::BadGeometry {
+                        reason: format!("atoms {i} and {j} coincide"),
+                    });
+                }
+            }
+        }
+        let z: i64 = molecule.atoms.iter().map(|a| a.element.atomic_number() as i64).sum();
+        if z - (molecule.charge as i64) < 0 {
+            return Err(ChemError::BadGeometry {
+                reason: format!(
+                    "charge {} strips more electrons than the {z} available",
+                    molecule.charge
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Builds the pipeline for an arbitrary geometry (full active space
-    /// unless a catalog `kind` supplies a rule).
+    /// unless a catalog `kind` supplies a rule). Malformed geometries
+    /// reject with [`ChemError::BadGeometry`] before any numerics run.
     pub fn from_molecule(
         molecule: Molecule,
         kind: Option<MoleculeKind>,
         scf_kind: &ScfKind,
         opts: &ScfOptions,
     ) -> Result<Self, ChemError> {
+        Self::validate_geometry(&molecule)?;
         let basis = BasisSet::sto3g(&molecule);
         let integrals = compute_ao_integrals(&molecule, &basis);
         let run = |options: &ScfOptions| match scf_kind {
@@ -298,6 +359,39 @@ mod tests {
 
     fn h2_pipeline() -> ChemPipeline {
         ChemPipeline::build(MoleculeKind::H2, 1.4 / BOHR_PER_ANGSTROM, &ScfKind::Rhf).unwrap()
+    }
+
+    #[test]
+    fn malformed_geometry_rejects_structurally_instead_of_panicking() {
+        use crate::geometry::{Element, Molecule};
+        // Non-positive / non-finite bond lengths.
+        for bond in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = ChemPipeline::build(MoleculeKind::H2, bond, &ScfKind::Rhf).unwrap_err();
+            assert!(matches!(err, ChemError::BadGeometry { .. }), "bond {bond}: {err}");
+        }
+        let reject = |m: Molecule| {
+            let err = ChemPipeline::from_molecule(m, None, &ScfKind::Rhf, &ScfOptions::default())
+                .unwrap_err();
+            assert!(matches!(err, ChemError::BadGeometry { .. }), "{err}");
+        };
+        // Empty molecule, coincident atoms, non-finite coordinate, and a
+        // charge stripping more electrons than exist — the path that
+        // used to trip the `num_electrons` assert.
+        reject(Molecule { atoms: Vec::new(), charge: 0 });
+        reject(Molecule::from_angstrom(&[
+            (Element::H, [0.0, 0.0, 0.0]),
+            (Element::H, [0.0, 0.0, 0.0]),
+        ]));
+        reject(Molecule::from_angstrom(&[(Element::H, [0.0, 0.0, f64::NAN])]));
+        reject(Molecule::diatomic(Element::H, Element::H, 0.74).with_charge(3));
+        // A valid geometry still builds.
+        assert!(ChemPipeline::from_molecule(
+            Molecule::diatomic(Element::H, Element::H, 0.74),
+            None,
+            &ScfKind::Rhf,
+            &ScfOptions::default(),
+        )
+        .is_ok());
     }
 
     #[test]

@@ -46,7 +46,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
 use std::thread::JoinHandle;
 
 /// A self-contained unit of work: owns its inputs and reports through a
@@ -64,16 +64,46 @@ fn parse_workers(value: &str) -> Option<usize> {
     value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
+/// The worker-count decision, env-free so it unit-tests without
+/// touching the process environment (`setenv` during concurrent
+/// `getenv` is UB in glibc): given the raw `CAFQA_WORKERS` value (if
+/// set) and the host parallelism, returns the worker count and — when
+/// the variable was set but rejected — the warning to emit, naming the
+/// rejected value and the fallback count.
+fn worker_policy(env_value: Option<&str>, host_parallelism: usize) -> (usize, Option<String>) {
+    let fallback = host_parallelism.clamp(1, MAX_AUTO_WORKERS);
+    match env_value {
+        None => (fallback, None),
+        Some(value) => match parse_workers(value) {
+            Some(n) => (n, None),
+            None => (
+                fallback,
+                Some(format!(
+                    "cafqa: ignoring invalid CAFQA_WORKERS value {value:?} \
+                     (expected a positive integer); falling back to {fallback} workers"
+                )),
+            ),
+        },
+    }
+}
+
 /// The process-wide worker-count policy, replacing the per-call-site
 /// heuristics that PR 2 left scattered over the objective, exhaustive
 /// and forest layers: the `CAFQA_WORKERS` environment variable when set
 /// to a positive integer, otherwise the available parallelism capped at
-/// 16. Always at least 1.
+/// 16. Always at least 1. An *invalid* `CAFQA_WORKERS` value (`"many"`,
+/// `"0"`, `"-3"`, …) falls back to the auto-detected count and warns
+/// once on stderr — silently ignoring an explicit override hides
+/// misconfigured deployments.
 pub fn default_workers() -> usize {
-    if let Some(n) = std::env::var("CAFQA_WORKERS").ok().as_deref().and_then(parse_workers) {
-        return n;
+    static WARN_ONCE: Once = Once::new();
+    let env = std::env::var("CAFQA_WORKERS").ok();
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (workers, warning) = worker_policy(env.as_deref(), host);
+    if let Some(warning) = warning {
+        WARN_ONCE.call_once(|| eprintln!("{warning}"));
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get()).min(MAX_AUTO_WORKERS)
+    workers
 }
 
 thread_local! {
@@ -611,6 +641,30 @@ mod tests {
         assert_eq!(parse_workers("many"), None);
         assert_eq!(parse_workers(""), None);
         assert!(default_workers() >= 1);
+    }
+
+    /// The full decision function, env-free: valid overrides win, unset
+    /// falls back silently, and *invalid* values fall back **with a
+    /// warning** naming the rejected value and the fallback count.
+    #[test]
+    fn worker_policy_warns_on_invalid_override_only() {
+        // Unset: host parallelism capped at MAX_AUTO_WORKERS, no warning.
+        assert_eq!(worker_policy(None, 4), (4, None));
+        assert_eq!(worker_policy(None, 64), (MAX_AUTO_WORKERS, None));
+        assert_eq!(worker_policy(None, 0), (1, None), "degenerate host still gets 1");
+        // Valid override: taken verbatim (not capped), no warning.
+        assert_eq!(worker_policy(Some("12"), 4), (12, None));
+        assert_eq!(worker_policy(Some(" 32 "), 4), (32, None));
+        // Invalid override: fallback plus a one-line warning that names
+        // both the rejected value and the count actually used.
+        for bad in ["many", "0", "-3", ""] {
+            let (workers, warning) = worker_policy(Some(bad), 6);
+            assert_eq!(workers, 6, "{bad:?} falls back to the host count");
+            let warning = warning.unwrap_or_else(|| panic!("{bad:?} must warn"));
+            assert!(warning.contains(&format!("{bad:?}")), "{warning}");
+            assert!(warning.contains("6 workers"), "{warning}");
+            assert!(warning.contains("CAFQA_WORKERS"), "{warning}");
+        }
     }
 
     #[test]

@@ -74,6 +74,40 @@ pub enum IsingFastPath {
 /// `2^n` right where the fast path is benchmarked.
 pub const EXACT_SOLVE_CAP: usize = 16;
 
+/// Spins above this cannot be solved at all: assignments are packed in a
+/// `u64`, so the local search caps at 64 (and [`classify_ising`] never
+/// emits a wider form).
+pub const SOLVE_CAP: usize = 64;
+
+/// A structured rejection from [`IsingForm::solve`] — what a serving
+/// layer reports to the submitter instead of dying on an `assert!`. The
+/// internal exact walkers ([`IsingForm::solve_exact`],
+/// [`IsingForm::local_search`]) keep their hard asserts: they are only
+/// reachable through [`IsingForm::solve`]'s routing (which has already
+/// checked the caps) or direct calls by code that owns its own bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsingError {
+    /// The instance has more spins than the solver can represent.
+    TooLarge {
+        /// The instance's spin count.
+        n: usize,
+        /// The hard cap ([`SOLVE_CAP`]).
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for IsingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsingError::TooLarge { n, cap } => {
+                write!(f, "Ising instance has {n} spins; the solver caps at {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsingError {}
+
 /// A classified diagonal Hamiltonian in spin form:
 ///
 /// `⟨H⟩(s) = constant + Σ_i linear[i]·s_i + Σ_{(i,j,w)} w·s_i·s_j`
@@ -134,12 +168,21 @@ impl IsingForm {
     /// returned energy is recomputed from scratch at the winning
     /// assignment, so incremental-update drift never leaves this
     /// function.
-    pub fn solve(&self, seed: u64) -> (u64, f64) {
-        if self.n <= EXACT_SOLVE_CAP {
+    ///
+    /// This is the service-reachable entry point, so an oversized form
+    /// (`n >` [`SOLVE_CAP`] — impossible via [`classify_ising`], easy
+    /// via a hand-built [`IsingForm`]) returns a structured
+    /// [`IsingError::TooLarge`] instead of tripping the internal
+    /// walkers' asserts.
+    pub fn solve(&self, seed: u64) -> Result<(u64, f64), IsingError> {
+        if self.n > SOLVE_CAP {
+            return Err(IsingError::TooLarge { n: self.n, cap: SOLVE_CAP });
+        }
+        Ok(if self.n <= EXACT_SOLVE_CAP {
             self.solve_exact()
         } else {
             self.local_search(seed, (3 * self.n).max(8))
-        }
+        })
     }
 
     /// Exact minimum by a Gray-code walk: step `k` flips only spin
@@ -338,7 +381,12 @@ pub(crate) fn try_ising_fast_path(
         assert!(!force, "ising_fast_path: Force, but the Hamiltonian is not Ising-class");
         return None;
     };
-    let (bits, _reduced) = form.solve(opts.seed);
+    // `classify_ising` never emits a form above the solve cap, so an
+    // error here is unreachable; treat it as "cannot route" for safety.
+    let Ok((bits, _reduced)) = form.solve(opts.seed) else {
+        assert!(!force, "ising_fast_path: Force, but the instance exceeds the solve cap");
+        return None;
+    };
     let Some(lifted) = ansatz.eigenstate_config(bits, &form.bases) else {
         assert!(!force, "ising_fast_path: Force, but the ansatz has no eigenstate lift");
         return None;
@@ -489,6 +537,35 @@ mod tests {
             assert!((exact - local).abs() < 1e-9, "seed {seed}: exact {exact} vs local {local}");
             assert!((exact + g.max_cut_exact()).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn oversized_form_rejects_with_structured_error() {
+        // A hand-built form above the u64 packing cap must reject, not
+        // assert — this is the serving layer's contract. (classify_ising
+        // can never produce one: it rejects > 64 qubits up front.)
+        let n = SOLVE_CAP + 1;
+        let form = IsingForm {
+            n,
+            bases: vec![LocalBasis::Z; n],
+            constant: 0.0,
+            linear: vec![1.0; n],
+            pairs: vec![],
+        };
+        assert_eq!(form.solve(0xCAF9A), Err(IsingError::TooLarge { n, cap: SOLVE_CAP }));
+        let msg = IsingError::TooLarge { n, cap: SOLVE_CAP }.to_string();
+        assert!(msg.contains("65") && msg.contains("64"), "{msg}");
+        // At the cap itself the solve still runs (local search tier).
+        let form = IsingForm {
+            n: 65 - 1,
+            bases: vec![LocalBasis::Z; 64],
+            constant: 0.0,
+            linear: vec![1.0; 64],
+            pairs: vec![],
+        };
+        let (bits, energy) = form.solve(0xCAF9A).expect("64 spins is within the cap");
+        assert_eq!(bits, u64::MAX, "all fields positive: every spin flips to -1");
+        assert!((energy - (-64.0)).abs() < 1e-12);
     }
 
     #[test]

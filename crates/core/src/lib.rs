@@ -39,6 +39,7 @@
 
 pub mod engine;
 pub mod exhaustive;
+pub mod fingerprint;
 pub mod ising;
 mod kt;
 pub mod maxcut;
@@ -48,7 +49,10 @@ mod objective;
 mod runner;
 
 pub use engine::{default_workers, ExecEngine};
-pub use ising::{classify_ising, solve_ising_batch_on, IsingFastPath, IsingForm, IsingInstance};
+pub use fingerprint::{coefficient_vector, family_fingerprint, job_fingerprint};
+pub use ising::{
+    classify_ising, solve_ising_batch_on, IsingError, IsingFastPath, IsingForm, IsingInstance,
+};
 pub use kt::{
     kt_session, run_cafqa_kt, run_cafqa_kt_on, t_count_of, widen_clifford_config, CafqaKtResult,
     KtError, KtPolishSession,
@@ -57,8 +61,9 @@ pub use objective::{
     CliffordObjective, EvalScratch, ObjectiveValue, Penalty, PolishMove, PolishSession,
 };
 pub use runner::{
-    polish_on, polish_pair_list, run_cafqa, run_cafqa_on, CafqaOptions, CafqaResult,
-    MolecularCafqa, PolishOutcome, SearchPoint,
+    polish_on, polish_pair_list, run_cafqa, run_cafqa_on, run_cafqa_resumable_on, CafqaOptions,
+    CafqaResult, MolecularCafqa, PolishOutcome, ResumeError, RunControl, RunProgress, RunStatus,
+    SearchCheckpoint, SearchPoint,
 };
 
 #[cfg(test)]

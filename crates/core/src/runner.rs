@@ -12,7 +12,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cafqa_bayesopt::{
-    minimize_with, BoOptions, BoResult, ForestOptions, RandomForest, SearchSpace,
+    minimize_suspendable_with, BatchStatus, BoOptions, BoResult, ForestOptions, RandomForest,
+    SearchSpace,
 };
 use cafqa_chem::MolecularProblem;
 use cafqa_circuit::{Ansatz, Circuit, EfficientSu2};
@@ -333,6 +334,99 @@ impl CafqaResult {
     }
 }
 
+/// A serialized mid-search state of the BO phase: every *completed*
+/// evaluation, in fold order, as `(configuration, raw energy, penalized)`.
+///
+/// This is all the state a resume needs. The BO loop's internal state —
+/// RNG cursor, candidate pools, surrogate refits, incumbent — is a pure
+/// function of (seed, the objective values returned so far), so
+/// [`run_cafqa_resumable_on`] *replays* the recorded values through the
+/// loop instead of serializing the loop: the expensive tableau
+/// evaluations are skipped, the cheap acquisition bookkeeping is
+/// recomputed, and the post-resume continuation is bit-identical to the
+/// uninterrupted run (asserted in `crates/core/tests/resume_equivalence.rs`).
+///
+/// Checkpoints are whole-batch: a suspension discards the in-flight
+/// batch unevaluated (warm-up plus seeds is one batch, then one batch
+/// per surrogate refit), so `history` is always a batch-aligned prefix
+/// of the uninterrupted evaluation sequence.
+#[derive(Debug, Clone, Default)]
+pub struct SearchCheckpoint {
+    /// The [`job_fingerprint`](crate::fingerprint::job_fingerprint) of
+    /// the job this checkpoint belongs to; resuming under a different
+    /// fingerprint is a [`ResumeError::FingerprintMismatch`]. `0` skips
+    /// the check (for callers managing identity themselves).
+    pub fingerprint: u64,
+    /// Completed evaluations `(config, energy, penalized)` in fold order.
+    pub history: Vec<(Vec<usize>, f64, f64)>,
+}
+
+/// Progress snapshot handed to the control callback of
+/// [`run_cafqa_resumable_on`] before each live (non-replayed) batch.
+#[derive(Debug, Clone, Copy)]
+pub struct RunProgress {
+    /// Completed BO evaluations so far, replayed and live.
+    pub evaluations: usize,
+    /// Live batches completed in *this* call (replayed batches and the
+    /// batch the callback is being consulted about are not counted).
+    pub live_batches: usize,
+}
+
+/// Decision of a [`run_cafqa_resumable_on`] control callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunControl {
+    /// Evaluate the next batch.
+    Continue,
+    /// Stop *before* evaluating the next batch and return a
+    /// [`SearchCheckpoint`] capturing every completed evaluation.
+    Suspend,
+}
+
+/// How a resumable run ended.
+#[derive(Debug, Clone)]
+pub enum RunStatus {
+    /// The search (BO phase and polish endgame) ran to completion.
+    Complete(CafqaResult),
+    /// The control callback suspended the BO phase; pass the checkpoint
+    /// back as `resume` to continue bit-identically.
+    Suspended(SearchCheckpoint),
+}
+
+/// A checkpoint that cannot be resumed against the given job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The checkpoint was recorded for a different job fingerprint.
+    FingerprintMismatch {
+        /// The submitted job's fingerprint.
+        expected: u64,
+        /// The checkpoint's recorded fingerprint.
+        found: u64,
+    },
+    /// Replay proposed a different configuration than the checkpoint
+    /// recorded at this history index — the checkpoint does not belong
+    /// to this (job, seed) stream.
+    HistoryDiverged {
+        /// First diverging index into [`SearchCheckpoint::history`].
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint {found:#018x} does not match job {expected:#018x}"
+            ),
+            ResumeError::HistoryDiverged { index } => {
+                write!(f, "replayed proposal diverged from checkpoint history at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
 /// Runs the CAFQA discrete search for an arbitrary Hamiltonian/ansatz
 /// pair with optional penalties and seed configurations, on the
 /// process-global execution engine.
@@ -358,6 +452,82 @@ pub fn run_cafqa_on(
     seeds: &[Vec<usize>],
     opts: &CafqaOptions,
 ) -> CafqaResult {
+    let status = run_cafqa_resumable_on(
+        engine,
+        ansatz,
+        hamiltonian,
+        penalties,
+        seeds,
+        opts,
+        None,
+        &mut |_| RunControl::Continue,
+    );
+    match status {
+        Ok(RunStatus::Complete(result)) => result,
+        Ok(RunStatus::Suspended(_)) => {
+            unreachable!("an always-Continue control cannot suspend")
+        }
+        Err(err) => unreachable!("no checkpoint was supplied: {err}"),
+    }
+}
+
+/// [`run_cafqa_on`] with cooperative suspension and checkpoint/resume —
+/// the serving layer's entry point (`cafqa-serve` slices jobs through
+/// it).
+///
+/// `control` is consulted **before every live BO batch** (a batch is the
+/// whole warm-up-plus-seeds set, then one per surrogate refit);
+/// returning [`RunControl::Suspend`] discards the proposed batch
+/// unevaluated and returns [`RunStatus::Suspended`] with a
+/// [`SearchCheckpoint`] of every completed evaluation. Passing that
+/// checkpoint back as `resume` replays the recorded objective values
+/// through the BO loop — skipping the expensive tableau evaluations but
+/// reproducing RNG cursor, surrogate refits and incumbent exactly — so
+/// the continuation, and therefore the final [`CafqaResult`] trace, is
+/// **bit-identical to the uninterrupted run at any worker count**
+/// (`crates/core/tests/resume_equivalence.rs`). Suspension granularity
+/// notes:
+///
+/// - The polish endgame is not suspendable: once the BO phase
+///   completes, polish runs to completion in the same call (it is a
+///   bounded tail — `O(sweeps · params)` evaluations — where the BO
+///   phase is the unbounded bulk).
+/// - Instances routed through the Ising fast path complete in one
+///   reduced-space solve plus one evaluation batch; `control` is never
+///   consulted and no checkpoint can exist for them.
+/// - The wall-clock fields of the result (`bo_seconds`,
+///   `polish_seconds`) are whatever the completing call measured — they
+///   are profiling metadata, excluded from every bit-identity contract.
+///
+/// `resume.fingerprint` (when nonzero) must match the job's
+/// [`job_fingerprint`](crate::fingerprint::job_fingerprint); replayed
+/// proposals are additionally checked against the recorded
+/// configurations, so a checkpoint from a different job or seed stream
+/// fails with a structured [`ResumeError`] instead of silently
+/// corrupting the search.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cafqa_resumable_on(
+    engine: &ExecEngine,
+    ansatz: &dyn Ansatz,
+    hamiltonian: &PauliOp,
+    penalties: Vec<Penalty>,
+    seeds: &[Vec<usize>],
+    opts: &CafqaOptions,
+    resume: Option<&SearchCheckpoint>,
+    control: &mut dyn FnMut(RunProgress) -> RunControl,
+) -> Result<RunStatus, ResumeError> {
+    if let Some(checkpoint) = resume {
+        if checkpoint.fingerprint != 0 {
+            let expected =
+                crate::fingerprint::job_fingerprint(ansatz, hamiltonian, &penalties, seeds, opts);
+            if checkpoint.fingerprint != expected {
+                return Err(ResumeError::FingerprintMismatch {
+                    expected,
+                    found: checkpoint.fingerprint,
+                });
+            }
+        }
+    }
     // Problem-structure routing: Ising-class instances collapse to the
     // reduced-space solve (see the routing notes on `CafqaOptions`);
     // everything else continues below, bit-for-bit as if the hook did
@@ -366,7 +536,7 @@ pub fn run_cafqa_on(
         if let Some(result) =
             try_ising_fast_path(engine, ansatz, hamiltonian, &penalties, seeds, opts)
         {
-            return result;
+            return Ok(RunStatus::Complete(result));
         }
     }
     let mut objective = CliffordObjective::new(ansatz, hamiltonian).with_engine(engine.clone());
@@ -387,25 +557,70 @@ pub fn run_cafqa_on(
         forest: cafqa_bayesopt::ForestOptions { window: opts.forest_window, ..Default::default() },
         ..Default::default()
     };
-    let result: BoResult = minimize_with(
+    let replay: &[(Vec<usize>, f64, f64)] = resume.map_or(&[], |c| &c.history);
+    // Shared closure state: the replay cursor, the completed-evaluation
+    // log (the next checkpoint), live-batch count, and the first replay
+    // divergence observed (surfaced as a structured error after the loop
+    // unwinds via Suspend — the closure itself cannot return errors).
+    let mut cursor = 0usize;
+    let mut completed: Vec<(Vec<usize>, f64, f64)> = Vec::with_capacity(replay.len());
+    let mut live_batches = 0usize;
+    let mut diverged: Option<usize> = None;
+    let (result, finished): (BoResult, bool) = minimize_suspendable_with(
         &space,
         |batch: &[Vec<usize>]| {
-            // One engine-sharded evaluation for the whole batch (the
-            // entire warm-up phase arrives as a single batch); the trace
-            // is folded in batch order, identical to per-candidate calls.
-            let values = objective.evaluate_batch(batch);
-            values
-                .iter()
-                .map(|v| {
+            // Serve the replay prefix of this batch from the checkpoint.
+            // Checkpoints are whole-batch (a suspension discards the
+            // in-flight batch), so for a checkpoint of this job the
+            // cursor lands exactly on batch boundaries — the straddle
+            // handling below is defensive, not load-bearing.
+            let served = batch.len().min(replay.len() - cursor);
+            for (offset, config) in batch[..served].iter().enumerate() {
+                if replay[cursor + offset].0 != *config {
+                    diverged = Some(cursor + offset);
+                    return BatchStatus::Suspend;
+                }
+            }
+            let live = &batch[served..];
+            if !live.is_empty() {
+                // Live work ahead: this is the suspension point.
+                let progress = RunProgress { evaluations: completed.len(), live_batches };
+                if control(progress) == RunControl::Suspend {
+                    return BatchStatus::Suspend;
+                }
+            }
+            let mut values = Vec::with_capacity(batch.len());
+            for (config, energy, penalized) in &replay[cursor..cursor + served] {
+                completed.push((config.clone(), *energy, *penalized));
+                raw_trace.push((*energy, *penalized));
+                values.push(*penalized);
+            }
+            cursor += served;
+            if !live.is_empty() {
+                // One engine-sharded evaluation for the whole live part
+                // (the entire warm-up phase arrives as a single batch);
+                // the trace is folded in batch order, identical to
+                // per-candidate calls.
+                for (config, v) in live.iter().zip(objective.evaluate_batch(live)) {
+                    completed.push((config.clone(), v.energy, v.penalized));
                     raw_trace.push((v.energy, v.penalized));
-                    v.penalized
-                })
-                .collect()
+                    values.push(v.penalized);
+                }
+                live_batches += 1;
+            }
+            BatchStatus::Values(values)
         },
         seeds,
         &bo_opts,
         engine,
     );
+    if let Some(index) = diverged {
+        return Err(ResumeError::HistoryDiverged { index });
+    }
+    if !finished {
+        let fingerprint = resume.map_or(0, |c| c.fingerprint);
+        return Ok(RunStatus::Suspended(SearchCheckpoint { fingerprint, history: completed }));
+    }
     // Polish endgame: incremental coordinate and pair sweeps (see
     // `polish_on`), with the screened variant fed the BO history.
     let history: Vec<(Vec<usize>, f64)> = if opts.polish_screen_top > 0 && opts.polish_sweeps > 0 {
@@ -431,7 +646,7 @@ pub fn run_cafqa_on(
             SearchPoint { energy, penalized, best_so_far: best }
         })
         .collect();
-    CafqaResult {
+    Ok(RunStatus::Complete(CafqaResult {
         best_config: outcome.best_config,
         energy: outcome.best_value.energy,
         penalized: outcome.best_value.penalized,
@@ -442,7 +657,7 @@ pub fn run_cafqa_on(
         bo_seconds,
         polish_seconds,
         polish_seek_stats: outcome.seek_stats,
-    }
+    }))
 }
 
 /// The pair list of the pair-polish phase, one definition shared by the

@@ -15,22 +15,83 @@ use cafqa_core::metrics::DissociationPoint;
 use cafqa_core::{CafqaOptions, MolecularCafqa};
 
 /// Runtime configuration shared by all experiment binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunCfg {
     /// Reduced sweeps and budgets for fast runs.
     pub quick: bool,
 }
 
-/// Parses the command line (`--quick` is the only flag) and logs the
-/// execution-engine width once, so every figure run documents the
+/// How a parsed command line should proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CliAction {
+    /// Run the experiment with this configuration.
+    Run(RunCfg),
+    /// `--help`/`-h`: print usage and exit 0.
+    Help,
+}
+
+/// Env-free command-line parser shared by every experiment binary.
+/// `--quick`/`-q` selects the reduced sweep, `--help`/`-h` requests
+/// usage; anything else is rejected with a message naming the offending
+/// argument (the binaries print usage and exit nonzero — no panics on
+/// malformed flags).
+pub fn parse_cli_args<I, S>(args: I) -> Result<CliAction, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut quick = false;
+    for arg in args {
+        match arg.as_ref() {
+            "--quick" | "-q" => quick = true,
+            "--help" | "-h" => return Ok(CliAction::Help),
+            other => return Err(format!("unrecognized argument {other:?}")),
+        }
+    }
+    Ok(CliAction::Run(RunCfg { quick }))
+}
+
+/// The usage string shared by the experiment binaries.
+pub fn usage(bin: &str) -> String {
+    format!(
+        "usage: {bin} [--quick|-q] [--help|-h]\n\
+         \n\
+         \x20 --quick, -q   reduced sweeps and budgets for fast runs\n\
+         \x20 --help, -h    print this help\n\
+         \n\
+         Parallelism is controlled by the CAFQA_WORKERS environment variable."
+    )
+}
+
+/// Parses the command line strictly (see [`parse_cli_args`]) and logs
+/// the execution-engine width once, so every figure run documents the
 /// parallelism it was produced with (pin it with `CAFQA_WORKERS`).
+/// Unknown arguments print usage to stderr and exit with status 2;
+/// `--help` prints usage to stdout and exits 0.
 pub fn run_cfg() -> RunCfg {
-    let quick = std::env::args().any(|a| a == "--quick" || a == "-q");
-    eprintln!(
-        "[cafqa] execution engine: {} worker(s) (override with CAFQA_WORKERS)",
-        cafqa_core::default_workers()
-    );
-    RunCfg { quick }
+    let mut args = std::env::args();
+    let bin = args.next().unwrap_or_else(|| "experiment".into());
+    let bin = std::path::Path::new(&bin)
+        .file_name()
+        .map_or_else(|| bin.clone(), |f| f.to_string_lossy().into_owned());
+    match parse_cli_args(args) {
+        Ok(CliAction::Run(cfg)) => {
+            eprintln!(
+                "[cafqa] execution engine: {} worker(s) (override with CAFQA_WORKERS)",
+                cafqa_core::default_workers()
+            );
+            cfg
+        }
+        Ok(CliAction::Help) => {
+            println!("{}", usage(&bin));
+            std::process::exit(0);
+        }
+        Err(message) => {
+            eprintln!("{bin}: {message}");
+            eprintln!("{}", usage(&bin));
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The search budget used for a molecule, scaled to its register size
@@ -148,4 +209,22 @@ pub fn print_dissociation(name: &str, points: &[DissociationPoint]) {
         &["bond_A", "E_HF", "E_CAFQA", "E_exact", "err_HF", "err_CAFQA", "recovered_%", "scf_ok"],
         &rows,
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_parser_accepts_known_flags_and_rejects_the_rest() {
+        assert_eq!(parse_cli_args(Vec::<&str>::new()), Ok(CliAction::Run(RunCfg { quick: false })));
+        assert_eq!(parse_cli_args(["--quick"]), Ok(CliAction::Run(RunCfg { quick: true })));
+        assert_eq!(parse_cli_args(["-q"]), Ok(CliAction::Run(RunCfg { quick: true })));
+        assert_eq!(parse_cli_args(["--help"]), Ok(CliAction::Help));
+        assert_eq!(parse_cli_args(["-q", "-h"]), Ok(CliAction::Help));
+        let err = parse_cli_args(["--qick"]).unwrap_err();
+        assert!(err.contains("\"--qick\""), "names the offending argument: {err}");
+        assert!(parse_cli_args(["extra"]).is_err());
+        assert!(usage("fig08_h2").contains("--quick"));
+    }
 }

@@ -13,6 +13,8 @@
 //! - [`vqe`] — SPSA tuning loop
 //! - [`core`] — the CAFQA search itself, including the persistent
 //!   worker-pool engine ([`core::engine`]) every parallel path runs on
+//! - [`serve`] — CAFQA-as-a-service: multi-tenant job server with
+//!   content-addressed caching, warm starts and fair-share scheduling
 //!
 //! # Examples
 //!
@@ -37,5 +39,6 @@ pub use cafqa_clifford as clifford;
 pub use cafqa_core as core;
 pub use cafqa_linalg as linalg;
 pub use cafqa_pauli as pauli;
+pub use cafqa_serve as serve;
 pub use cafqa_sim as sim;
 pub use cafqa_vqe as vqe;
